@@ -1,0 +1,68 @@
+/// Active-learning strategy ablation (extension beyond the paper's RS/US/
+/// QC): adds Expected Model Change — the third strategy family §3.4
+/// mentions — and compares all uncertainty-driven strategies under the
+/// same GP model and budget on the Aurora dataset.
+
+#include <cstdio>
+#include <memory>
+
+#include "al_figures.hpp"
+#include "bench_util.hpp"
+#include "ccpred/active/expected_model_change.hpp"
+#include "ccpred/active/loop.hpp"
+#include "ccpred/active/random_sampling.hpp"
+#include "ccpred/active/uncertainty_sampling.hpp"
+#include "ccpred/common/table.hpp"
+#include "ccpred/core/gaussian_process.hpp"
+
+int main() {
+  using namespace ccpred;
+  const auto data = bench::load_paper_data("aurora");
+  const ml::GaussianProcessRegression gp(/*gamma=*/0.5, /*noise=*/1e-4,
+                                         /*optimize=*/true,
+                                         /*log_target=*/true);
+
+  al::ActiveLearningOptions opt;
+  opt.n_initial = 50;
+  opt.query_size = 50;
+  opt.n_queries = bench::fast_mode() ? 5 : 14;
+  opt.seed = 11;
+  opt.goal = guide::Objective::kShortestTime;
+
+  al::RandomSampling rs;
+  al::UncertaintySampling us;
+  al::ExpectedModelChange emc;
+  std::vector<al::QueryStrategy*> strategies = {&rs, &us, &emc};
+
+  std::vector<al::ActiveLearningResult> results;
+  for (auto* strategy : strategies) {
+    results.push_back(al::run_active_learning(data.split.train,
+                                              data.split.test, gp, *strategy,
+                                              opt));
+  }
+
+  TextTable table({"labeled", "RS MAPE", "US MAPE", "EMC MAPE",
+                   "RS STQ-MAPE", "US STQ-MAPE", "EMC STQ-MAPE"},
+                  "AL strategy ablation, GP model, Aurora");
+  for (std::size_t r = 0; r < results.front().rounds.size(); ++r) {
+    std::vector<std::string> row = {
+        std::to_string(results[0].rounds[r].labeled_count)};
+    for (const auto& res : results) {
+      row.push_back(TextTable::cell(res.rounds[r].train_scores.mape, 3));
+    }
+    for (const auto& res : results) {
+      row.push_back(TextTable::cell(res.rounds[r].goal_losses->mape, 3));
+    }
+    table.add_row(row);
+  }
+  table.print();
+  std::printf(
+      "\nEMC = expected model change (std x leverage); the paper names this "
+      "family in Section 3.4 but only evaluates US/QC.\n"
+      "Note the negative result: with a well-specified (log-target) GP, "
+      "plain random sampling is competitive — uncertainty-driven "
+      "strategies over-sample extreme configurations, which inflates "
+      "raw-scale MAPE. Their advantage (Figures 3-6) appears when the "
+      "model is uncertain in the regions that matter.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// Simulator ablation: shows the response-surface structure that makes the
+/// regression problem realistic — scaling in nodes (speedup then
+/// saturation), the tile-size sweet spot, node-hour monotonicity, sextic
+/// growth in problem size, and the cost breakdown by component.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ccpred/common/table.hpp"
+#include "ccpred/sim/contraction.hpp"
+
+int main() {
+  using namespace ccpred;
+  for (const std::string machine : {"aurora", "frontier"}) {
+    const auto simulator = bench::make_simulator(machine);
+    std::printf("== Simulator ablation (%s) ==\n\n", machine.c_str());
+
+    // 1. Strong scaling in nodes (mid-size problem, fixed tile).
+    TextTable scaling({"nodes", "time_s", "node_hours", "speedup"},
+                      "Strong scaling, O=134 V=951, tile=90");
+    const sim::RunConfig base{.o = 134, .v = 951, .nodes = 10, .tile = 90};
+    const double t_base = simulator.iteration_time(base);
+    for (int n : {10, 25, 50, 110, 200, 400, 800}) {
+      sim::RunConfig cfg = base;
+      cfg.nodes = n;
+      const double t = simulator.iteration_time(cfg);
+      scaling.add_row({TextTable::cell(static_cast<long long>(n)),
+                       TextTable::cell(t, 2),
+                       TextTable::cell(sim::CcsdSimulator::node_hours(cfg, t), 2),
+                       TextTable::cell(t_base * base.nodes / (t * n), 3)});
+    }
+    scaling.print();
+    std::printf("\n");
+
+    // 2. Tile-size sweet spot at two node counts.
+    TextTable tiles({"tile", "t @ 50 nodes", "t @ 400 nodes"},
+                    "Tile-size response, O=134 V=951");
+    for (int t : simulator.machine().tile_menu()) {
+      tiles.add_row(
+          {TextTable::cell(static_cast<long long>(t)),
+           TextTable::cell(simulator.iteration_time({134, 951, 50, t}), 2),
+           TextTable::cell(simulator.iteration_time({134, 951, 400, t}), 2)});
+    }
+    tiles.print();
+    std::printf("\n");
+
+    // 3. Sextic growth in problem size at fixed configuration.
+    TextTable growth({"O", "V", "flops (x1e15)", "time_s @ 200 nodes"},
+                     "Problem-size scaling, tile=90");
+    for (const auto& [o, v] : std::vector<std::pair<int, int>>{
+             {44, 260}, {85, 698}, {134, 951}, {180, 1070}, {280, 1040}}) {
+      growth.add_row(
+          {TextTable::cell(static_cast<long long>(o)),
+           TextTable::cell(static_cast<long long>(v)),
+           TextTable::cell(sim::ccsd_iteration_flops(o, v) / 1e15, 2),
+           TextTable::cell(simulator.iteration_time({o, v, 200, 90}), 2)});
+    }
+    growth.print();
+    std::printf("\n");
+
+    // 4. Cost breakdown at a representative configuration.
+    const auto b = simulator.breakdown({134, 951, 110, 90});
+    std::printf("breakdown O=134 V=951 nodes=110 tile=90: contractions "
+                "%.2fs, collectives %.3fs, sync %.2fs, fixed %.2fs, "
+                "%lld tasks\n\n",
+                b.contraction_s, b.collective_s, b.sync_s, b.fixed_s,
+                static_cast<long long>(b.tasks));
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file al_figures.hpp
+/// Shared driver for Figures 3-6: active-learning curves on one machine,
+/// with the paper's three query strategies (RS baseline, US with GP, QC
+/// with a GB committee) and optionally the STQ/BQ goals.
+
+#include <string>
+
+namespace ccpred::bench {
+
+/// Figures 3/4: plain learning curves (R^2, MAPE, MAE vs labeled count).
+int run_al_curves(const std::string& machine);
+
+/// Figures 5/6: goal-aware curves (STQ and BQ true losses vs labeled
+/// count) plus the paper's key-observation thresholds.
+int run_al_goal_curves(const std::string& machine);
+
+}  // namespace ccpred::bench

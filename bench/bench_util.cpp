@@ -1,0 +1,38 @@
+#include "bench_util.hpp"
+
+#include <cstdlib>
+
+namespace ccpred::bench {
+
+bool fast_mode() {
+  const char* v = std::getenv("CCPRED_BENCH_FAST");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+sim::CcsdSimulator make_simulator(const std::string& machine) {
+  return sim::CcsdSimulator(machine == "aurora"
+                                ? sim::MachineModel::aurora()
+                                : sim::MachineModel::frontier());
+}
+
+PaperData load_paper_data(const std::string& machine, std::uint64_t seed) {
+  PaperData out{.simulator = make_simulator(machine), .full = {}, .split = {}};
+  std::size_t total = data::paper_total_rows(machine);
+  std::size_t test = data::paper_test_rows(machine);
+  if (fast_mode()) {
+    total /= 4;
+    test /= 4;
+  }
+  data::GeneratorOptions opt;
+  opt.seed = seed;
+  opt.target_total = total;
+  out.full = data::generate_dataset(
+      out.simulator, data::problems_for(out.simulator.machine().name), opt);
+  Rng rng(seed ^ 0x51ULL);
+  auto split = data::stratified_split(out.full, test, rng);
+  data::ensure_config_coverage(out.full, split);
+  out.split = data::apply_split(out.full, split);
+  return out;
+}
+
+}  // namespace ccpred::bench

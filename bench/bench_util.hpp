@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared setup for the reproduction benches: each binary regenerates the
+/// paper's dataset for one machine, applies the paper's train/test split
+/// (Table 1 sizes) and reports through the common table formatter.
+///
+/// Environment: set CCPRED_BENCH_FAST=1 to shrink the workloads (smaller
+/// datasets, fewer search iterations) for quick smoke runs.
+
+#include <string>
+
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/split.hpp"
+#include "ccpred/sim/ccsd_simulator.hpp"
+
+namespace ccpred::bench {
+
+/// True when CCPRED_BENCH_FAST is set to a non-empty, non-"0" value.
+bool fast_mode();
+
+/// Simulator for "aurora" or "frontier".
+sim::CcsdSimulator make_simulator(const std::string& machine);
+
+/// The paper's campaign for one machine, already split 75/25 with
+/// configuration coverage (Table 1 sizes: aurora 1746/583, frontier
+/// 1840/614). In fast mode the dataset is ~4x smaller.
+struct PaperData {
+  sim::CcsdSimulator simulator;
+  data::Dataset full;
+  data::TrainTest split;
+};
+
+PaperData load_paper_data(const std::string& machine,
+                          std::uint64_t seed = 2025);
+
+}  // namespace ccpred::bench

@@ -1,0 +1,7 @@
+/// Reproduces paper Figure 1: performance metrics (R^2, MAE, MAPE) and
+/// hyper-parameter-optimization run times for all nine models and all
+/// three search strategies on the Aurora dataset.
+
+#include "model_comparison.hpp"
+
+int main() { return ccpred::bench::run_model_comparison("aurora"); }

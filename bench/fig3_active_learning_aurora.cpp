@@ -1,0 +1,6 @@
+/// Reproduces paper Figure 3: Aurora active-learning curves (R^2, MAPE,
+/// MAE vs number of labeled experiments) for RS, US and QC.
+
+#include "al_figures.hpp"
+
+int main() { return ccpred::bench::run_al_curves("aurora"); }

@@ -1,0 +1,5 @@
+/// Reproduces paper Figure 4: Frontier active-learning curves.
+
+#include "al_figures.hpp"
+
+int main() { return ccpred::bench::run_al_curves("frontier"); }

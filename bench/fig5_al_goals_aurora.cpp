@@ -1,0 +1,7 @@
+/// Reproduces paper Figure 5: Aurora active learning with the STQ and BQ
+/// goals — true-loss learning curves per strategy, with the paper's
+/// sample-efficiency thresholds.
+
+#include "al_figures.hpp"
+
+int main() { return ccpred::bench::run_al_goal_curves("aurora"); }

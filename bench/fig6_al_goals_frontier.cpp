@@ -1,0 +1,6 @@
+/// Reproduces paper Figure 6: Frontier active learning with the STQ and BQ
+/// goals.
+
+#include "al_figures.hpp"
+
+int main() { return ccpred::bench::run_al_goal_curves("frontier"); }

@@ -1,0 +1,105 @@
+#include "model_comparison.hpp"
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ccpred/common/table.hpp"
+#include "ccpred/core/bayes_search.hpp"
+#include "ccpred/core/grid_search.hpp"
+#include "ccpred/core/model_zoo.hpp"
+#include "ccpred/core/random_search.hpp"
+
+namespace ccpred::bench {
+namespace {
+
+struct Cell {
+  ml::Scores test;       ///< held-out test metrics of the refit best model
+  double search_s = 0.0; ///< optimization wall time
+};
+
+Cell run_one(const ml::ZooEntry& entry, const std::string& strategy,
+             const data::TrainTest& split) {
+  const linalg::Matrix x_train = split.train.features();
+  const auto& y_train = split.train.targets();
+
+  ml::SearchOptions opt;
+  opt.cv_folds = 3;
+  opt.scoring = ml::Scoring::kR2;
+  const int n_iter = fast_mode() ? 4 : 6;
+
+  ml::SearchResult result;
+  const auto prototype = entry.make();
+  if (strategy == "grid") {
+    result = ml::grid_search(*prototype, entry.grid, x_train, y_train, opt);
+  } else if (strategy == "random") {
+    result = ml::random_search(*prototype, ml::space_from_grid(entry.grid),
+                               n_iter, x_train, y_train, opt);
+  } else {
+    ml::BayesSearchOptions bopt;
+    bopt.base = opt;
+    bopt.n_initial = 3;
+    result = ml::bayes_search(*prototype, ml::space_from_grid(entry.grid),
+                              n_iter, x_train, y_train, bopt);
+  }
+
+  Cell cell;
+  cell.search_s = result.elapsed_s;
+  cell.test = ml::score_all(split.test.targets(),
+                            result.best_model->predict(split.test.features()));
+  return cell;
+}
+
+}  // namespace
+
+int run_model_comparison(const std::string& machine) {
+  const auto data = load_paper_data(machine);
+  const std::vector<std::string> strategies = {"grid", "random", "bayes"};
+
+  TextTable r2({"Model", "Grid", "Random", "Bayes"},
+               "R^2 score (" + machine + ")");
+  TextTable mae({"Model", "Grid", "Random", "Bayes"},
+                "MAE (" + machine + ")");
+  TextTable mape({"Model", "Grid", "Random", "Bayes"},
+                 "MAPE (" + machine + ")");
+  TextTable opt_time({"Model", "Grid", "Random", "Bayes"},
+                     "Optimization run time, s (" + machine + ")");
+
+  std::string best_model;
+  double best_r2 = -1e300;
+  for (const auto& entry : ml::model_zoo()) {
+    std::vector<std::string> row_r2 = {entry.key};
+    std::vector<std::string> row_mae = {entry.key};
+    std::vector<std::string> row_mape = {entry.key};
+    std::vector<std::string> row_time = {entry.key};
+    for (const auto& strategy : strategies) {
+      const Cell cell = run_one(entry, strategy, data.split);
+      row_r2.push_back(TextTable::cell(cell.test.r2, 4));
+      row_mae.push_back(TextTable::cell(cell.test.mae, 2));
+      row_mape.push_back(TextTable::cell(cell.test.mape, 4));
+      row_time.push_back(TextTable::cell(cell.search_s, 2));
+      if (cell.test.r2 > best_r2) {
+        best_r2 = cell.test.r2;
+        best_model = entry.key;
+      }
+    }
+    r2.add_row(row_r2);
+    mae.add_row(row_mae);
+    mape.add_row(row_mape);
+    opt_time.add_row(row_time);
+  }
+
+  r2.print();
+  std::printf("\n");
+  mae.print();
+  std::printf("\n");
+  mape.print();
+  std::printf("\n");
+  opt_time.print();
+  std::printf(
+      "\nbest overall model by test R^2: %s (paper: GB best overall on both "
+      "machines)\n",
+      best_model.c_str());
+  return 0;
+}
+
+}  // namespace ccpred::bench

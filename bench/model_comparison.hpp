@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file model_comparison.hpp
+/// Shared driver for Figures 1-2: hyper-parameter-optimize all nine models
+/// with the three search strategies (grid, randomized, Bayesian) and report
+/// R^2 / MAE / MAPE on the held-out test set plus the optimization wall
+/// time — the four panels of the paper's figures.
+
+#include <string>
+
+namespace ccpred::bench {
+
+/// Runs the full comparison for one machine and prints the panel tables.
+/// Returns 0 on success.
+int run_model_comparison(const std::string& machine);
+
+}  // namespace ccpred::bench

@@ -1,0 +1,43 @@
+#include "stq_bq_tables.hpp"
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ccpred/core/model_zoo.hpp"
+#include "ccpred/guidance/report.hpp"
+
+namespace ccpred::bench {
+
+int run_optimal_table(const std::string& machine, guide::Objective objective,
+                      const std::string& table_name) {
+  const auto data = load_paper_data(machine);
+  auto gb = ml::make_paper_gb();
+  gb->fit(data.split.train.features(), data.split.train.targets());
+  const auto y_pred = gb->predict(data.split.test.features());
+
+  // Headline test-set regression scores (the paper quotes these alongside
+  // each table).
+  const auto scores = ml::score_all(data.split.test.targets(), y_pred);
+
+  const auto outcomes = guide::evaluate_optima(data.split.test, y_pred,
+                                               objective);
+  const auto table = objective == guide::Objective::kShortestTime
+                         ? guide::format_stq_table(outcomes, table_name)
+                         : guide::format_bq_table(outcomes, table_name);
+  table.print();
+  std::printf(
+      "\nmismatched configurations: %zu of %zu problems\n"
+      "test-set scores: R^2=%.3f MAE=%.2f MAPE=%.3f\n",
+      guide::mismatch_count(outcomes), outcomes.size(), scores.r2, scores.mae,
+      scores.mape);
+  if (objective == guide::Objective::kShortestTime) {
+    std::printf("paper: aurora R^2=0.999 MAE=2.36 MAPE=0.023 (3 mismatches); "
+                "frontier R^2=0.969 MAE=4.65 MAPE=0.073 (5 mismatches)\n");
+  } else {
+    std::printf("paper: aurora R^2=0.979 MAE=0.41 MAPE=0.12 (5 mismatches); "
+                "frontier R^2=0.892 MAE=0.59 MAPE=0.11 (9 mismatches)\n");
+  }
+  return 0;
+}
+
+}  // namespace ccpred::bench

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file stq_bq_tables.hpp
+/// Shared driver for Tables 3-6: train the paper's GB configuration on one
+/// machine's train split, predict the test split, and print the per-problem
+/// optimal-configuration table (true vs predicted, paper parenthesis
+/// notation) plus the headline scores.
+
+#include <string>
+
+#include "ccpred/guidance/optimal.hpp"
+
+namespace ccpred::bench {
+
+/// Runs one table. `objective` selects STQ (Tables 3/4) or BQ (Tables 5/6).
+int run_optimal_table(const std::string& machine,
+                      guide::Objective objective,
+                      const std::string& table_name);
+
+}  // namespace ccpred::bench

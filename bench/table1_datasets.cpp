@@ -1,0 +1,23 @@
+/// Reproduces paper Table 1: dataset sizes and train/test breakdowns for
+/// both machines (Aurora 2329 = 1746 + 583, Frontier 2454 = 1840 + 614).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ccpred/common/table.hpp"
+
+int main() {
+  using namespace ccpred;
+  TextTable table({"System", "Total", "Train", "Test", "Problems"},
+                  "Table 1: Datasets and size breakdowns");
+  for (const std::string machine : {"aurora", "frontier"}) {
+    const auto data = bench::load_paper_data(machine);
+    table.add_row({machine, std::to_string(data.full.size()),
+                   std::to_string(data.split.train.size()),
+                   std::to_string(data.split.test.size()),
+                   std::to_string(data.full.problems().size())});
+  }
+  table.print();
+  std::printf("\npaper: aurora 2329/1746/583, frontier 2454/1840/614\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// Reproduces paper Table 2: training and prediction times of the
+/// production Gradient Boosting configuration (750 estimators, depth 10)
+/// on both machines' datasets, via google-benchmark.
+///
+/// Paper: Aurora train 1.18 s +- 20.5 ms, predict 20 ms +- 802 us;
+///        Frontier train 1.19 s +- 1.95 ms, predict 22.3 ms +- 848 us.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "ccpred/core/model_zoo.hpp"
+
+namespace {
+
+using ccpred::bench::PaperData;
+
+const PaperData& shared_data(const std::string& machine) {
+  static const PaperData aurora = ccpred::bench::load_paper_data("aurora");
+  static const PaperData frontier = ccpred::bench::load_paper_data("frontier");
+  return machine == "aurora" ? aurora : frontier;
+}
+
+void BM_GBTrain(benchmark::State& state, const std::string& machine) {
+  const auto& data = shared_data(machine);
+  const auto x = data.split.train.features();
+  const auto& y = data.split.train.targets();
+  for (auto _ : state) {
+    auto gb = ccpred::ml::make_paper_gb();
+    gb->fit(x, y);
+    benchmark::DoNotOptimize(gb);
+  }
+}
+
+void BM_GBPredict(benchmark::State& state, const std::string& machine) {
+  const auto& data = shared_data(machine);
+  auto gb = ccpred::ml::make_paper_gb();
+  gb->fit(data.split.train.features(), data.split.train.targets());
+  const auto x_test = data.split.test.features();
+  for (auto _ : state) {
+    auto pred = gb->predict(x_test);
+    benchmark::DoNotOptimize(pred);
+  }
+}
+
+BENCHMARK_CAPTURE(BM_GBTrain, aurora, std::string("aurora"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GBTrain, frontier, std::string("frontier"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GBPredict, aurora, std::string("aurora"))
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_GBPredict, frontier, std::string("frontier"))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

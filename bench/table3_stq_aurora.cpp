@@ -1,0 +1,11 @@
+/// Reproduces paper Table 3: Aurora shortest-time (STQ) results —
+/// per-problem optimal (nodes, tile, runtime), with the model's prediction
+/// in parentheses where it disagrees.
+
+#include "stq_bq_tables.hpp"
+
+int main() {
+  return ccpred::bench::run_optimal_table(
+      "aurora", ccpred::guide::Objective::kShortestTime,
+      "Table 3: Aurora shortest time results");
+}

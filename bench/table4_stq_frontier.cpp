@@ -1,0 +1,9 @@
+/// Reproduces paper Table 4: Frontier shortest-time (STQ) results.
+
+#include "stq_bq_tables.hpp"
+
+int main() {
+  return ccpred::bench::run_optimal_table(
+      "frontier", ccpred::guide::Objective::kShortestTime,
+      "Table 4: Frontier shortest time results");
+}

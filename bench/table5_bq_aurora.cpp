@@ -1,0 +1,9 @@
+/// Reproduces paper Table 5: Aurora shortest node-hours (BQ) results.
+
+#include "stq_bq_tables.hpp"
+
+int main() {
+  return ccpred::bench::run_optimal_table(
+      "aurora", ccpred::guide::Objective::kNodeHours,
+      "Table 5: Aurora shortest node hours results");
+}

@@ -1,0 +1,9 @@
+/// Reproduces paper Table 6: Frontier shortest node-hours (BQ) results.
+
+#include "stq_bq_tables.hpp"
+
+int main() {
+  return ccpred::bench::run_optimal_table(
+      "frontier", ccpred::guide::Objective::kNodeHours,
+      "Table 6: Frontier shortest node hours results");
+}

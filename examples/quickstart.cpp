@@ -1,0 +1,62 @@
+/// Quickstart: the 60-second tour of ccpred.
+///
+/// 1. Build a simulated machine (the stand-in for a real supercomputer).
+/// 2. Run a small trace-collection campaign to get training data.
+/// 3. Train the paper's Gradient Boosting runtime model.
+/// 4. Predict the wall time of an unseen configuration and compare against
+///    a fresh measurement.
+
+#include <cstdio>
+
+#include "ccpred/core/metrics.hpp"
+#include "ccpred/core/model_zoo.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/split.hpp"
+
+int main() {
+  using namespace ccpred;
+
+  // A machine model parameterized like ALCF Aurora (6 GPUs/node).
+  sim::CcsdSimulator simulator(sim::MachineModel::aurora());
+
+  // Collect a small campaign: ~1400 measured CCSD iterations across the
+  // paper's problem sizes.
+  data::GeneratorOptions options;
+  options.seed = 7;
+  options.target_total = 1400;
+  const auto dataset = data::generate_dataset(
+      simulator, data::aurora_problems(), options);
+  std::printf("campaign: %zu measured runs over %zu problem sizes\n",
+              dataset.size(), dataset.problems().size());
+
+  // 75/25 split, stratified by problem size.
+  Rng rng(1);
+  auto split = data::stratified_split_fraction(dataset, 0.25, rng);
+  data::ensure_config_coverage(dataset, split);
+  const auto tt = data::apply_split(dataset, split);
+
+  // The paper's production model: GB(750 trees, depth 10).
+  auto model = ml::make_paper_gb();
+  model->fit(tt.train.features(), tt.train.targets());
+
+  const auto scores =
+      ml::score_all(tt.test.targets(), model->predict(tt.test.features()));
+  std::printf("held-out accuracy: R^2=%.3f MAE=%.2fs MAPE=%.3f\n", scores.r2,
+              scores.mae, scores.mape);
+
+  // Ask about an unseen configuration.
+  const sim::RunConfig config{.o = 120, .v = 900, .nodes = 150, .tile = 90};
+  const double predicted =
+      model->predict_one({static_cast<double>(config.o),
+                          static_cast<double>(config.v),
+                          static_cast<double>(config.nodes),
+                          static_cast<double>(config.tile)});
+  Rng measure(99);
+  const double measured = simulator.measured_time(config, measure);
+  std::printf(
+      "O=%d V=%d nodes=%d tile=%d: predicted %.1fs, measured %.1fs "
+      "(%.1f%% off)\n",
+      config.o, config.v, config.nodes, config.tile, predicted, measured,
+      100.0 * std::abs(predicted - measured) / measured);
+  return 0;
+}

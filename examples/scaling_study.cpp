@@ -1,0 +1,78 @@
+/// Scaling study: the workload the paper's introduction motivates — a
+/// computational chemist sizing a new molecule. Uses the simulator
+/// directly (no ML) to chart strong scaling, parallel efficiency and cost,
+/// then shows where the trained model's recommendation lands on the chart.
+///
+/// Usage: scaling_study [O] [V]   (default 180 1070, on Aurora)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ccpred/common/table.hpp"
+#include "ccpred/core/model_zoo.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/guidance/advisor.hpp"
+#include "ccpred/sim/contraction.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccpred;
+  const int o = argc > 1 ? std::atoi(argv[1]) : 180;
+  const int v = argc > 2 ? std::atoi(argv[2]) : 1070;
+  if (o <= 0 || v <= 0) {
+    std::fprintf(stderr, "usage: %s [O] [V]\n", argv[0]);
+    return 1;
+  }
+
+  sim::CcsdSimulator simulator(sim::MachineModel::aurora());
+  std::printf("molecule: O=%d, V=%d -> %.1f Tflop per CCSD iteration, "
+              "needs >= %d nodes for memory\n\n",
+              o, v, sim::ccsd_iteration_flops(o, v) / 1e12,
+              simulator.min_nodes(o, v));
+
+  // Strong-scaling chart at the per-problem best tile.
+  TextTable table({"nodes", "best tile", "time (s)", "efficiency",
+                   "node-hours"},
+                  "Strong scaling (simulated ground truth)");
+  double t_ref = 0.0;
+  int n_ref = 0;
+  for (int nodes : simulator.machine().node_menu()) {
+    if (nodes < simulator.min_nodes(o, v)) continue;
+    double best_t = 0.0;
+    int best_tile = 0;
+    for (int tile : simulator.machine().tile_menu()) {
+      const sim::RunConfig cfg{.o = o, .v = v, .nodes = nodes, .tile = tile};
+      const double t = simulator.iteration_time(cfg);
+      if (best_tile == 0 || t < best_t) {
+        best_t = t;
+        best_tile = tile;
+      }
+    }
+    if (n_ref == 0) {
+      t_ref = best_t;
+      n_ref = nodes;
+    }
+    const sim::RunConfig cfg{.o = o, .v = v, .nodes = nodes,
+                             .tile = best_tile};
+    table.add_row({std::to_string(nodes), std::to_string(best_tile),
+                   TextTable::cell(best_t, 1),
+                   TextTable::cell(t_ref * n_ref / (best_t * nodes), 3),
+                   TextTable::cell(sim::CcsdSimulator::node_hours(cfg, best_t),
+                                   2)});
+  }
+  table.print();
+
+  // Where does the trained model recommend running?
+  std::printf("\ntraining the runtime model to get recommendations...\n");
+  const auto dataset = data::paper_dataset(simulator);
+  auto model = ml::make_paper_gb();
+  model->fit(dataset.features(), dataset.targets());
+  const guide::Advisor advisor(*model, simulator);
+  const auto stq = advisor.shortest_time(o, v);
+  const auto bq = advisor.cheapest_run(o, v);
+  std::printf(
+      "model says: fastest at %d nodes / tile %d (%.1fs); cheapest at %d "
+      "nodes / tile %d (%.2f node-hours)\n",
+      stq.config.nodes, stq.config.tile, stq.predicted_time_s, bq.config.nodes,
+      bq.config.tile, bq.predicted_node_hours);
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// STQ advisor: answer the shortest-time question for a molecule before
+/// committing to a supercomputer allocation.
+///
+/// Usage: stq_advisor [machine] [O] [V]
+///   machine: aurora | frontier     (default aurora)
+///   O, V: occupied / virtual orbitals (default 134 951)
+///
+/// Trains the paper's GB model on the machine's campaign, then sweeps the
+/// (nodes, tile) space and prints the recommendation plus the sweep's
+/// Pareto view (best time per node count).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "ccpred/common/table.hpp"
+#include "ccpred/core/model_zoo.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/guidance/advisor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ccpred;
+  const std::string machine = argc > 1 ? argv[1] : "aurora";
+  const int o = argc > 2 ? std::atoi(argv[2]) : 134;
+  const int v = argc > 3 ? std::atoi(argv[3]) : 951;
+  if (o <= 0 || v <= 0 || (machine != "aurora" && machine != "frontier")) {
+    std::fprintf(stderr, "usage: %s [aurora|frontier] [O] [V]\n", argv[0]);
+    return 1;
+  }
+
+  sim::CcsdSimulator simulator(machine == "aurora"
+                                   ? sim::MachineModel::aurora()
+                                   : sim::MachineModel::frontier());
+  std::printf("training runtime model on the %s campaign...\n",
+              machine.c_str());
+  const auto dataset = data::paper_dataset(simulator);
+  auto model = ml::make_paper_gb();
+  model->fit(dataset.features(), dataset.targets());
+
+  const guide::Advisor advisor(*model, simulator);
+  const auto stq = advisor.shortest_time(o, v);
+  const auto bq = advisor.cheapest_run(o, v);
+
+  std::printf(
+      "\nproblem O=%d V=%d on %s\n"
+      "  shortest time : %d nodes, tile %d -> predicted %.1fs (%.2f "
+      "node-hours)\n"
+      "  cheapest run  : %d nodes, tile %d -> predicted %.1fs (%.2f "
+      "node-hours)\n\n",
+      o, v, machine.c_str(), stq.config.nodes, stq.config.tile,
+      stq.predicted_time_s, stq.predicted_node_hours, bq.config.nodes,
+      bq.config.tile, bq.predicted_time_s, bq.predicted_node_hours);
+
+  // Pareto view: best predicted time and its tile per node count.
+  std::map<int, guide::SweepPoint> best_per_nodes;
+  for (const auto& pt : stq.sweep) {
+    auto it = best_per_nodes.find(pt.config.nodes);
+    if (it == best_per_nodes.end() ||
+        pt.predicted_time_s < it->second.predicted_time_s) {
+      best_per_nodes[pt.config.nodes] = pt;
+    }
+  }
+  TextTable table({"nodes", "best tile", "pred time (s)", "node-hours"},
+                  "Sweep: best predicted time per node count");
+  for (const auto& [nodes, pt] : best_per_nodes) {
+    table.add_row({std::to_string(nodes), std::to_string(pt.config.tile),
+                   TextTable::cell(pt.predicted_time_s, 1),
+                   TextTable::cell(pt.predicted_node_hours, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "ccpred/active/expected_model_change.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::al {
+
+const std::string& ExpectedModelChange::name() const {
+  static const std::string n = "EMC";
+  return n;
+}
+
+std::vector<std::size_t> ExpectedModelChange::select(
+    const Pool& pool, const ml::Regressor& fitted_model,
+    std::size_t query_size, Rng& /*rng*/) {
+  const auto* uncertain =
+      dynamic_cast<const ml::UncertaintyRegressor*>(&fitted_model);
+  CCPRED_CHECK_MSG(uncertain != nullptr,
+                   "expected model change needs a model with predictive std "
+                   "(GP or Bayesian ridge)");
+
+  const linalg::Matrix x_unlabeled = pool.unlabeled_features();
+  std::vector<double> mean;
+  std::vector<double> std_dev;
+  uncertain->predict_with_std(x_unlabeled, mean, std_dev);
+
+  // Leverage term: standardized feature norm relative to the labeled set's
+  // statistics (the model's own training distribution).
+  data::StandardScaler scaler;
+  scaler.fit(pool.labeled_features());
+  const linalg::Matrix z = scaler.transform(x_unlabeled);
+
+  std::vector<double> score(z.rows());
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    double norm_sq = 1.0;  // bias component of phi(x)
+    const double* zi = z.row_ptr(i);
+    for (std::size_t c = 0; c < z.cols(); ++c) norm_sq += zi[c] * zi[c];
+    score[i] = std_dev[i] * std::sqrt(norm_sq);
+  }
+
+  std::vector<std::size_t> order(score.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t k = std::min(query_size, order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return score[a] > score[b];
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace ccpred::al

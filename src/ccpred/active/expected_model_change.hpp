@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file expected_model_change.hpp
+/// Expected model change (EMC) — the third query-strategy family the
+/// paper's §3.4 describes: query the experiments whose labels would move
+/// the model the most, quantified by the expected gradient norm.
+///
+/// For squared loss the gradient of a candidate (x, y) with respect to a
+/// linear(ized) parameterization is (y - f(x)) * phi(x); taking the
+/// expectation of |y - f(x)| under the model's predictive distribution
+/// gives  score(x) ∝ std(x) * ||phi(x)||  with phi(x) the standardized
+/// feature vector plus bias. Like uncertainty sampling this needs a model
+/// with predictive uncertainty, but it additionally prefers points far
+/// from the feature centroid — the configurations with the most leverage.
+
+#include "ccpred/active/strategy.hpp"
+#include "ccpred/data/scaler.hpp"
+
+namespace ccpred::al {
+
+/// argsort(-std * ||phi||)[:query_size] over the unlabeled pool.
+class ExpectedModelChange : public QueryStrategy {
+ public:
+  const std::string& name() const override;
+
+  /// `fitted_model` must be an UncertaintyRegressor; throws otherwise.
+  std::vector<std::size_t> select(const Pool& pool,
+                                  const ml::Regressor& fitted_model,
+                                  std::size_t query_size, Rng& rng) override;
+};
+
+}  // namespace ccpred::al

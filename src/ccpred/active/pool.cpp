@@ -1,0 +1,49 @@
+#include "ccpred/active/pool.hpp"
+
+#include <algorithm>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::al {
+
+Pool::Pool(const data::Dataset& dataset, std::size_t n_initial, Rng& rng)
+    : dataset_(&dataset) {
+  CCPRED_CHECK_MSG(n_initial >= 1, "need at least one initial label");
+  CCPRED_CHECK_MSG(n_initial <= dataset.size(),
+                   "n_initial exceeds dataset size");
+  const auto picked = rng.sample_without_replacement(dataset.size(), n_initial);
+  std::vector<bool> is_labeled(dataset.size(), false);
+  for (auto i : picked) is_labeled[i] = true;
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    (is_labeled[i] ? labeled_ : unlabeled_).push_back(i);
+  }
+}
+
+void Pool::label_positions(std::vector<std::size_t> positions) {
+  std::sort(positions.begin(), positions.end());
+  CCPRED_CHECK_MSG(
+      std::adjacent_find(positions.begin(), positions.end()) ==
+          positions.end(),
+      "duplicate query positions");
+  CCPRED_CHECK_MSG(positions.empty() || positions.back() < unlabeled_.size(),
+                   "query position out of range");
+  // Remove from the back so earlier positions stay valid.
+  for (auto it = positions.rbegin(); it != positions.rend(); ++it) {
+    labeled_.push_back(unlabeled_[*it]);
+    unlabeled_.erase(unlabeled_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+}
+
+linalg::Matrix Pool::labeled_features() const {
+  return dataset_->select(labeled_).features();
+}
+
+std::vector<double> Pool::labeled_targets() const {
+  return dataset_->select(labeled_).targets();
+}
+
+linalg::Matrix Pool::unlabeled_features() const {
+  return dataset_->select(unlabeled_).features();
+}
+
+}  // namespace ccpred::al

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file pool.hpp
+/// Labeled/unlabeled pool bookkeeping for active learning: the train set
+/// plays the role of the queryable universe — "labeling" a point stands
+/// for running that CCSD experiment on the supercomputer and reading off
+/// its wall time.
+
+#include <cstddef>
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/data/dataset.hpp"
+
+namespace ccpred::al {
+
+/// Partition of a dataset's rows into labeled and unlabeled sets.
+class Pool {
+ public:
+  /// Starts with `n_initial` uniformly random labeled rows.
+  Pool(const data::Dataset& dataset, std::size_t n_initial, Rng& rng);
+
+  const data::Dataset& dataset() const { return *dataset_; }
+
+  /// Row indices (into dataset()) currently labeled / unlabeled.
+  const std::vector<std::size_t>& labeled() const { return labeled_; }
+  const std::vector<std::size_t>& unlabeled() const { return unlabeled_; }
+
+  /// Moves the unlabeled rows at the given *positions within unlabeled()*
+  /// into the labeled set. Positions must be unique and in range.
+  void label_positions(std::vector<std::size_t> positions);
+
+  /// Materialized labeled training data.
+  linalg::Matrix labeled_features() const;
+  std::vector<double> labeled_targets() const;
+
+  /// Materialized unlabeled features (for query scoring).
+  linalg::Matrix unlabeled_features() const;
+
+ private:
+  const data::Dataset* dataset_;
+  std::vector<std::size_t> labeled_;
+  std::vector<std::size_t> unlabeled_;
+};
+
+}  // namespace ccpred::al

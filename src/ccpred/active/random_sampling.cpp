@@ -1,0 +1,19 @@
+#include "ccpred/active/random_sampling.hpp"
+
+#include <algorithm>
+
+namespace ccpred::al {
+
+const std::string& RandomSampling::name() const {
+  static const std::string n = "RS";
+  return n;
+}
+
+std::vector<std::size_t> RandomSampling::select(
+    const Pool& pool, const ml::Regressor& /*fitted_model*/,
+    std::size_t query_size, Rng& rng) {
+  const std::size_t k = std::min(query_size, pool.unlabeled().size());
+  return rng.sample_without_replacement(pool.unlabeled().size(), k);
+}
+
+}  // namespace ccpred::al

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file random_sampling.hpp
+/// Random sampling (RS) — the paper's active-learning baseline: queries
+/// uniformly random unlabeled experiments.
+
+#include "ccpred/active/strategy.hpp"
+
+namespace ccpred::al {
+
+/// Uniform random query selection.
+class RandomSampling : public QueryStrategy {
+ public:
+  const std::string& name() const override;
+  std::vector<std::size_t> select(const Pool& pool,
+                                  const ml::Regressor& fitted_model,
+                                  std::size_t query_size, Rng& rng) override;
+};
+
+}  // namespace ccpred::al

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file strategy.hpp
+/// Query-strategy interface for active learning (§3.4): given the current
+/// pool and the model fitted on the labeled rows, pick which unlabeled
+/// experiments to run next.
+
+#include <string>
+#include <vector>
+
+#include "ccpred/active/pool.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::al {
+
+/// Abstract query strategy.
+class QueryStrategy {
+ public:
+  virtual ~QueryStrategy() = default;
+
+  /// Strategy identifier ("RS", "US", "QC").
+  virtual const std::string& name() const = 0;
+
+  /// Selects up to `query_size` positions within pool.unlabeled() to label
+  /// next. `fitted_model` is the loop's model, already trained on the
+  /// current labeled set. Returned positions are unique; fewer than
+  /// query_size may be returned when the pool is nearly empty.
+  virtual std::vector<std::size_t> select(const Pool& pool,
+                                          const ml::Regressor& fitted_model,
+                                          std::size_t query_size,
+                                          Rng& rng) = 0;
+};
+
+}  // namespace ccpred::al

@@ -1,0 +1,39 @@
+#include "ccpred/active/uncertainty_sampling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::al {
+
+const std::string& UncertaintySampling::name() const {
+  static const std::string n = "US";
+  return n;
+}
+
+std::vector<std::size_t> UncertaintySampling::select(
+    const Pool& pool, const ml::Regressor& fitted_model,
+    std::size_t query_size, Rng& /*rng*/) {
+  const auto* uncertain =
+      dynamic_cast<const ml::UncertaintyRegressor*>(&fitted_model);
+  CCPRED_CHECK_MSG(uncertain != nullptr,
+                   "uncertainty sampling needs a model with predictive std "
+                   "(GP or Bayesian ridge)");
+
+  std::vector<double> mean;
+  std::vector<double> std;
+  uncertain->predict_with_std(pool.unlabeled_features(), mean, std);
+
+  std::vector<std::size_t> order(std.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::size_t k = std::min(query_size, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return std[a] > std[b];
+                    });
+  order.resize(k);
+  return order;
+}
+
+}  // namespace ccpred::al

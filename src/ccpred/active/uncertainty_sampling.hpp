@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file uncertainty_sampling.hpp
+/// Uncertainty sampling (US, Algorithm 1): query the unlabeled experiments
+/// with the largest posterior predictive standard deviation — requires a
+/// model that reports uncertainty (the paper pairs US with a Gaussian
+/// process).
+
+#include "ccpred/active/strategy.hpp"
+
+namespace ccpred::al {
+
+/// argsort(-std)[:query_size] over the unlabeled pool.
+class UncertaintySampling : public QueryStrategy {
+ public:
+  const std::string& name() const override;
+
+  /// `fitted_model` must be an UncertaintyRegressor (GP or Bayesian
+  /// ridge); throws ccpred::Error otherwise.
+  std::vector<std::size_t> select(const Pool& pool,
+                                  const ml::Regressor& fitted_model,
+                                  std::size_t query_size, Rng& rng) override;
+};
+
+}  // namespace ccpred::al

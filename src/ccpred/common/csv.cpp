@@ -1,0 +1,82 @@
+#include "ccpred/common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/strings.hpp"
+
+namespace ccpred {
+
+std::size_t CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw Error("CSV column not found: " + name);
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  bool have_header = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (trim(line).empty()) continue;
+    const auto fields = split(line, ',');
+    if (!have_header) {
+      for (const auto& f : fields) table.header.push_back(trim(f));
+      have_header = true;
+      continue;
+    }
+    CCPRED_CHECK_MSG(fields.size() == table.header.size(),
+                     "CSV line " << line_no << " has " << fields.size()
+                                 << " fields, expected "
+                                 << table.header.size());
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) row.push_back(parse_double(f));
+    table.rows.push_back(std::move(row));
+  }
+  CCPRED_CHECK_MSG(have_header, "CSV text has no header row");
+  return table;
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  CCPRED_CHECK_MSG(in.good(), "cannot open CSV file: " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_csv(buf.str());
+}
+
+std::string to_csv(const CsvTable& table, int precision) {
+  std::ostringstream out;
+  out.precision(precision);
+  for (std::size_t i = 0; i < table.header.size(); ++i) {
+    if (i) out << ',';
+    out << table.header[i];
+  }
+  out << '\n';
+  for (const auto& row : table.rows) {
+    CCPRED_CHECK_MSG(row.size() == table.header.size(),
+                     "CSV row width mismatch on write");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void write_csv(const CsvTable& table, const std::string& path, int precision) {
+  std::ofstream out(path);
+  CCPRED_CHECK_MSG(out.good(), "cannot open CSV file for write: " << path);
+  out << to_csv(table, precision);
+  CCPRED_CHECK_MSG(out.good(), "I/O error writing CSV file: " << path);
+}
+
+}  // namespace ccpred

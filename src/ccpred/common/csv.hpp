@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file csv.hpp
+/// Minimal CSV table I/O for persisting generated datasets and experiment
+/// results. Numeric-only payloads with a single header row — exactly the
+/// shape of the paper's trace files (O, V, nodes, tilesize, time).
+
+#include <string>
+#include <vector>
+
+namespace ccpred {
+
+/// An in-memory CSV table: one header row and numeric data rows.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+
+  /// Column index for `name`; throws if absent.
+  std::size_t column(const std::string& name) const;
+
+  std::size_t num_rows() const { return rows.size(); }
+  std::size_t num_cols() const { return header.size(); }
+};
+
+/// Parses CSV text. Every row must have exactly as many fields as the
+/// header; all data fields must parse as doubles.
+CsvTable parse_csv(const std::string& text);
+
+/// Reads and parses a CSV file; throws ccpred::Error if unreadable.
+CsvTable read_csv(const std::string& path);
+
+/// Serializes a table to CSV text (6 significant digits by default).
+std::string to_csv(const CsvTable& table, int precision = 10);
+
+/// Writes a table to `path`; throws ccpred::Error on I/O failure.
+void write_csv(const CsvTable& table, const std::string& path,
+               int precision = 10);
+
+}  // namespace ccpred

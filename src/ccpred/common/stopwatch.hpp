@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Minimal wall-clock stopwatch used for Table-2 style timing reports.
+
+#include <chrono>
+
+namespace ccpred {
+
+/// Starts on construction; elapsed_s()/elapsed_ms() read without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction/reset.
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction/reset.
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ccpred

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string utilities shared by CSV I/O and report formatting.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccpred {
+
+/// Splits `s` on `delim`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading and trailing whitespace.
+std::string trim(std::string_view s);
+
+/// Parses a double; throws ccpred::Error (with the offending text) on
+/// failure or trailing garbage.
+double parse_double(std::string_view s);
+
+/// Parses a non-negative integer; throws ccpred::Error on failure.
+long long parse_int(std::string_view s);
+
+/// Formats `v` with `prec` digits after the decimal point.
+std::string format_double(double v, int prec);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace ccpred

@@ -1,0 +1,61 @@
+#include "ccpred/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/strings.hpp"
+
+namespace ccpred {
+
+TextTable::TextTable(std::vector<std::string> header, std::string title)
+    : title_(std::move(title)), header_(std::move(header)) {
+  CCPRED_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  CCPRED_CHECK_MSG(row.size() == header_.size(),
+                   "row width " << row.size() << " != header width "
+                                << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::cell(double v, int prec) {
+  return format_double(v, prec);
+}
+
+std::string TextTable::cell(long long v) { return std::to_string(v); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c];
+      out << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(width[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace ccpred

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table rendering for the benchmark harness. Every bench binary
+/// prints its reproduction of a paper table/figure through this formatter
+/// so the output is uniform and easy to diff against EXPERIMENTS.md.
+
+#include <string>
+#include <vector>
+
+namespace ccpred {
+
+/// Column-aligned text table with an optional title and Markdown-style rule.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header,
+                     std::string title = std::string());
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double cell with `prec` decimals.
+  static std::string cell(double v, int prec = 2);
+  /// Convenience: formats an integer cell.
+  static std::string cell(long long v);
+
+  /// Renders to a string (pipe-separated, padded columns).
+  std::string str() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ccpred

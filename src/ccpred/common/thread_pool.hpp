@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool plus a deterministic parallel_for.
+///
+/// ccpred parallelizes embarrassingly parallel loops: forest/committee
+/// member training, cross-validation folds, hyper-parameter candidates and
+/// dataset generation. Work is partitioned statically by index so results
+/// are bitwise identical regardless of worker count or scheduling, as long
+/// as each index derives its randomness from its own Rng stream.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccpred {
+
+/// RAII thread pool; joins all workers on destruction.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it completes (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool, blocking until all
+/// iterations finish. The index range is split into contiguous chunks, one
+/// per worker. The first exception thrown by any iteration is rethrown.
+///
+/// Safe to call from non-worker threads only (no nested parallel_for on the
+/// same pool — nesting would deadlock a fixed-size pool; nested calls instead
+/// run serially, detected via a thread-local depth flag).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace ccpred

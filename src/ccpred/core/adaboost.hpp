@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file adaboost.hpp
+/// AdaBoost.R2 (paper §3.1 "AB", Drucker 1997): boosting for regression by
+/// weighted resampling — each stage trains a CART tree on a bootstrap
+/// sample drawn from the current weight distribution, weights are updated
+/// from per-sample relative errors, and the final prediction is the
+/// weighted median of the stage predictions.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccpred/core/decision_tree.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// Loss shaping for AdaBoost.R2.
+enum class AdaBoostLoss { kLinear, kSquare, kExponential };
+
+/// Parameters: "n_estimators", "learning_rate", "loss" (0 linear, 1 square,
+/// 2 exponential), plus the tree keys "max_depth", ...
+class AdaBoostRegressor : public Regressor {
+ public:
+  explicit AdaBoostRegressor(int n_estimators = 50, double learning_rate = 1.0,
+                             AdaBoostLoss loss = AdaBoostLoss::kLinear,
+                             TreeOptions tree_options = {.max_depth = 4},
+                             std::uint64_t seed = 42);
+
+  void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const linalg::Matrix& x) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  const std::string& name() const override;
+  void set_params(const ParamMap& params) override;
+  bool is_fitted() const override { return !trees_.empty(); }
+
+  std::size_t stage_count() const { return trees_.size(); }
+
+ private:
+  int n_estimators_;
+  double learning_rate_;
+  AdaBoostLoss loss_;
+  TreeOptions tree_options_;
+  std::uint64_t seed_;
+
+  std::vector<DecisionTreeRegressor> trees_;
+  std::vector<double> stage_weights_;  // log(1/beta_t)
+};
+
+}  // namespace ccpred::ml

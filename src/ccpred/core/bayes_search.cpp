@@ -1,0 +1,103 @@
+#include "ccpred/core/bayes_search.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/stopwatch.hpp"
+#include "ccpred/core/gaussian_process.hpp"
+
+namespace ccpred::ml {
+namespace {
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+}  // namespace
+
+double expected_improvement(double mu, double sigma, double best) {
+  if (sigma <= 1e-12) return std::max(0.0, mu - best);
+  const double z = (mu - best) / sigma;
+  return (mu - best) * normal_cdf(z) + sigma * normal_pdf(z);
+}
+
+SearchResult bayes_search(const Regressor& prototype, const ParamSpace& space,
+                          int n_iter, const linalg::Matrix& x,
+                          const std::vector<double>& y,
+                          const BayesSearchOptions& options) {
+  CCPRED_CHECK_MSG(n_iter > 0, "bayes search needs n_iter > 0");
+  CCPRED_CHECK_MSG(options.n_initial >= 1, "need at least one warm-up point");
+  Stopwatch watch;
+  Rng rng(options.base.seed ^ 0xb5297a4dULL);
+
+  SearchResult result;
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> encoded;  // evaluated points, unit cube
+
+  auto evaluate = [&](const ParamMap& params) {
+    auto model = prototype.clone();
+    model->set_params(params);
+    Rng cv_rng(options.base.seed);
+    const CvResult cv =
+        cross_validate(*model, x, y, options.base.cv_folds, cv_rng);
+    const double value = scoring_value(cv.mean, options.base.scoring);
+    result.trials.push_back(
+        SearchTrial{.params = params, .cv_scores = cv.mean, .value = value});
+    encoded.push_back(encode_params(space, params));
+    if (value > best) {
+      best = value;
+      result.best_params = params;
+      result.best_cv_scores = cv.mean;
+    }
+  };
+
+  const int warmup = std::min(options.n_initial, n_iter);
+  for (int i = 0; i < warmup; ++i) evaluate(sample_params(space, rng));
+
+  const std::size_t d = space.size();
+  for (int it = warmup; it < n_iter; ++it) {
+    // Fit the surrogate on (encoded params -> value).
+    linalg::Matrix xs(encoded.size(), d);
+    std::vector<double> vs(encoded.size());
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      for (std::size_t c = 0; c < d; ++c) xs(i, c) = encoded[i][c];
+      vs[i] = result.trials[i].value;
+    }
+    GaussianProcessRegression surrogate(/*gamma=*/1.0, /*noise=*/1e-6,
+                                        /*optimize=*/true);
+    surrogate.fit(xs, vs);
+
+    // Acquire: maximize EI over random probes of the unit cube.
+    linalg::Matrix probes(static_cast<std::size_t>(options.n_candidates), d);
+    for (std::size_t i = 0; i < probes.rows(); ++i) {
+      for (std::size_t c = 0; c < d; ++c) probes(i, c) = rng.uniform();
+    }
+    std::vector<double> mean;
+    std::vector<double> std;
+    surrogate.predict_with_std(probes, mean, std);
+    std::size_t arg_best = 0;
+    double ei_best = -1.0;
+    for (std::size_t i = 0; i < probes.rows(); ++i) {
+      const double ei = expected_improvement(mean[i], std[i], best);
+      if (ei > ei_best) {
+        ei_best = ei;
+        arg_best = i;
+      }
+    }
+    evaluate(decode_params(space, probes.row(arg_best)));
+  }
+
+  if (options.base.refit) {
+    result.best_model = prototype.clone();
+    result.best_model->set_params(result.best_params);
+    result.best_model->fit(x, y);
+  }
+  result.elapsed_s = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file bayes_search.hpp
+/// Bayesian hyper-parameter optimization (the paper's scikit-optimize
+/// counterpart): a Gaussian-process surrogate over the unit-encoded
+/// parameter space, acquiring the next candidate by expected improvement.
+
+#include "ccpred/core/grid_search.hpp"
+
+namespace ccpred::ml {
+
+/// Extra knobs for Bayesian search.
+struct BayesSearchOptions {
+  SearchOptions base;
+  int n_initial = 4;      ///< random warm-up evaluations
+  int n_candidates = 256; ///< EI is maximized over this many random probes
+};
+
+/// Runs `n_iter` total evaluations (including the warm-up) and returns the
+/// best candidate found.
+SearchResult bayes_search(const Regressor& prototype, const ParamSpace& space,
+                          int n_iter, const linalg::Matrix& x,
+                          const std::vector<double>& y,
+                          const BayesSearchOptions& options = {});
+
+/// Expected improvement of a Gaussian posterior (mean mu, std sigma) over
+/// the incumbent best value (maximization). Exposed for testing.
+double expected_improvement(double mu, double sigma, double best);
+
+}  // namespace ccpred::ml

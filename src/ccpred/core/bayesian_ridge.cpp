@@ -1,0 +1,135 @@
+#include "ccpred/core/bayesian_ridge.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/linalg/blas.hpp"
+#include "ccpred/linalg/cholesky.hpp"
+
+namespace ccpred::ml {
+
+BayesianRidgeRegression::BayesianRidgeRegression() = default;
+
+void BayesianRidgeRegression::fit(const linalg::Matrix& x,
+                                  const std::vector<double>& y) {
+  CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(x.rows() > 0, "cannot fit on empty data");
+  const linalg::Matrix z = scaler_.fit_transform(x);
+  const auto yz = y_scaler_.fit_transform(y);
+  const std::size_t n = z.rows();
+  const std::size_t d = z.cols();
+
+  const linalg::Matrix gram = linalg::syrk_at_a(z);           // Z^T Z
+  const auto zty = linalg::gemv_transposed(z, yz);             // Z^T y
+
+  alpha_ = 1.0;   // noise precision
+  lambda_ = 1.0;  // weight precision
+  coef_.assign(d, 0.0);
+
+  double prev_lambda = lambda_;
+  double prev_alpha = alpha_;
+  for (int it = 0; it < max_iter_; ++it) {
+    // Posterior: Sigma = (alpha Z^T Z + lambda I)^{-1}, mu = alpha Sigma Z^T y.
+    linalg::Matrix a = gram;
+    a *= alpha_;
+    a.add_diagonal(lambda_);
+    const linalg::Cholesky chol(a);
+    posterior_cov_ = chol.inverse();
+    coef_ = linalg::gemv(posterior_cov_, zty);
+    for (auto& c : coef_) c *= alpha_;
+
+    // Effective number of parameters.
+    double trace_sg = 0.0;  // trace(Sigma * Z^T Z)
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        trace_sg += posterior_cov_(i, j) * gram(j, i);
+      }
+    }
+    const double gamma_eff = alpha_ * trace_sg;
+
+    double sse = 0.0;
+    const auto pred = linalg::gemv(z, coef_);
+    for (std::size_t i = 0; i < n; ++i) {
+      sse += (yz[i] - pred[i]) * (yz[i] - pred[i]);
+    }
+    double coef_sq = 0.0;
+    for (double c : coef_) coef_sq += c * c;
+
+    lambda_ = (gamma_eff + 2.0 * lambda_1_) / (coef_sq + 2.0 * lambda_2_);
+    alpha_ = (static_cast<double>(n) - gamma_eff + 2.0 * alpha_1_) /
+             (sse + 2.0 * alpha_2_);
+
+    if (std::abs(lambda_ - prev_lambda) < tol_ &&
+        std::abs(alpha_ - prev_alpha) < tol_) {
+      break;
+    }
+    prev_lambda = lambda_;
+    prev_alpha = alpha_;
+  }
+  fitted_ = true;
+}
+
+std::vector<double> BayesianRidgeRegression::predict(
+    const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(fitted_, "BayesianRidgeRegression::predict before fit");
+  const linalg::Matrix z = scaler_.transform(x);
+  auto out = linalg::gemv(z, coef_);
+  for (auto& v : out) v = y_scaler_.inverse_one(v);
+  return out;
+}
+
+void BayesianRidgeRegression::predict_with_std(const linalg::Matrix& x,
+                                               std::vector<double>& mean,
+                                               std::vector<double>& std) const {
+  CCPRED_CHECK_MSG(fitted_, "BayesianRidge predict_with_std before fit");
+  const linalg::Matrix z = scaler_.transform(x);
+  mean = linalg::gemv(z, coef_);
+  std.assign(z.rows(), 0.0);
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    const auto zi = z.row(i);
+    const auto sz = linalg::gemv(posterior_cov_, zi);
+    const double var = 1.0 / alpha_ + linalg::dot(zi, sz);
+    std[i] = std::sqrt(std::max(0.0, var)) * y_scaler_.stddev();
+    mean[i] = y_scaler_.inverse_one(mean[i]);
+  }
+}
+
+std::unique_ptr<Regressor> BayesianRidgeRegression::clone() const {
+  auto copy = std::make_unique<BayesianRidgeRegression>();
+  copy->max_iter_ = max_iter_;
+  copy->tol_ = tol_;
+  copy->alpha_1_ = alpha_1_;
+  copy->alpha_2_ = alpha_2_;
+  copy->lambda_1_ = lambda_1_;
+  copy->lambda_2_ = lambda_2_;
+  return copy;
+}
+
+const std::string& BayesianRidgeRegression::name() const {
+  static const std::string n = "BR";
+  return n;
+}
+
+void BayesianRidgeRegression::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "max_iter") {
+      max_iter_ = static_cast<int>(std::lround(value));
+      CCPRED_CHECK_MSG(max_iter_ > 0, "max_iter must be > 0");
+    } else if (key == "tol") {
+      CCPRED_CHECK_MSG(value > 0.0, "tol must be > 0");
+      tol_ = value;
+    } else if (key == "alpha_1") {
+      alpha_1_ = value;
+    } else if (key == "alpha_2") {
+      alpha_2_ = value;
+    } else if (key == "lambda_1") {
+      lambda_1_ = value;
+    } else if (key == "lambda_2") {
+      lambda_2_ = value;
+    } else {
+      throw Error("BayesianRidgeRegression: unknown parameter '" + key + "'");
+    }
+  }
+}
+
+}  // namespace ccpred::ml

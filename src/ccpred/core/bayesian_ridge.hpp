@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file bayesian_ridge.hpp
+/// Bayesian ridge regression (paper §3.1 "BR"): ridge with Gaussian priors
+/// on the coefficients whose precision hyper-parameters (alpha: noise,
+/// lambda: weights) are estimated from the data by evidence (marginal
+/// likelihood) maximization, following MacKay's iterative update rules as
+/// implemented in scikit-learn.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccpred/core/regressor.hpp"
+#include "ccpred/data/scaler.hpp"
+
+namespace ccpred::ml {
+
+/// Parameters: "max_iter", "tol", plus the four Gamma hyper-priors
+/// "alpha_1", "alpha_2", "lambda_1", "lambda_2".
+class BayesianRidgeRegression : public UncertaintyRegressor {
+ public:
+  BayesianRidgeRegression();
+
+  void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const linalg::Matrix& x) const override;
+  void predict_with_std(const linalg::Matrix& x, std::vector<double>& mean,
+                        std::vector<double>& std) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  const std::string& name() const override;
+  void set_params(const ParamMap& params) override;
+  bool is_fitted() const override { return fitted_; }
+
+  /// Estimated noise precision.
+  double alpha() const { return alpha_; }
+  /// Estimated weight precision.
+  double lambda() const { return lambda_; }
+  /// Posterior mean coefficients (standardized feature space).
+  const std::vector<double>& coefficients() const { return coef_; }
+
+ private:
+  int max_iter_ = 300;
+  double tol_ = 1e-4;
+  double alpha_1_ = 1e-6, alpha_2_ = 1e-6;
+  double lambda_1_ = 1e-6, lambda_2_ = 1e-6;
+
+  bool fitted_ = false;
+  double alpha_ = 1.0;
+  double lambda_ = 1.0;
+  data::StandardScaler scaler_;
+  data::TargetScaler y_scaler_;
+  std::vector<double> coef_;
+  linalg::Matrix posterior_cov_;  // for predictive variance
+};
+
+}  // namespace ccpred::ml

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file cross_validation.hpp
+/// K-fold cross validation, the scoring backbone of all three
+/// hyper-parameter search strategies.
+
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/core/metrics.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// Objective maximized during model selection.
+enum class Scoring {
+  kR2,       ///< coefficient of determination (higher better)
+  kNegMae,   ///< negative mean absolute error
+  kNegMape,  ///< negative mean absolute percentage error
+};
+
+/// Scalar value of a Scores bundle under a Scoring (always maximize).
+double scoring_value(const Scores& scores, Scoring scoring);
+
+/// Row-index folds for k-fold CV (shuffled once with `rng`). Every row
+/// appears in exactly one validation fold; folds differ in size by <= 1.
+std::vector<std::vector<std::size_t>> kfold_indices(std::size_t n, int folds,
+                                                    Rng& rng);
+
+/// Result of one cross-validation run: per-fold and mean metrics.
+struct CvResult {
+  std::vector<Scores> fold_scores;
+  Scores mean;
+};
+
+/// K-fold cross-validation of `prototype` (cloned per fold) on (x, y).
+/// Folds train in parallel on the thread pool.
+CvResult cross_validate(const Regressor& prototype, const linalg::Matrix& x,
+                        const std::vector<double>& y, int folds, Rng& rng);
+
+}  // namespace ccpred::ml

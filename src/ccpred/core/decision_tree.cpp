@@ -1,0 +1,268 @@
+#include "ccpred/core/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::ml {
+
+DecisionTreeRegressor::DecisionTreeRegressor(TreeOptions options)
+    : options_(options) {
+  CCPRED_CHECK_MSG(options_.max_depth >= 0, "max_depth must be >= 0");
+  CCPRED_CHECK_MSG(options_.min_samples_split >= 2,
+                   "min_samples_split must be >= 2");
+  CCPRED_CHECK_MSG(options_.min_samples_leaf >= 1,
+                   "min_samples_leaf must be >= 1");
+}
+
+struct DecisionTreeRegressor::BuildContext {
+  const linalg::Matrix* x = nullptr;
+  const std::vector<double>* y = nullptr;
+  std::vector<double> importance;
+  int effective_max_depth = 64;
+  int max_features = 0;
+  Rng rng{1};
+  // Scratch reused across nodes to avoid per-node allocation.
+  std::vector<std::pair<double, double>> sorted;  // (feature value, target)
+};
+
+namespace {
+
+/// Best split of `rows` on `feature`: returns (sse_reduction, threshold,
+/// left_count) or sse_reduction <= 0 if no valid split exists.
+struct SplitCandidate {
+  double gain = -1.0;
+  double threshold = 0.0;
+  std::size_t left_count = 0;
+};
+
+SplitCandidate best_split_on_feature(
+    const linalg::Matrix& x, const std::vector<double>& y,
+    const std::vector<std::size_t>& rows, std::size_t feature,
+    int min_samples_leaf, std::vector<std::pair<double, double>>& sorted) {
+  const std::size_t n = rows.size();
+  sorted.clear();
+  sorted.reserve(n);
+  for (auto r : rows) sorted.emplace_back(x(r, feature), y[r]);
+  std::sort(sorted.begin(), sorted.end());
+
+  double total = 0.0;
+  for (const auto& [v, t] : sorted) total += t;
+
+  SplitCandidate best;
+  double left_sum = 0.0;
+  const auto min_leaf = static_cast<std::size_t>(min_samples_leaf);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    left_sum += sorted[i].second;
+    if (sorted[i].first == sorted[i + 1].first) continue;  // tied values
+    const std::size_t nl = i + 1;
+    const std::size_t nr = n - nl;
+    if (nl < min_leaf || nr < min_leaf) continue;
+    // Variance-reduction gain: sum_l^2/n_l + sum_r^2/n_r - total^2/n
+    const double right_sum = total - left_sum;
+    const double gain = left_sum * left_sum / static_cast<double>(nl) +
+                        right_sum * right_sum / static_cast<double>(nr) -
+                        total * total / static_cast<double>(n);
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      best.left_count = nl;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int DecisionTreeRegressor::build(BuildContext& ctx,
+                                 std::vector<std::size_t>& rows, int depth) {
+  const auto& x = *ctx.x;
+  const auto& y = *ctx.y;
+  const std::size_t n = rows.size();
+
+  double sum = 0.0;
+  for (auto r : rows) sum += y[r];
+  const double mean = sum / static_cast<double>(n);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(TreeNode{.value = mean});
+
+  if (depth >= ctx.effective_max_depth ||
+      n < static_cast<std::size_t>(options_.min_samples_split)) {
+    return node_index;
+  }
+
+  // Candidate features (all, or a random subset for forests).
+  const std::size_t d = x.cols();
+  std::vector<std::size_t> features;
+  if (ctx.max_features > 0 && static_cast<std::size_t>(ctx.max_features) < d) {
+    features = ctx.rng.sample_without_replacement(
+        d, static_cast<std::size_t>(ctx.max_features));
+  } else {
+    features.resize(d);
+    for (std::size_t f = 0; f < d; ++f) features[f] = f;
+  }
+
+  SplitCandidate best;
+  std::size_t best_feature = 0;
+  for (auto f : features) {
+    const auto cand = best_split_on_feature(x, y, rows, f,
+                                            options_.min_samples_leaf,
+                                            ctx.sorted);
+    if (cand.gain > best.gain) {
+      best = cand;
+      best_feature = f;
+    }
+  }
+  if (best.gain <= 1e-12) return node_index;  // pure or unsplittable node
+  ctx.importance[best_feature] += best.gain;
+
+  // Partition rows in place.
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  left_rows.reserve(best.left_count);
+  right_rows.reserve(n - best.left_count);
+  for (auto r : rows) {
+    (x(r, best_feature) <= best.threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  // Ties at the threshold can defeat the sorted-scan counts; guard anyway.
+  if (left_rows.empty() || right_rows.empty()) return node_index;
+
+  rows.clear();
+  rows.shrink_to_fit();
+
+  const int left = build(ctx, left_rows, depth + 1);
+  const int right = build(ctx, right_rows, depth + 1);
+  nodes_[node_index].feature = static_cast<int>(best_feature);
+  nodes_[node_index].threshold = best.threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+void DecisionTreeRegressor::fit(const linalg::Matrix& x,
+                                const std::vector<double>& y) {
+  std::vector<std::size_t> rows(x.rows());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  fit_rows(x, y, rows);
+}
+
+void DecisionTreeRegressor::fit_rows(const linalg::Matrix& x,
+                                     const std::vector<double>& y,
+                                     const std::vector<std::size_t>& rows) {
+  CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(!rows.empty(), "cannot fit tree on zero rows");
+  for (auto r : rows) CCPRED_CHECK_MSG(r < x.rows(), "row index out of range");
+
+  nodes_.clear();
+  BuildContext ctx;
+  ctx.x = &x;
+  ctx.y = &y;
+  ctx.importance.assign(x.cols(), 0.0);
+  ctx.effective_max_depth =
+      options_.max_depth == 0 ? 64 : options_.max_depth;
+  ctx.max_features = options_.max_features;
+  ctx.rng = Rng(options_.seed);
+
+  std::vector<std::size_t> root_rows = rows;
+  build(ctx, root_rows, 0);
+  importance_ = std::move(ctx.importance);
+}
+
+std::vector<double> DecisionTreeRegressor::feature_importances() const {
+  CCPRED_CHECK_MSG(is_fitted(), "feature_importances before fit");
+  std::vector<double> out = importance_;
+  double total = 0.0;
+  for (double v : out) total += v;
+  if (total > 0.0) {
+    for (auto& v : out) v /= total;
+  }
+  return out;
+}
+
+DecisionTreeRegressor DecisionTreeRegressor::from_parts(
+    TreeOptions options, std::vector<TreeNode> nodes,
+    std::vector<double> raw_importance) {
+  CCPRED_CHECK_MSG(!nodes.empty(), "a fitted tree needs at least one node");
+  for (const auto& node : nodes) {
+    if (node.is_leaf()) continue;
+    CCPRED_CHECK_MSG(node.left >= 0 &&
+                         node.left < static_cast<int>(nodes.size()) &&
+                         node.right >= 0 &&
+                         node.right < static_cast<int>(nodes.size()),
+                     "tree child index out of range");
+  }
+  DecisionTreeRegressor tree(options);
+  tree.nodes_ = std::move(nodes);
+  tree.importance_ = std::move(raw_importance);
+  return tree;
+}
+
+double DecisionTreeRegressor::predict_row(const double* row) const {
+  int i = 0;
+  while (!nodes_[i].is_leaf()) {
+    i = row[nodes_[i].feature] <= nodes_[i].threshold ? nodes_[i].left
+                                                      : nodes_[i].right;
+  }
+  return nodes_[i].value;
+}
+
+std::vector<double> DecisionTreeRegressor::predict(
+    const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(is_fitted(), "DecisionTreeRegressor::predict before fit");
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict_row(x.row_ptr(i));
+  return out;
+}
+
+std::unique_ptr<Regressor> DecisionTreeRegressor::clone() const {
+  return std::make_unique<DecisionTreeRegressor>(options_);
+}
+
+const std::string& DecisionTreeRegressor::name() const {
+  static const std::string n = "DT";
+  return n;
+}
+
+int DecisionTreeRegressor::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the flattened representation.
+  std::vector<std::pair<int, int>> stack = {{0, 0}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (!nodes_[i].is_leaf()) {
+      stack.push_back({nodes_[i].left, d + 1});
+      stack.push_back({nodes_[i].right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+void DecisionTreeRegressor::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    const int iv = static_cast<int>(std::lround(value));
+    if (key == "max_depth") {
+      CCPRED_CHECK_MSG(iv >= 0, "max_depth must be >= 0");
+      options_.max_depth = iv;
+    } else if (key == "min_samples_split") {
+      CCPRED_CHECK_MSG(iv >= 2, "min_samples_split must be >= 2");
+      options_.min_samples_split = iv;
+    } else if (key == "min_samples_leaf") {
+      CCPRED_CHECK_MSG(iv >= 1, "min_samples_leaf must be >= 1");
+      options_.min_samples_leaf = iv;
+    } else if (key == "max_features") {
+      CCPRED_CHECK_MSG(iv >= 0, "max_features must be >= 0");
+      options_.max_features = iv;
+    } else {
+      throw Error("DecisionTreeRegressor: unknown parameter '" + key + "'");
+    }
+  }
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file decision_tree.hpp
+/// CART regression tree (paper §3.1 "DT"): axis-aligned variance-reduction
+/// splits found by exact sorted scans. The shared base learner of the
+/// random-forest, gradient-boosting and AdaBoost ensembles.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// Hyper-parameters of a CART regression tree.
+struct TreeOptions {
+  int max_depth = 10;          ///< 0 means unlimited (capped at 64)
+  int min_samples_split = 2;   ///< don't split nodes smaller than this
+  int min_samples_leaf = 1;    ///< each child must keep at least this many
+  int max_features = 0;        ///< features tried per split; 0 = all
+  std::uint64_t seed = 1;      ///< feature-subsampling stream
+};
+
+/// Flattened tree node; children referenced by index into the node array.
+struct TreeNode {
+  int feature = -1;        ///< split feature, -1 for leaves
+  double threshold = 0.0;  ///< go left if x[feature] <= threshold
+  double value = 0.0;      ///< leaf prediction (mean of samples)
+  int left = -1;
+  int right = -1;
+
+  bool is_leaf() const { return feature < 0; }
+};
+
+/// CART regressor. Parameters: "max_depth", "min_samples_split",
+/// "min_samples_leaf", "max_features".
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(TreeOptions options = {});
+
+  void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
+
+  /// Fits on a subset of rows (used by the ensembles to avoid copying the
+  /// feature matrix for every bootstrap resample).
+  void fit_rows(const linalg::Matrix& x, const std::vector<double>& y,
+                const std::vector<std::size_t>& rows);
+
+  std::vector<double> predict(const linalg::Matrix& x) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  const std::string& name() const override;
+  void set_params(const ParamMap& params) override;
+  bool is_fitted() const override { return !nodes_.empty(); }
+
+  /// Prediction for one row given as a raw pointer (hot path in ensembles).
+  double predict_row(const double* row) const;
+
+  /// Number of nodes in the fitted tree.
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Impurity-based feature importances: per-feature sum of the variance
+  /// reduction its splits achieved, normalized to sum to 1 (all zeros for
+  /// a single-leaf tree). Requires fit().
+  std::vector<double> feature_importances() const;
+
+  /// Fitted tree structure (flattened nodes) — used by serialization.
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Reconstructs a fitted tree from its parts (serialization loader).
+  /// `raw_importance` holds the unnormalized per-feature gain sums.
+  static DecisionTreeRegressor from_parts(TreeOptions options,
+                                          std::vector<TreeNode> nodes,
+                                          std::vector<double> raw_importance);
+
+  /// Unnormalized per-feature gain sums (serialization writer).
+  const std::vector<double>& raw_importance() const { return importance_; }
+  /// Depth of the fitted tree.
+  int depth() const;
+  const TreeOptions& options() const { return options_; }
+
+ private:
+  struct BuildContext;
+  int build(BuildContext& ctx, std::vector<std::size_t>& rows, int depth);
+
+  TreeOptions options_;
+  std::vector<TreeNode> nodes_;
+  std::vector<double> importance_;  ///< raw per-feature gain sums
+};
+
+}  // namespace ccpred::ml

@@ -1,0 +1,164 @@
+#include "ccpred/core/gaussian_process.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/linalg/blas.hpp"
+
+namespace ccpred::ml {
+
+GaussianProcessRegression::GaussianProcessRegression(double gamma,
+                                                     double noise,
+                                                     bool optimize,
+                                                     bool log_target,
+                                                     bool log_features)
+    : noise_(noise),
+      optimize_(optimize),
+      log_target_(log_target),
+      log_features_(log_features) {
+  CCPRED_CHECK_MSG(gamma > 0.0, "GP gamma must be > 0");
+  CCPRED_CHECK_MSG(noise >= 0.0, "GP noise must be >= 0");
+  kernel_.type = KernelType::kRbf;
+  kernel_.gamma = gamma;
+}
+
+void GaussianProcessRegression::fit_with_gamma(double gamma) {
+  kernel_.gamma = gamma;
+  linalg::Matrix k = kernel_.gram_symmetric(x_train_);
+  k.add_diagonal(noise_ + 1e-10);
+  chol_ = std::make_unique<linalg::Cholesky>(k);
+  alpha_ = chol_->solve(yz_);
+  // log p(y | X) = -1/2 y^T K^{-1} y - 1/2 log|K| - n/2 log(2 pi)
+  const double n = static_cast<double>(yz_.size());
+  lml_ = -0.5 * linalg::dot(yz_, alpha_) - 0.5 * chol_->log_determinant() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+linalg::Matrix GaussianProcessRegression::maybe_log(
+    const linalg::Matrix& x) const {
+  if (!log_features_) return x;
+  linalg::Matrix out = x;
+  for (std::size_t i = 0; i < out.rows(); ++i) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      CCPRED_CHECK_MSG(out(i, c) > 0.0,
+                       "log_features GP needs positive features");
+      out(i, c) = std::log(out(i, c));
+    }
+  }
+  return out;
+}
+
+void GaussianProcessRegression::fit(const linalg::Matrix& x,
+                                    const std::vector<double>& y) {
+  CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(x.rows() > 0, "cannot fit on empty data");
+  x_train_ = scaler_.fit_transform(maybe_log(x));
+  if (log_target_) {
+    std::vector<double> logged(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      CCPRED_CHECK_MSG(y[i] > 0.0, "log_target GP needs positive targets");
+      logged[i] = std::log(y[i]);
+    }
+    yz_ = y_scaler_.fit_transform(logged);
+  } else {
+    yz_ = y_scaler_.fit_transform(y);
+  }
+
+  if (!optimize_) {
+    fit_with_gamma(kernel_.gamma);
+    return;
+  }
+  // Type-II maximum likelihood over a log-spaced (gamma, noise) grid:
+  // robust, derivative-free, and each candidate is one O(n^3)
+  // factorization — the same cost the final fit pays anyway.
+  const double gamma_candidates[] = {0.03, 0.1, 0.3, 1.0, 3.0};
+  const double noise_candidates[] = {1e-3, 1e-2, 1e-1};
+  double best_gamma = kernel_.gamma;
+  double best_noise = noise_;
+  double best_lml = -std::numeric_limits<double>::infinity();
+  for (double nz : noise_candidates) {
+    noise_ = nz;
+    for (double g : gamma_candidates) {
+      fit_with_gamma(g);
+      if (lml_ > best_lml) {
+        best_lml = lml_;
+        best_gamma = g;
+        best_noise = nz;
+      }
+    }
+  }
+  noise_ = best_noise;
+  fit_with_gamma(best_gamma);
+}
+
+std::vector<double> GaussianProcessRegression::predict(
+    const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(is_fitted(), "GaussianProcessRegression::predict before fit");
+  const linalg::Matrix z = scaler_.transform(maybe_log(x));
+  const linalg::Matrix ks = kernel_.gram(z, x_train_);
+  auto out = linalg::gemv(ks, alpha_);
+  for (auto& v : out) {
+    v = y_scaler_.inverse_one(v);
+    if (log_target_) v = std::exp(v);
+  }
+  return out;
+}
+
+void GaussianProcessRegression::predict_with_std(const linalg::Matrix& x,
+                                                 std::vector<double>& mean,
+                                                 std::vector<double>& std) const {
+  CCPRED_CHECK_MSG(is_fitted(), "GP predict_with_std before fit");
+  const linalg::Matrix z = scaler_.transform(maybe_log(x));
+  const linalg::Matrix ks = kernel_.gram(z, x_train_);
+  mean = linalg::gemv(ks, alpha_);
+  std.assign(x.rows(), 0.0);
+  // var(x*) = k(x*,x*) - k*^T K^{-1} k*; k(x,x) = 1 for RBF.
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto v = chol_->solve_lower(ks.row(i));
+    double quad = 0.0;
+    for (double w : v) quad += w * w;
+    const double var = std::max(0.0, 1.0 + noise_ - quad);
+    std[i] = std::sqrt(var) * y_scaler_.stddev();
+    mean[i] = y_scaler_.inverse_one(mean[i]);
+    if (log_target_) {
+      // Delta method back to seconds: y = exp(f), std_y ~ exp(mu) std_f.
+      mean[i] = std::exp(mean[i]);
+      std[i] *= mean[i];
+    }
+  }
+}
+
+std::unique_ptr<Regressor> GaussianProcessRegression::clone() const {
+  return std::make_unique<GaussianProcessRegression>(
+      kernel_.gamma, noise_, optimize_, log_target_, log_features_);
+}
+
+const std::string& GaussianProcessRegression::name() const {
+  static const std::string n = "GP";
+  return n;
+}
+
+void GaussianProcessRegression::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "gamma") {
+      CCPRED_CHECK_MSG(value > 0.0, "gamma must be > 0");
+      kernel_.gamma = value;
+    } else if (key == "noise") {
+      CCPRED_CHECK_MSG(value >= 0.0, "noise must be >= 0");
+      noise_ = value;
+    } else if (key == "optimize") {
+      optimize_ = value != 0.0;
+    } else if (key == "log_target") {
+      log_target_ = value != 0.0;
+    } else if (key == "log_features") {
+      log_features_ = value != 0.0;
+    } else {
+      throw Error("GaussianProcessRegression: unknown parameter '" + key +
+                  "'");
+    }
+  }
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,149 @@
+#include "ccpred/core/gradient_boosting.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/rng.hpp"
+
+namespace ccpred::ml {
+
+GradientBoostingRegressor::GradientBoostingRegressor(int n_estimators,
+                                                     double learning_rate,
+                                                     TreeOptions tree_options,
+                                                     double subsample,
+                                                     std::uint64_t seed)
+    : n_estimators_(n_estimators),
+      learning_rate_(learning_rate),
+      tree_options_(tree_options),
+      subsample_(subsample),
+      seed_(seed) {
+  CCPRED_CHECK_MSG(n_estimators > 0, "n_estimators must be > 0");
+  CCPRED_CHECK_MSG(learning_rate > 0.0 && learning_rate <= 1.0,
+                   "learning_rate must be in (0, 1]");
+  CCPRED_CHECK_MSG(subsample > 0.0 && subsample <= 1.0,
+                   "subsample must be in (0, 1]");
+}
+
+void GradientBoostingRegressor::fit(const linalg::Matrix& x,
+                                    const std::vector<double>& y) {
+  CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(x.rows() > 0, "cannot fit on empty data");
+  const std::size_t n = x.rows();
+
+  base_prediction_ = 0.0;
+  for (double v : y) base_prediction_ += v;
+  base_prediction_ /= static_cast<double>(n);
+
+  std::vector<double> residual(n);
+  for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - base_prediction_;
+
+  trees_.clear();
+  trees_.reserve(static_cast<std::size_t>(n_estimators_));
+  Rng rng(seed_);
+  std::vector<std::size_t> all_rows(n);
+  for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
+
+  for (int stage = 0; stage < n_estimators_; ++stage) {
+    TreeOptions opt = tree_options_;
+    opt.seed = rng.next();
+    DecisionTreeRegressor tree(opt);
+    if (subsample_ < 1.0) {
+      const auto k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(subsample_ * static_cast<double>(n)));
+      tree.fit_rows(x, residual, rng.sample_without_replacement(n, k));
+    } else {
+      tree.fit_rows(x, residual, all_rows);
+    }
+    // Update residuals with the shrunken stage prediction.
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] -= learning_rate_ * tree.predict_row(x.row_ptr(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+std::vector<double> GradientBoostingRegressor::predict(
+    const linalg::Matrix& x) const {
+  return predict_staged(x, trees_.size());
+}
+
+std::vector<double> GradientBoostingRegressor::predict_staged(
+    const linalg::Matrix& x, std::size_t stages) const {
+  CCPRED_CHECK_MSG(fitted_, "GradientBoostingRegressor::predict before fit");
+  CCPRED_CHECK_MSG(stages <= trees_.size(), "stage count out of range");
+  std::vector<double> out(x.rows(), base_prediction_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t t = 0; t < stages; ++t) s += trees_[t].predict_row(row);
+    out[i] += learning_rate_ * s;
+  }
+  return out;
+}
+
+GradientBoostingRegressor GradientBoostingRegressor::from_parts(
+    double learning_rate, double base_prediction,
+    std::vector<DecisionTreeRegressor> stages) {
+  CCPRED_CHECK_MSG(!stages.empty(), "a fitted model needs at least one stage");
+  GradientBoostingRegressor model(static_cast<int>(stages.size()),
+                                  learning_rate);
+  model.base_prediction_ = base_prediction;
+  model.trees_ = std::move(stages);
+  model.fitted_ = true;
+  return model;
+}
+
+std::vector<double> GradientBoostingRegressor::feature_importances() const {
+  CCPRED_CHECK_MSG(fitted_, "feature_importances before fit");
+  std::vector<double> out;
+  for (const auto& tree : trees_) {
+    const auto imp = tree.feature_importances();
+    if (out.empty()) out.assign(imp.size(), 0.0);
+    for (std::size_t c = 0; c < imp.size(); ++c) out[c] += imp[c];
+  }
+  double total = 0.0;
+  for (double v : out) total += v;
+  if (total > 0.0) {
+    for (auto& v : out) v /= total;
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> GradientBoostingRegressor::clone() const {
+  return std::make_unique<GradientBoostingRegressor>(
+      n_estimators_, learning_rate_, tree_options_, subsample_, seed_);
+}
+
+const std::string& GradientBoostingRegressor::name() const {
+  static const std::string n = "GB";
+  return n;
+}
+
+void GradientBoostingRegressor::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "n_estimators") {
+      const int iv = static_cast<int>(std::lround(value));
+      CCPRED_CHECK_MSG(iv > 0, "n_estimators must be > 0");
+      n_estimators_ = iv;
+    } else if (key == "learning_rate") {
+      CCPRED_CHECK_MSG(value > 0.0 && value <= 1.0,
+                       "learning_rate must be in (0, 1]");
+      learning_rate_ = value;
+    } else if (key == "subsample") {
+      CCPRED_CHECK_MSG(value > 0.0 && value <= 1.0,
+                       "subsample must be in (0, 1]");
+      subsample_ = value;
+    } else if (key == "max_depth" || key == "min_samples_split" ||
+               key == "min_samples_leaf" || key == "max_features") {
+      DecisionTreeRegressor probe(tree_options_);
+      probe.set_params({{key, value}});
+      tree_options_ = probe.options();
+    } else {
+      throw Error("GradientBoostingRegressor: unknown parameter '" + key +
+                  "'");
+    }
+  }
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,54 @@
+#include "ccpred/core/grid_search.hpp"
+
+#include <limits>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/stopwatch.hpp"
+
+namespace ccpred::ml {
+namespace detail {
+
+/// Shared by grid/random search: evaluate a candidate list sequentially
+/// (each CV already parallelizes folds), pick the best, optionally refit.
+SearchResult evaluate_candidates(const Regressor& prototype,
+                                 const std::vector<ParamMap>& candidates,
+                                 const linalg::Matrix& x,
+                                 const std::vector<double>& y,
+                                 const SearchOptions& options) {
+  CCPRED_CHECK_MSG(!candidates.empty(), "no candidates to search");
+  Stopwatch watch;
+  SearchResult result;
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& params : candidates) {
+    auto model = prototype.clone();
+    model->set_params(params);
+    Rng cv_rng(options.seed);  // same folds for every candidate
+    const CvResult cv = cross_validate(*model, x, y, options.cv_folds, cv_rng);
+    const double value = scoring_value(cv.mean, options.scoring);
+    result.trials.push_back(
+        SearchTrial{.params = params, .cv_scores = cv.mean, .value = value});
+    if (value > best) {
+      best = value;
+      result.best_params = params;
+      result.best_cv_scores = cv.mean;
+    }
+  }
+  if (options.refit) {
+    result.best_model = prototype.clone();
+    result.best_model->set_params(result.best_params);
+    result.best_model->fit(x, y);
+  }
+  result.elapsed_s = watch.elapsed_s();
+  return result;
+}
+
+}  // namespace detail
+
+SearchResult grid_search(const Regressor& prototype, const ParamGrid& grid,
+                         const linalg::Matrix& x, const std::vector<double>& y,
+                         const SearchOptions& options) {
+  return detail::evaluate_candidates(prototype, expand_grid(grid), x, y,
+                                     options);
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file grid_search.hpp
+/// Exhaustive grid search with k-fold CV — the GridSearchCV strategy of
+/// the paper's Figures 1-2, plus the shared SearchResult record.
+
+#include <string>
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/core/cross_validation.hpp"
+#include "ccpred/core/param_space.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// One evaluated candidate during a search.
+struct SearchTrial {
+  ParamMap params;
+  Scores cv_scores;   ///< mean CV metrics
+  double value = 0.0; ///< scoring_value(cv_scores, scoring)
+};
+
+/// Outcome of any search strategy.
+struct SearchResult {
+  ParamMap best_params;
+  Scores best_cv_scores;
+  std::vector<SearchTrial> trials;
+  double elapsed_s = 0.0;  ///< wall time of the whole search
+  std::unique_ptr<Regressor> best_model;  ///< refit on the full data
+
+  double best_value(Scoring scoring) const {
+    return scoring_value(best_cv_scores, scoring);
+  }
+};
+
+/// Common knobs of all search strategies.
+struct SearchOptions {
+  int cv_folds = 3;
+  Scoring scoring = Scoring::kR2;
+  std::uint64_t seed = 7;
+  bool refit = true;  ///< train best_model on the full data afterwards
+};
+
+/// Evaluates every grid point with CV and returns the best (ties broken by
+/// first occurrence in deterministic grid order).
+SearchResult grid_search(const Regressor& prototype, const ParamGrid& grid,
+                         const linalg::Matrix& x, const std::vector<double>& y,
+                         const SearchOptions& options = {});
+
+namespace detail {
+
+/// Evaluates an explicit candidate list with CV (shared implementation of
+/// grid and randomized search).
+SearchResult evaluate_candidates(const Regressor& prototype,
+                                 const std::vector<ParamMap>& candidates,
+                                 const linalg::Matrix& x,
+                                 const std::vector<double>& y,
+                                 const SearchOptions& options);
+
+}  // namespace detail
+
+}  // namespace ccpred::ml

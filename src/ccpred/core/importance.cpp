@@ -1,0 +1,36 @@
+#include "ccpred/core/importance.hpp"
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/core/metrics.hpp"
+
+namespace ccpred::ml {
+
+std::vector<double> permutation_importance(const Regressor& model,
+                                           const linalg::Matrix& x,
+                                           const std::vector<double>& y,
+                                           const PermutationOptions& options) {
+  CCPRED_CHECK_MSG(model.is_fitted(), "permutation_importance needs a "
+                                      "fitted model");
+  CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(options.n_repeats >= 1, "n_repeats must be >= 1");
+
+  const double baseline = r2_score(y, model.predict(x));
+  Rng rng(options.seed);
+
+  std::vector<double> importance(x.cols(), 0.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double drop_sum = 0.0;
+    for (int rep = 0; rep < options.n_repeats; ++rep) {
+      linalg::Matrix shuffled = x;
+      const auto perm = rng.permutation(x.rows());
+      for (std::size_t i = 0; i < x.rows(); ++i) {
+        shuffled(i, c) = x(perm[i], c);
+      }
+      drop_sum += baseline - r2_score(y, model.predict(shuffled));
+    }
+    importance[c] = drop_sum / static_cast<double>(options.n_repeats);
+  }
+  return importance;
+}
+
+}  // namespace ccpred::ml

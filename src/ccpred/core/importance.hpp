@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file importance.hpp
+/// Model-agnostic permutation feature importance: how much a metric
+/// degrades when one feature column is shuffled — which runtime parameter
+/// (O, V, nodes, tile) the predictor actually relies on.
+
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// Permutation-importance options.
+struct PermutationOptions {
+  int n_repeats = 5;          ///< shuffles averaged per feature
+  std::uint64_t seed = 123;
+};
+
+/// Per-feature importance: mean increase of (1 - R^2) — equivalently mean
+/// R^2 drop — when that feature column of `x` is randomly permuted.
+/// `model` must be fitted; `x`/`y` are typically a held-out set.
+/// Importances can be slightly negative for irrelevant features.
+std::vector<double> permutation_importance(const Regressor& model,
+                                           const linalg::Matrix& x,
+                                           const std::vector<double>& y,
+                                           const PermutationOptions& options =
+                                               {});
+
+}  // namespace ccpred::ml

@@ -1,0 +1,84 @@
+#include "ccpred/core/kernels.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/thread_pool.hpp"
+
+namespace ccpred::ml {
+
+double Kernel::operator()(const double* x, const double* z,
+                          std::size_t d) const {
+  switch (type) {
+    case KernelType::kRbf: {
+      double s = 0.0;
+      for (std::size_t i = 0; i < d; ++i) {
+        const double diff = x[i] - z[i];
+        s += diff * diff;
+      }
+      return std::exp(-gamma * s);
+    }
+    case KernelType::kPolynomial: {
+      double s = 0.0;
+      for (std::size_t i = 0; i < d; ++i) s += x[i] * z[i];
+      return std::pow(gamma * s + coef0, degree);
+    }
+    case KernelType::kLinear: {
+      double s = 0.0;
+      for (std::size_t i = 0; i < d; ++i) s += x[i] * z[i];
+      return s;
+    }
+  }
+  throw Error("unknown kernel type");
+}
+
+linalg::Matrix Kernel::gram(const linalg::Matrix& a,
+                            const linalg::Matrix& b) const {
+  CCPRED_CHECK_MSG(a.cols() == b.cols(), "kernel feature dims differ");
+  linalg::Matrix k(a.rows(), b.rows());
+  const std::size_t d = a.cols();
+  parallel_for(0, a.rows(), [&](std::size_t i) {
+    const double* ai = a.row_ptr(i);
+    double* ki = k.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      ki[j] = (*this)(ai, b.row_ptr(j), d);
+    }
+  });
+  return k;
+}
+
+linalg::Matrix Kernel::gram_symmetric(const linalg::Matrix& a) const {
+  linalg::Matrix k(a.rows(), a.rows());
+  const std::size_t d = a.cols();
+  parallel_for(0, a.rows(), [&](std::size_t i) {
+    const double* ai = a.row_ptr(i);
+    for (std::size_t j = i; j < a.rows(); ++j) {
+      k(i, j) = (*this)(ai, a.row_ptr(j), d);
+    }
+  });
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) k(i, j) = k(j, i);
+  }
+  return k;
+}
+
+std::string Kernel::name() const {
+  switch (type) {
+    case KernelType::kRbf:
+      return "rbf";
+    case KernelType::kPolynomial:
+      return "poly";
+    case KernelType::kLinear:
+      return "linear";
+  }
+  return "unknown";
+}
+
+KernelType kernel_type_from_name(const std::string& name) {
+  if (name == "rbf") return KernelType::kRbf;
+  if (name == "poly" || name == "polynomial") return KernelType::kPolynomial;
+  if (name == "linear") return KernelType::kLinear;
+  throw Error("unknown kernel name: " + name);
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file kernels.hpp
+/// Kernel functions shared by kernel ridge regression, Gaussian processes
+/// and support vector regression.
+
+#include <string>
+#include <vector>
+
+#include "ccpred/linalg/matrix.hpp"
+
+namespace ccpred::ml {
+
+/// Supported kernel families.
+enum class KernelType {
+  kRbf,         ///< exp(-gamma * ||x - z||^2)
+  kPolynomial,  ///< (gamma * <x, z> + coef0)^degree
+  kLinear,      ///< <x, z>
+};
+
+/// Parsed kernel with its parameters.
+struct Kernel {
+  KernelType type = KernelType::kRbf;
+  double gamma = 1.0;   ///< RBF width / polynomial scale
+  double coef0 = 1.0;   ///< polynomial offset
+  int degree = 3;       ///< polynomial degree
+
+  /// k(x, z) for two equal-length feature rows.
+  double operator()(const double* x, const double* z, std::size_t d) const;
+
+  /// Gram matrix K(A, B): rows of A vs rows of B (column counts must match).
+  linalg::Matrix gram(const linalg::Matrix& a, const linalg::Matrix& b) const;
+
+  /// Symmetric Gram matrix K(A, A) (exploits symmetry).
+  linalg::Matrix gram_symmetric(const linalg::Matrix& a) const;
+
+  /// Human-readable name ("rbf", "poly", "linear").
+  std::string name() const;
+};
+
+/// Parses "rbf" / "poly" / "linear".
+KernelType kernel_type_from_name(const std::string& name);
+
+}  // namespace ccpred::ml

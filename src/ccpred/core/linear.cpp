@@ -1,0 +1,57 @@
+#include "ccpred/core/linear.hpp"
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/linalg/blas.hpp"
+#include "ccpred/linalg/solve.hpp"
+
+namespace ccpred::ml {
+
+RidgeRegression::RidgeRegression(double alpha) : alpha_(alpha) {
+  CCPRED_CHECK_MSG(alpha >= 0.0, "ridge alpha must be >= 0");
+}
+
+void RidgeRegression::fit(const linalg::Matrix& x,
+                          const std::vector<double>& y) {
+  CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(x.rows() > 0, "cannot fit on empty data");
+  const linalg::Matrix z = scaler_.fit_transform(x);
+  // Center the target so no intercept column is needed.
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  std::vector<double> yc(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) yc[i] = y[i] - mean_y;
+  coef_ = linalg::ridge_solve(z, yc, alpha_);
+  intercept_ = mean_y;
+  fitted_ = true;
+}
+
+std::vector<double> RidgeRegression::predict(const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(fitted_, "RidgeRegression::predict before fit");
+  const linalg::Matrix z = scaler_.transform(x);
+  auto out = linalg::gemv(z, coef_);
+  for (auto& v : out) v += intercept_;
+  return out;
+}
+
+std::unique_ptr<Regressor> RidgeRegression::clone() const {
+  return std::make_unique<RidgeRegression>(alpha_);
+}
+
+const std::string& RidgeRegression::name() const {
+  static const std::string n = "Ridge";
+  return n;
+}
+
+void RidgeRegression::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "alpha") {
+      CCPRED_CHECK_MSG(value >= 0.0, "ridge alpha must be >= 0");
+      alpha_ = value;
+    } else {
+      throw Error("RidgeRegression: unknown parameter '" + key + "'");
+    }
+  }
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file linear.hpp
+/// Ridge (l2-regularized) linear regression — the base learner behind
+/// polynomial regression and the reference point for the kernel models.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccpred/core/regressor.hpp"
+#include "ccpred/data/scaler.hpp"
+
+namespace ccpred::ml {
+
+/// Linear least squares with l2 penalty on standardized features.
+/// Parameters: "alpha" (penalty, >= 0).
+class RidgeRegression : public Regressor {
+ public:
+  explicit RidgeRegression(double alpha = 1.0);
+
+  void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const linalg::Matrix& x) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  const std::string& name() const override;
+  void set_params(const ParamMap& params) override;
+  bool is_fitted() const override { return fitted_; }
+
+  /// Learned coefficients in standardized feature space.
+  const std::vector<double>& coefficients() const { return coef_; }
+  /// Learned intercept (in target units).
+  double intercept() const { return intercept_; }
+
+ private:
+  double alpha_;
+  bool fitted_ = false;
+  data::StandardScaler scaler_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace ccpred::ml

@@ -1,0 +1,74 @@
+#include "ccpred/core/metrics.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::ml {
+namespace {
+
+void check_sizes(const std::vector<double>& a, const std::vector<double>& b) {
+  CCPRED_CHECK_MSG(!a.empty(), "metrics need at least one observation");
+  CCPRED_CHECK_MSG(a.size() == b.size(),
+                   "y_true size " << a.size() << " != y_pred size "
+                                  << b.size());
+}
+
+}  // namespace
+
+double r2_score(const std::vector<double>& y_true,
+                const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double mean = 0.0;
+  for (double v : y_true) mean += v;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double mean_absolute_error(const std::vector<double>& y_true,
+                           const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    s += std::abs(y_true[i] - y_pred[i]);
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+double mean_absolute_percentage_error(const std::vector<double>& y_true,
+                                      const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    CCPRED_CHECK_MSG(y_true[i] != 0.0, "MAPE undefined for zero target");
+    s += std::abs((y_true[i] - y_pred[i]) / y_true[i]);
+  }
+  return s / static_cast<double>(y_true.size());
+}
+
+double root_mean_squared_error(const std::vector<double>& y_true,
+                               const std::vector<double>& y_pred) {
+  check_sizes(y_true, y_pred);
+  double s = 0.0;
+  for (std::size_t i = 0; i < y_true.size(); ++i) {
+    s += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+  }
+  return std::sqrt(s / static_cast<double>(y_true.size()));
+}
+
+Scores score_all(const std::vector<double>& y_true,
+                 const std::vector<double>& y_pred) {
+  return Scores{.r2 = r2_score(y_true, y_pred),
+                .mae = mean_absolute_error(y_true, y_pred),
+                .mape = mean_absolute_percentage_error(y_true, y_pred),
+                .rmse = root_mean_squared_error(y_true, y_pred)};
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file metrics.hpp
+/// The paper's evaluation metrics (§3.2): coefficient of determination
+/// (R^2), mean absolute error (MAE) and mean absolute percentage error
+/// (MAPE, reported as a fraction, e.g. 0.023 — matching the paper's usage).
+
+#include <vector>
+
+namespace ccpred::ml {
+
+/// R^2 = 1 - SS_res / SS_tot. Returns 1 when predictions are exact even if
+/// the targets are constant; can be negative for models worse than the mean.
+double r2_score(const std::vector<double>& y_true,
+                const std::vector<double>& y_pred);
+
+/// Mean absolute error (same units as the target).
+double mean_absolute_error(const std::vector<double>& y_true,
+                           const std::vector<double>& y_pred);
+
+/// Mean absolute percentage error as a *fraction* (0.1 == 10%).
+/// Requires all |y_true| > 0 (wall times always are).
+double mean_absolute_percentage_error(const std::vector<double>& y_true,
+                                      const std::vector<double>& y_pred);
+
+/// Root mean squared error.
+double root_mean_squared_error(const std::vector<double>& y_true,
+                               const std::vector<double>& y_pred);
+
+/// Bundle of all paper metrics for one evaluation.
+struct Scores {
+  double r2 = 0.0;
+  double mae = 0.0;
+  double mape = 0.0;
+  double rmse = 0.0;
+};
+
+/// Computes all metrics at once.
+Scores score_all(const std::vector<double>& y_true,
+                 const std::vector<double>& y_pred);
+
+}  // namespace ccpred::ml

@@ -1,0 +1,87 @@
+#include "ccpred/core/model_zoo.hpp"
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/core/adaboost.hpp"
+#include "ccpred/core/bayesian_ridge.hpp"
+#include "ccpred/core/decision_tree.hpp"
+#include "ccpred/core/gaussian_process.hpp"
+#include "ccpred/core/gradient_boosting.hpp"
+#include "ccpred/core/kernel_ridge.hpp"
+#include "ccpred/core/polynomial.hpp"
+#include "ccpred/core/random_forest.hpp"
+#include "ccpred/core/svr.hpp"
+
+namespace ccpred::ml {
+
+const std::vector<ZooEntry>& model_zoo() {
+  static const std::vector<ZooEntry> zoo = {
+      {"PR",
+       "Polynomial regression (ridge on monomial expansion)",
+       [] { return std::make_unique<PolynomialRegression>(); },
+       {{"degree", {2, 3, 4}}, {"alpha", {1e-6, 1e-3, 1.0}}}},
+      {"KR",
+       "Kernel ridge regression (RBF)",
+       [] { return std::make_unique<KernelRidgeRegression>(); },
+       {{"alpha", {0.01, 0.1, 1.0}}, {"gamma", {0.1, 0.5, 2.0}}}},
+      {"DT",
+       "CART decision tree",
+       [] {
+         return std::make_unique<DecisionTreeRegressor>(
+             TreeOptions{.max_depth = 12});
+       },
+       {{"max_depth", {8, 12, 16}}, {"min_samples_leaf", {1, 2, 4}}}},
+      {"RF",
+       "Random forest (bagged CART)",
+       [] {
+         return std::make_unique<RandomForestRegressor>(
+             100, TreeOptions{.max_depth = 16});
+       },
+       {{"n_estimators", {100, 200}}, {"max_depth", {12, 16}}}},
+      {"GB",
+       "Gradient-boosted trees (squared loss)",
+       [] { return std::make_unique<GradientBoostingRegressor>(); },
+       {{"n_estimators", {250, 750}},
+        {"max_depth", {6, 10}},
+        {"learning_rate", {0.05, 0.1}}}},
+      {"AB",
+       "AdaBoost.R2 with CART base learners",
+       [] { return std::make_unique<AdaBoostRegressor>(); },
+       {{"n_estimators", {50, 100}}, {"max_depth", {4, 8}}}},
+      {"GP",
+       "Gaussian-process regression (RBF + white noise)",
+       [] { return std::make_unique<GaussianProcessRegression>(); },
+       {{"gamma", {0.1, 0.5, 2.0}},
+        {"noise", {1e-4, 1e-2}},
+        {"optimize", {0}}}},
+      {"BR",
+       "Bayesian ridge regression (evidence maximization)",
+       [] { return std::make_unique<BayesianRidgeRegression>(); },
+       {{"alpha_1", {1e-6, 1e-4}}, {"lambda_1", {1e-6, 1e-4}}}},
+      {"SVR",
+       "Epsilon-insensitive support vector regression (RBF)",
+       [] { return std::make_unique<SupportVectorRegression>(); },
+       {{"C", {1.0, 10.0, 100.0}}, {"gamma", {0.1, 0.5}}}},
+  };
+  return zoo;
+}
+
+const ZooEntry& zoo_entry(const std::string& key) {
+  for (const auto& entry : model_zoo()) {
+    if (entry.key == key) return entry;
+  }
+  throw Error("unknown model key: " + key);
+}
+
+std::unique_ptr<Regressor> make_model(const std::string& key) {
+  return zoo_entry(key).make();
+}
+
+std::unique_ptr<Regressor> make_paper_gb() {
+  // §4.2: "GB models with 750 tree-based estimators, a maximum depth of 10,
+  // and all other default hyper-parameter values".
+  return std::make_unique<GradientBoostingRegressor>(
+      /*n_estimators=*/750, /*learning_rate=*/0.1,
+      TreeOptions{.max_depth = 10});
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file model_zoo.hpp
+/// The paper's evaluated model family (§3.1) behind one factory: all nine
+/// regressors with their default configurations and per-model
+/// hyper-parameter search spaces used by Figures 1-2.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccpred/core/param_space.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// One catalogued model: factory + default search grid.
+struct ZooEntry {
+  std::string key;          ///< paper abbreviation ("PR", "KR", ...)
+  std::string description;  ///< one-line human description
+  std::function<std::unique_ptr<Regressor>()> make;
+  ParamGrid grid;           ///< grid-search candidates (Figures 1-2)
+};
+
+/// All nine models in paper order: PR, KR, DT, RF, GB, AB, GP, BR, SVR.
+const std::vector<ZooEntry>& model_zoo();
+
+/// Lookup by key; throws ccpred::Error for unknown keys.
+const ZooEntry& zoo_entry(const std::string& key);
+
+/// Fresh default instance of a catalogued model.
+std::unique_ptr<Regressor> make_model(const std::string& key);
+
+/// The paper's production configuration (§4.2): gradient boosting with 750
+/// estimators, max depth 10, all other hyper-parameters default.
+std::unique_ptr<Regressor> make_paper_gb();
+
+}  // namespace ccpred::ml

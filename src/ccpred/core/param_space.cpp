@@ -1,0 +1,113 @@
+#include "ccpred/core/param_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::ml {
+
+std::vector<ParamMap> expand_grid(const ParamGrid& grid) {
+  std::vector<ParamMap> out;
+  out.push_back({});
+  for (const auto& [key, values] : grid) {
+    CCPRED_CHECK_MSG(!values.empty(), "empty grid for parameter " << key);
+    std::vector<ParamMap> next;
+    next.reserve(out.size() * values.size());
+    for (const auto& base : out) {
+      for (double v : values) {
+        ParamMap p = base;
+        p[key] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+ParamMap sample_params(const ParamSpace& space, Rng& rng) {
+  ParamMap out;
+  for (const auto& [key, range] : space) {
+    CCPRED_CHECK_MSG(range.lo <= range.hi, "bad range for " << key);
+    double v;
+    if (range.log_scale) {
+      CCPRED_CHECK_MSG(range.lo > 0.0, "log-scale range must be positive");
+      v = std::pow(10.0, rng.uniform(std::log10(range.lo),
+                                     std::log10(range.hi)));
+    } else {
+      v = rng.uniform(range.lo, range.hi);
+    }
+    if (range.integer) v = std::round(v);
+    out[key] = std::clamp(v, range.lo, range.hi);
+  }
+  return out;
+}
+
+std::vector<double> encode_params(const ParamSpace& space,
+                                  const ParamMap& params) {
+  std::vector<double> out;
+  out.reserve(space.size());
+  for (const auto& [key, range] : space) {
+    const auto it = params.find(key);
+    CCPRED_CHECK_MSG(it != params.end(), "missing parameter " << key);
+    double v = it->second;
+    double lo = range.lo;
+    double hi = range.hi;
+    if (range.log_scale) {
+      v = std::log10(v);
+      lo = std::log10(range.lo);
+      hi = std::log10(range.hi);
+    }
+    out.push_back(hi > lo ? (v - lo) / (hi - lo) : 0.0);
+  }
+  return out;
+}
+
+ParamMap decode_params(const ParamSpace& space,
+                       const std::vector<double>& unit) {
+  CCPRED_CHECK_MSG(unit.size() == space.size(), "encoded size mismatch");
+  ParamMap out;
+  std::size_t i = 0;
+  for (const auto& [key, range] : space) {
+    double lo = range.lo;
+    double hi = range.hi;
+    const double u = std::clamp(unit[i++], 0.0, 1.0);
+    double v;
+    if (range.log_scale) {
+      lo = std::log10(range.lo);
+      hi = std::log10(range.hi);
+      v = std::pow(10.0, lo + u * (hi - lo));
+    } else {
+      v = lo + u * (hi - lo);
+    }
+    if (range.integer) v = std::round(v);
+    out[key] = std::clamp(v, range.lo, range.hi);
+  }
+  return out;
+}
+
+std::size_t grid_size(const ParamGrid& grid) {
+  std::size_t n = 1;
+  for (const auto& [key, values] : grid) n *= values.size();
+  return n;
+}
+
+ParamSpace space_from_grid(const ParamGrid& grid) {
+  ParamSpace space;
+  for (const auto& [key, values] : grid) {
+    CCPRED_CHECK_MSG(!values.empty(), "empty grid for parameter " << key);
+    ParamRange r;
+    r.lo = *std::min_element(values.begin(), values.end());
+    r.hi = *std::max_element(values.begin(), values.end());
+    r.integer = std::all_of(values.begin(), values.end(), [](double v) {
+      return v == std::round(v);
+    });
+    r.log_scale = r.lo > 0.0 && r.hi / std::max(r.lo, 1e-300) >= 100.0;
+    if (r.lo == r.hi) r.hi = r.lo;  // degenerate single-value dimension
+    space[key] = r;
+  }
+  return space;
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file param_space.hpp
+/// Hyper-parameter search spaces: discrete grids (GridSearchCV-style) and
+/// continuous ranges (for randomized and Bayesian search).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// Discrete candidate values per parameter.
+using ParamGrid = std::map<std::string, std::vector<double>>;
+
+/// Cartesian expansion of a grid into concrete assignments
+/// (deterministic order: parameters alphabetical, first key slowest).
+std::vector<ParamMap> expand_grid(const ParamGrid& grid);
+
+/// A continuous (or integer) parameter range.
+struct ParamRange {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log_scale = false;  ///< sample uniformly in log10-space
+  bool integer = false;    ///< round samples to whole numbers
+};
+
+/// Continuous search space for randomized / Bayesian search.
+using ParamSpace = std::map<std::string, ParamRange>;
+
+/// Draws one assignment uniformly from the space.
+ParamMap sample_params(const ParamSpace& space, Rng& rng);
+
+/// Maps an assignment into [0,1]^d (log-scaled dims in log space); used by
+/// Bayesian search to give the surrogate GP a well-conditioned domain.
+std::vector<double> encode_params(const ParamSpace& space,
+                                  const ParamMap& params);
+
+/// Inverse of encode_params (rounding integer dims).
+ParamMap decode_params(const ParamSpace& space,
+                       const std::vector<double>& unit);
+
+/// The grid's outer product size.
+std::size_t grid_size(const ParamGrid& grid);
+
+/// Derives a continuous space spanning the grid's min/max per parameter
+/// (log-scaled when the grid spans >= 2 decades, integer when all values
+/// are whole). Lets callers define one grid per model and reuse it for all
+/// three strategies.
+ParamSpace space_from_grid(const ParamGrid& grid);
+
+}  // namespace ccpred::ml

@@ -1,0 +1,100 @@
+#include "ccpred/core/polynomial.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::ml {
+namespace {
+
+void enumerate(std::size_t dims, int remaining, std::vector<int>& current,
+               std::vector<std::vector<int>>& out) {
+  if (current.size() == dims) {
+    int total = 0;
+    for (int e : current) total += e;
+    if (total >= 1) out.push_back(current);
+    return;
+  }
+  for (int e = 0; e <= remaining; ++e) {
+    current.push_back(e);
+    enumerate(dims, remaining - e, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> monomial_exponents(std::size_t dims,
+                                                 int degree) {
+  CCPRED_CHECK_MSG(dims > 0, "need at least one feature");
+  CCPRED_CHECK_MSG(degree >= 1, "polynomial degree must be >= 1");
+  std::vector<std::vector<int>> out;
+  std::vector<int> current;
+  enumerate(dims, degree, current, out);
+  return out;
+}
+
+linalg::Matrix polynomial_expand(
+    const linalg::Matrix& x, const std::vector<std::vector<int>>& exponents) {
+  CCPRED_CHECK_MSG(!exponents.empty(), "empty monomial set");
+  for (const auto& e : exponents) {
+    CCPRED_CHECK_MSG(e.size() == x.cols(), "exponent arity mismatch");
+  }
+  linalg::Matrix out(x.rows(), exponents.size());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* xi = x.row_ptr(i);
+    for (std::size_t m = 0; m < exponents.size(); ++m) {
+      double v = 1.0;
+      for (std::size_t c = 0; c < exponents[m].size(); ++c) {
+        for (int e = 0; e < exponents[m][c]; ++e) v *= xi[c];
+      }
+      out(i, m) = v;
+    }
+  }
+  return out;
+}
+
+PolynomialRegression::PolynomialRegression(int degree, double alpha)
+    : degree_(degree), alpha_(alpha), linear_(alpha) {
+  CCPRED_CHECK_MSG(degree >= 1 && degree <= 6,
+                   "polynomial degree must be in [1, 6]");
+}
+
+void PolynomialRegression::fit(const linalg::Matrix& x,
+                               const std::vector<double>& y) {
+  exponents_ = monomial_exponents(x.cols(), degree_);
+  linear_ = RidgeRegression(alpha_);
+  linear_.fit(polynomial_expand(x, exponents_), y);
+}
+
+std::vector<double> PolynomialRegression::predict(
+    const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(is_fitted(), "PolynomialRegression::predict before fit");
+  return linear_.predict(polynomial_expand(x, exponents_));
+}
+
+std::unique_ptr<Regressor> PolynomialRegression::clone() const {
+  return std::make_unique<PolynomialRegression>(degree_, alpha_);
+}
+
+const std::string& PolynomialRegression::name() const {
+  static const std::string n = "PR";
+  return n;
+}
+
+void PolynomialRegression::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "degree") {
+      const int d = static_cast<int>(std::lround(value));
+      CCPRED_CHECK_MSG(d >= 1 && d <= 6, "polynomial degree must be in [1,6]");
+      degree_ = d;
+    } else if (key == "alpha") {
+      CCPRED_CHECK_MSG(value >= 0.0, "alpha must be >= 0");
+      alpha_ = value;
+    } else {
+      throw Error("PolynomialRegression: unknown parameter '" + key + "'");
+    }
+  }
+}
+
+}  // namespace ccpred::ml

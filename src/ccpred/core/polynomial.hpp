@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file polynomial.hpp
+/// Polynomial regression (paper §3.1 "PR"): expands the four runtime
+/// features into all monomials up to a total degree, then solves a ridge
+/// system — linear in the coefficients, nonlinear in the features.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccpred/core/linear.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// All monomial exponent tuples of `dims` variables with total degree in
+/// [1, degree], in deterministic lexicographic order.
+std::vector<std::vector<int>> monomial_exponents(std::size_t dims, int degree);
+
+/// Expands each row of `x` into the monomial features given by `exponents`.
+linalg::Matrix polynomial_expand(const linalg::Matrix& x,
+                                 const std::vector<std::vector<int>>& exponents);
+
+/// Polynomial regression. Parameters: "degree" (1..6), "alpha" (ridge
+/// penalty on the expanded features).
+class PolynomialRegression : public Regressor {
+ public:
+  explicit PolynomialRegression(int degree = 3, double alpha = 1e-6);
+
+  void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const linalg::Matrix& x) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  const std::string& name() const override;
+  void set_params(const ParamMap& params) override;
+  bool is_fitted() const override { return linear_.is_fitted(); }
+
+  int degree() const { return degree_; }
+
+ private:
+  int degree_;
+  double alpha_;
+  std::vector<std::vector<int>> exponents_;
+  RidgeRegression linear_;
+};
+
+}  // namespace ccpred::ml

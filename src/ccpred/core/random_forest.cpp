@@ -1,0 +1,107 @@
+#include "ccpred/core/random_forest.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/thread_pool.hpp"
+
+namespace ccpred::ml {
+
+RandomForestRegressor::RandomForestRegressor(int n_estimators,
+                                             TreeOptions tree_options,
+                                             bool bootstrap,
+                                             std::uint64_t seed)
+    : n_estimators_(n_estimators),
+      tree_options_(tree_options),
+      bootstrap_(bootstrap),
+      seed_(seed) {
+  CCPRED_CHECK_MSG(n_estimators > 0, "n_estimators must be > 0");
+}
+
+void RandomForestRegressor::fit(const linalg::Matrix& x,
+                                const std::vector<double>& y) {
+  CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(x.rows() > 0, "cannot fit on empty data");
+
+  trees_.clear();
+  const auto n = static_cast<std::size_t>(n_estimators_);
+  trees_.reserve(n);
+  // Pre-derive per-tree seeds so parallel training is deterministic.
+  Rng seeder(seed_);
+  std::vector<std::uint64_t> tree_seeds(n);
+  for (auto& s : tree_seeds) s = seeder.next();
+
+  for (std::size_t t = 0; t < n; ++t) {
+    TreeOptions opt = tree_options_;
+    opt.seed = tree_seeds[t] ^ 0x5bf03635ULL;
+    trees_.emplace_back(opt);
+  }
+  parallel_for(0, n, [&](std::size_t t) {
+    Rng rng(tree_seeds[t]);
+    if (bootstrap_) {
+      trees_[t].fit_rows(x, y, rng.bootstrap_indices(x.rows()));
+    } else {
+      trees_[t].fit(x, y);
+    }
+  });
+}
+
+std::vector<double> RandomForestRegressor::predict(
+    const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(is_fitted(), "RandomForestRegressor::predict before fit");
+  std::vector<double> out(x.rows(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row_ptr(i);
+    double s = 0.0;
+    for (const auto& tree : trees_) s += tree.predict_row(row);
+    out[i] = s / static_cast<double>(trees_.size());
+  }
+  return out;
+}
+
+std::vector<double> RandomForestRegressor::feature_importances() const {
+  CCPRED_CHECK_MSG(is_fitted(), "feature_importances before fit");
+  std::vector<double> out;
+  for (const auto& tree : trees_) {
+    const auto imp = tree.feature_importances();
+    if (out.empty()) out.assign(imp.size(), 0.0);
+    for (std::size_t c = 0; c < imp.size(); ++c) out[c] += imp[c];
+  }
+  double total = 0.0;
+  for (double v : out) total += v;
+  if (total > 0.0) {
+    for (auto& v : out) v /= total;
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> RandomForestRegressor::clone() const {
+  return std::make_unique<RandomForestRegressor>(n_estimators_, tree_options_,
+                                                 bootstrap_, seed_);
+}
+
+const std::string& RandomForestRegressor::name() const {
+  static const std::string n = "RF";
+  return n;
+}
+
+void RandomForestRegressor::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    const int iv = static_cast<int>(std::lround(value));
+    if (key == "n_estimators") {
+      CCPRED_CHECK_MSG(iv > 0, "n_estimators must be > 0");
+      n_estimators_ = iv;
+    } else if (key == "bootstrap") {
+      bootstrap_ = value != 0.0;
+    } else if (key == "max_depth" || key == "min_samples_split" ||
+               key == "min_samples_leaf" || key == "max_features") {
+      DecisionTreeRegressor probe(tree_options_);
+      probe.set_params({{key, value}});
+      tree_options_ = probe.options();
+    } else {
+      throw Error("RandomForestRegressor: unknown parameter '" + key + "'");
+    }
+  }
+}
+
+}  // namespace ccpred::ml

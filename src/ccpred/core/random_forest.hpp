@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file random_forest.hpp
+/// Random forest regression (paper §3.1 "RF"): bagged CART trees with
+/// optional per-split feature subsampling; members train in parallel on
+/// the thread pool with per-tree RNG streams, so results are independent
+/// of scheduling.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/core/decision_tree.hpp"
+#include "ccpred/core/regressor.hpp"
+
+namespace ccpred::ml {
+
+/// Parameters: "n_estimators", "max_depth", "min_samples_split",
+/// "min_samples_leaf", "max_features" (0 = all), "bootstrap" (0/1).
+class RandomForestRegressor : public Regressor {
+ public:
+  explicit RandomForestRegressor(int n_estimators = 100,
+                                 TreeOptions tree_options = {},
+                                 bool bootstrap = true,
+                                 std::uint64_t seed = 42);
+
+  void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> predict(const linalg::Matrix& x) const override;
+  std::unique_ptr<Regressor> clone() const override;
+  const std::string& name() const override;
+  void set_params(const ParamMap& params) override;
+  bool is_fitted() const override { return !trees_.empty(); }
+
+  std::size_t tree_count() const { return trees_.size(); }
+
+  /// Mean impurity-based feature importances over the ensemble,
+  /// normalized to sum to 1.
+  std::vector<double> feature_importances() const;
+  const DecisionTreeRegressor& tree(std::size_t i) const { return trees_[i]; }
+
+ private:
+  int n_estimators_;
+  TreeOptions tree_options_;
+  bool bootstrap_;
+  std::uint64_t seed_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace ccpred::ml

@@ -1,0 +1,19 @@
+#include "ccpred/core/random_search.hpp"
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::ml {
+
+SearchResult random_search(const Regressor& prototype, const ParamSpace& space,
+                           int n_iter, const linalg::Matrix& x,
+                           const std::vector<double>& y,
+                           const SearchOptions& options) {
+  CCPRED_CHECK_MSG(n_iter > 0, "random search needs n_iter > 0");
+  Rng rng(options.seed ^ 0x9d2c5680ULL);
+  std::vector<ParamMap> candidates;
+  candidates.reserve(static_cast<std::size_t>(n_iter));
+  for (int i = 0; i < n_iter; ++i) candidates.push_back(sample_params(space, rng));
+  return detail::evaluate_candidates(prototype, candidates, x, y, options);
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file random_search.hpp
+/// Randomized hyper-parameter search: n_iter assignments sampled from a
+/// continuous ParamSpace, each scored by k-fold CV.
+
+#include "ccpred/core/grid_search.hpp"
+
+namespace ccpred::ml {
+
+/// Samples `n_iter` candidates from `space` (deterministic in
+/// options.seed) and evaluates them with CV.
+SearchResult random_search(const Regressor& prototype, const ParamSpace& space,
+                           int n_iter, const linalg::Matrix& x,
+                           const std::vector<double>& y,
+                           const SearchOptions& options = {});
+
+}  // namespace ccpred::ml

@@ -1,0 +1,119 @@
+#include "ccpred/core/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/strings.hpp"
+
+namespace ccpred::ml {
+namespace {
+
+constexpr const char* kTreeHeader = "ccpred-tree-v1";
+constexpr const char* kGbHeader = "ccpred-gb-v1";
+
+void write_tree_body(std::ostream& out, const DecisionTreeRegressor& tree) {
+  out.precision(17);
+  const auto& nodes = tree.nodes();
+  const auto& importance = tree.raw_importance();
+  out << nodes.size() << ' ' << importance.size() << '\n';
+  for (const auto& n : nodes) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.value << ' ' << n.left
+        << ' ' << n.right << '\n';
+  }
+  for (std::size_t i = 0; i < importance.size(); ++i) {
+    out << (i ? " " : "") << importance[i];
+  }
+  if (!importance.empty()) out << '\n';
+}
+
+DecisionTreeRegressor read_tree_body(std::istream& in) {
+  std::size_t n_nodes = 0;
+  std::size_t n_features = 0;
+  CCPRED_CHECK_MSG(static_cast<bool>(in >> n_nodes >> n_features),
+                   "tree body: missing size line");
+  CCPRED_CHECK_MSG(n_nodes >= 1 && n_nodes < (1u << 26),
+                   "tree body: implausible node count " << n_nodes);
+  std::vector<TreeNode> nodes(n_nodes);
+  for (auto& node : nodes) {
+    CCPRED_CHECK_MSG(
+        static_cast<bool>(in >> node.feature >> node.threshold >>
+                          node.value >> node.left >> node.right),
+        "tree body: truncated node record");
+  }
+  std::vector<double> importance(n_features);
+  for (auto& v : importance) {
+    CCPRED_CHECK_MSG(static_cast<bool>(in >> v),
+                     "tree body: truncated importance record");
+  }
+  return DecisionTreeRegressor::from_parts({}, std::move(nodes),
+                                           std::move(importance));
+}
+
+}  // namespace
+
+std::string serialize_tree(const DecisionTreeRegressor& tree) {
+  CCPRED_CHECK_MSG(tree.is_fitted(), "cannot serialize an unfitted tree");
+  std::ostringstream out;
+  out << kTreeHeader << '\n';
+  write_tree_body(out, tree);
+  return out.str();
+}
+
+DecisionTreeRegressor deserialize_tree(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  CCPRED_CHECK_MSG(static_cast<bool>(in >> header) && header == kTreeHeader,
+                   "not a ccpred tree file");
+  return read_tree_body(in);
+}
+
+std::string serialize_gb(const GradientBoostingRegressor& model) {
+  CCPRED_CHECK_MSG(model.is_fitted(), "cannot serialize an unfitted model");
+  std::ostringstream out;
+  out.precision(17);
+  out << kGbHeader << '\n'
+      << model.stages().size() << ' ' << model.learning_rate() << ' '
+      << model.base_prediction() << '\n';
+  for (const auto& tree : model.stages()) write_tree_body(out, tree);
+  return out.str();
+}
+
+GradientBoostingRegressor deserialize_gb(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  CCPRED_CHECK_MSG(static_cast<bool>(in >> header) && header == kGbHeader,
+                   "not a ccpred GB model file");
+  std::size_t n_stages = 0;
+  double learning_rate = 0.0;
+  double base = 0.0;
+  CCPRED_CHECK_MSG(
+      static_cast<bool>(in >> n_stages >> learning_rate >> base),
+      "GB model file: missing header line");
+  CCPRED_CHECK_MSG(n_stages >= 1 && n_stages < (1u << 20),
+                   "GB model file: implausible stage count " << n_stages);
+  std::vector<DecisionTreeRegressor> stages;
+  stages.reserve(n_stages);
+  for (std::size_t s = 0; s < n_stages; ++s) {
+    stages.push_back(read_tree_body(in));
+  }
+  return GradientBoostingRegressor::from_parts(learning_rate, base,
+                                               std::move(stages));
+}
+
+void save_gb(const GradientBoostingRegressor& model, const std::string& path) {
+  std::ofstream out(path);
+  CCPRED_CHECK_MSG(out.good(), "cannot open model file for write: " << path);
+  out << serialize_gb(model);
+  CCPRED_CHECK_MSG(out.good(), "I/O error writing model file: " << path);
+}
+
+GradientBoostingRegressor load_gb(const std::string& path) {
+  std::ifstream in(path);
+  CCPRED_CHECK_MSG(in.good(), "cannot open model file: " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize_gb(buf.str());
+}
+
+}  // namespace ccpred::ml

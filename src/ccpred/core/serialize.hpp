@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Text serialization for the tree-family models, so a trained runtime
+/// predictor can be shipped to users without shipping the training data:
+/// train once per machine, publish the model file, everyone gets instant
+/// STQ/BQ answers.
+///
+/// Format: line-oriented ASCII with full double precision. Versioned
+/// header; loaders validate structure and throw ccpred::Error on
+/// malformed input.
+
+#include <string>
+
+#include "ccpred/core/decision_tree.hpp"
+#include "ccpred/core/gradient_boosting.hpp"
+
+namespace ccpred::ml {
+
+/// Serializes a fitted CART tree.
+std::string serialize_tree(const DecisionTreeRegressor& tree);
+
+/// Restores a tree from serialize_tree output.
+DecisionTreeRegressor deserialize_tree(const std::string& text);
+
+/// Serializes a fitted gradient-boosting model (all stages + the
+/// hyper-parameters needed to predict).
+std::string serialize_gb(const GradientBoostingRegressor& model);
+
+/// Restores a GB model from serialize_gb output; the result predicts
+/// bit-identically to the original.
+GradientBoostingRegressor deserialize_gb(const std::string& text);
+
+/// Convenience: write/read a GB model file.
+void save_gb(const GradientBoostingRegressor& model, const std::string& path);
+GradientBoostingRegressor load_gb(const std::string& path);
+
+}  // namespace ccpred::ml

@@ -1,0 +1,129 @@
+#include "ccpred/core/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/linalg/blas.hpp"
+
+namespace ccpred::ml {
+
+SupportVectorRegression::SupportVectorRegression(double c, double epsilon,
+                                                 double gamma)
+    : c_(c), epsilon_(epsilon) {
+  CCPRED_CHECK_MSG(c > 0.0, "SVR C must be > 0");
+  CCPRED_CHECK_MSG(epsilon >= 0.0, "SVR epsilon must be >= 0");
+  CCPRED_CHECK_MSG(gamma > 0.0, "SVR gamma must be > 0");
+  kernel_.type = KernelType::kRbf;
+  kernel_.gamma = gamma;
+}
+
+void SupportVectorRegression::fit(const linalg::Matrix& x,
+                                  const std::vector<double>& y) {
+  CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(x.rows() > 0, "cannot fit on empty data");
+  x_train_ = scaler_.fit_transform(x);
+  const auto yz = y_scaler_.fit_transform(y);
+  const std::size_t n = x_train_.rows();
+
+  // K~ = K + 1 absorbs the bias term.
+  linalg::Matrix k = kernel_.gram_symmetric(x_train_);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) k(i, j) += 1.0;
+  }
+
+  beta_.assign(n, 0.0);
+  std::vector<double> f(n, 0.0);  // f = K~ beta, kept incrementally
+
+  sweeps_used_ = 0;
+  for (int sweep = 0; sweep < max_sweeps_; ++sweep) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kii = k(i, i);
+      // Minimize 0.5*kii*b^2 + b*(f_i - kii*beta_i - y_i) + eps*|b| over b.
+      const double s = f[i] - kii * beta_[i] - yz[i];
+      double b;
+      if (-s > epsilon_) {
+        b = (-s - epsilon_) / kii;
+      } else if (-s < -epsilon_) {
+        b = (-s + epsilon_) / kii;
+      } else {
+        b = 0.0;
+      }
+      b = std::clamp(b, -c_, c_);
+      const double delta = b - beta_[i];
+      if (delta != 0.0) {
+        const double* ki = k.row_ptr(i);
+        for (std::size_t j = 0; j < n; ++j) f[j] += delta * ki[j];
+        beta_[i] = b;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    ++sweeps_used_;
+    if (max_delta < tol_) break;
+  }
+  fitted_ = true;
+}
+
+std::vector<double> SupportVectorRegression::predict(
+    const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(fitted_, "SupportVectorRegression::predict before fit");
+  const linalg::Matrix z = scaler_.transform(x);
+  const linalg::Matrix k = kernel_.gram(z, x_train_);
+  std::vector<double> out(z.rows(), 0.0);
+  double beta_sum = 0.0;
+  for (double b : beta_) beta_sum += b;
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    const double* ki = k.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < beta_.size(); ++j) s += ki[j] * beta_[j];
+    out[i] = y_scaler_.inverse_one(s + beta_sum);  // +1 kernel offset = bias
+  }
+  return out;
+}
+
+std::size_t SupportVectorRegression::support_vector_count() const {
+  std::size_t count = 0;
+  for (double b : beta_) {
+    if (std::abs(b) > 1e-12) ++count;
+  }
+  return count;
+}
+
+std::unique_ptr<Regressor> SupportVectorRegression::clone() const {
+  auto copy =
+      std::make_unique<SupportVectorRegression>(c_, epsilon_, kernel_.gamma);
+  copy->max_sweeps_ = max_sweeps_;
+  copy->tol_ = tol_;
+  return copy;
+}
+
+const std::string& SupportVectorRegression::name() const {
+  static const std::string n = "SVR";
+  return n;
+}
+
+void SupportVectorRegression::set_params(const ParamMap& params) {
+  for (const auto& [key, value] : params) {
+    if (key == "C") {
+      CCPRED_CHECK_MSG(value > 0.0, "C must be > 0");
+      c_ = value;
+    } else if (key == "epsilon") {
+      CCPRED_CHECK_MSG(value >= 0.0, "epsilon must be >= 0");
+      epsilon_ = value;
+    } else if (key == "gamma") {
+      CCPRED_CHECK_MSG(value > 0.0, "gamma must be > 0");
+      kernel_.gamma = value;
+    } else if (key == "max_sweeps") {
+      max_sweeps_ = static_cast<int>(std::lround(value));
+      CCPRED_CHECK_MSG(max_sweeps_ > 0, "max_sweeps must be > 0");
+    } else if (key == "tol") {
+      CCPRED_CHECK_MSG(value > 0.0, "tol must be > 0");
+      tol_ = value;
+    } else {
+      throw Error("SupportVectorRegression: unknown parameter '" + key + "'");
+    }
+  }
+}
+
+}  // namespace ccpred::ml

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file dataset.hpp
+/// The tabular dataset the paper's ML framework consumes: one row per CCSD
+/// run with features <O, V, NumNodes, TileSize> and the measured wall time
+/// of one iteration as the target.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ccpred/common/csv.hpp"
+#include "ccpred/linalg/matrix.hpp"
+#include "ccpred/sim/ccsd_simulator.hpp"
+
+namespace ccpred::data {
+
+/// Feature column order used throughout the library.
+enum FeatureIndex : std::size_t {
+  kFeatO = 0,
+  kFeatV = 1,
+  kFeatNodes = 2,
+  kFeatTile = 3,
+  kNumFeatures = 4,
+};
+
+/// A supervised dataset: X is n x 4 (O, V, nodes, tile), y is wall time (s).
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Appends one run.
+  void add(const sim::RunConfig& cfg, double time_s);
+
+  std::size_t size() const { return y_.size(); }
+  bool empty() const { return y_.empty(); }
+
+  /// Feature matrix (n x 4), built on demand from the stored rows.
+  linalg::Matrix features() const;
+
+  /// Targets (wall time per iteration, seconds).
+  const std::vector<double>& targets() const { return y_; }
+
+  /// Run configuration of row i.
+  const sim::RunConfig& config(std::size_t i) const;
+
+  /// Target of row i.
+  double target(std::size_t i) const;
+
+  /// Node-hours of row i (nodes * time / 3600) — the BQ objective.
+  double node_hours(std::size_t i) const;
+
+  /// Subset with the given row indices (in order).
+  Dataset select(const std::vector<std::size_t>& indices) const;
+
+  /// Row indices grouped by problem size (O, V), keys in ascending order.
+  std::map<std::pair<int, int>, std::vector<std::size_t>> group_by_problem()
+      const;
+
+  /// Distinct problem sizes present, in ascending order.
+  std::vector<std::pair<int, int>> problems() const;
+
+  /// Canonical feature names: {"O", "V", "nodes", "tilesize"}.
+  static const std::vector<std::string>& feature_names();
+
+  /// Conversion to/from CSV (columns O, V, nodes, tilesize, time_s).
+  CsvTable to_csv() const;
+  static Dataset from_csv(const CsvTable& table);
+
+ private:
+  std::vector<sim::RunConfig> configs_;
+  std::vector<double> y_;
+};
+
+}  // namespace ccpred::data

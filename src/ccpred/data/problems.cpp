@@ -1,0 +1,38 @@
+#include "ccpred/data/problems.hpp"
+
+#include <string>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::data {
+
+const std::vector<Problem>& aurora_problems() {
+  // Paper Table 3 (one row per problem size).
+  static const std::vector<Problem> list = {
+      {44, 260},   {81, 835},   {85, 698},   {99, 718},   {99, 1021},
+      {116, 575},  {116, 840},  {116, 1184}, {134, 523},  {134, 951},
+      {134, 1200}, {146, 278},  {146, 591},  {146, 1096}, {146, 1568},
+      {180, 720},  {180, 1070}, {196, 764},  {204, 969},  {235, 1007},
+      {280, 1040}, {345, 791},
+  };
+  return list;
+}
+
+const std::vector<Problem>& frontier_problems() {
+  // Paper Table 4.
+  static const std::vector<Problem> list = {
+      {49, 663},   {81, 835},  {85, 698},   {99, 718},  {99, 1021},
+      {116, 575},  {116, 840}, {116, 1184}, {134, 523}, {134, 951},
+      {134, 1200}, {146, 591}, {146, 1096}, {180, 720}, {180, 1070},
+      {196, 764},  {204, 969}, {235, 1007}, {280, 1040}, {345, 791},
+  };
+  return list;
+}
+
+const std::vector<Problem>& problems_for(const std::string& machine_name) {
+  if (machine_name == "aurora") return aurora_problems();
+  if (machine_name == "frontier") return frontier_problems();
+  throw Error("unknown machine name: " + machine_name);
+}
+
+}  // namespace ccpred::data

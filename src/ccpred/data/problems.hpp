@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file problems.hpp
+/// The molecular problem sizes (occupied/virtual orbital counts) used in
+/// the paper's evaluation — the (O, V) pairs of Tables 3-6.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccpred::data {
+
+/// One molecular system characterized by orbital counts.
+struct Problem {
+  int o = 0;  ///< occupied orbitals
+  int v = 0;  ///< virtual orbitals
+
+  friend bool operator==(const Problem&, const Problem&) = default;
+};
+
+/// The 22 problem sizes evaluated on Aurora (paper Table 3/5).
+const std::vector<Problem>& aurora_problems();
+
+/// The 20 problem sizes evaluated on Frontier (paper Table 4/6).
+const std::vector<Problem>& frontier_problems();
+
+/// Problem list for a machine by name ("aurora" or "frontier").
+const std::vector<Problem>& problems_for(const std::string& machine_name);
+
+}  // namespace ccpred::data

@@ -1,0 +1,94 @@
+#include "ccpred/data/scaler.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::data {
+
+void StandardScaler::fit(const linalg::Matrix& x) {
+  CCPRED_CHECK_MSG(x.rows() > 0, "cannot fit scaler on empty matrix");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += x(i, c);
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dv = x(i, c) - mean_[c];
+      std_[c] += dv * dv;
+    }
+  }
+  for (auto& s : std_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s < 1e-12) s = 1.0;  // constant column
+  }
+}
+
+linalg::Matrix StandardScaler::transform(const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(fitted(), "scaler not fitted");
+  CCPRED_CHECK_MSG(x.cols() == mean_.size(), "column count mismatch");
+  linalg::Matrix z(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      z(i, c) = (x(i, c) - mean_[c]) / std_[c];
+    }
+  }
+  return z;
+}
+
+linalg::Matrix StandardScaler::fit_transform(const linalg::Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+linalg::Matrix StandardScaler::inverse_transform(
+    const linalg::Matrix& z) const {
+  CCPRED_CHECK_MSG(fitted(), "scaler not fitted");
+  CCPRED_CHECK_MSG(z.cols() == mean_.size(), "column count mismatch");
+  linalg::Matrix x(z.rows(), z.cols());
+  for (std::size_t i = 0; i < z.rows(); ++i) {
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      x(i, c) = z(i, c) * std_[c] + mean_[c];
+    }
+  }
+  return x;
+}
+
+void TargetScaler::fit(const std::vector<double>& y) {
+  CCPRED_CHECK_MSG(!y.empty(), "cannot fit target scaler on empty vector");
+  mean_ = 0.0;
+  for (double v : y) mean_ += v;
+  mean_ /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (double v : y) var += (v - mean_) * (v - mean_);
+  std_ = std::sqrt(var / static_cast<double>(y.size()));
+  if (std_ < 1e-12) std_ = 1.0;
+  fitted_ = true;
+}
+
+std::vector<double> TargetScaler::transform(
+    const std::vector<double>& y) const {
+  CCPRED_CHECK_MSG(fitted_, "target scaler not fitted");
+  std::vector<double> z(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) z[i] = (y[i] - mean_) / std_;
+  return z;
+}
+
+std::vector<double> TargetScaler::fit_transform(const std::vector<double>& y) {
+  fit(y);
+  return transform(y);
+}
+
+std::vector<double> TargetScaler::inverse_transform(
+    const std::vector<double>& z) const {
+  CCPRED_CHECK_MSG(fitted_, "target scaler not fitted");
+  std::vector<double> y(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) y[i] = inverse_one(z[i]);
+  return y;
+}
+
+}  // namespace ccpred::data

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file scaler.hpp
+/// Feature standardization (zero mean, unit variance), required by the
+/// kernel and linear models; tree ensembles are scale-invariant and skip it.
+
+#include <vector>
+
+#include "ccpred/linalg/matrix.hpp"
+
+namespace ccpred::data {
+
+/// Column-wise standard scaler: z = (x - mean) / std.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation. Constant columns get
+  /// std 1 so transform() is a no-op shift for them.
+  void fit(const linalg::Matrix& x);
+
+  /// True once fit() has been called.
+  bool fitted() const { return !mean_.empty(); }
+
+  /// Applies the learned transform; column count must match fit().
+  linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  /// fit() then transform() in one step.
+  linalg::Matrix fit_transform(const linalg::Matrix& x);
+
+  /// Inverse transform (z * std + mean).
+  linalg::Matrix inverse_transform(const linalg::Matrix& z) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// Target scaler: standardizes a vector (used by models whose priors assume
+/// centered targets, e.g. GP / Bayesian ridge).
+class TargetScaler {
+ public:
+  void fit(const std::vector<double>& y);
+  bool fitted() const { return fitted_; }
+  std::vector<double> transform(const std::vector<double>& y) const;
+  std::vector<double> fit_transform(const std::vector<double>& y);
+  double inverse_one(double z) const { return z * std_ + mean_; }
+  std::vector<double> inverse_transform(const std::vector<double>& z) const;
+  double mean() const { return mean_; }
+  double stddev() const { return std_; }
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double std_ = 1.0;
+};
+
+}  // namespace ccpred::data

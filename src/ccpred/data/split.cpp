@@ -1,0 +1,114 @@
+#include "ccpred/data/split.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::data {
+
+SplitIndices stratified_split(const Dataset& dataset, std::size_t test_count,
+                              Rng& rng) {
+  const std::size_t n = dataset.size();
+  CCPRED_CHECK_MSG(test_count > 0 && test_count < n,
+                   "test_count " << test_count << " out of range for " << n
+                                 << " rows");
+  const auto groups = dataset.group_by_problem();
+
+  // Largest-remainder allocation of the test quota across strata.
+  struct Stratum {
+    std::vector<std::size_t> rows;
+    std::size_t quota = 0;
+    double remainder = 0.0;
+  };
+  std::vector<Stratum> strata;
+  const double frac = static_cast<double>(test_count) / static_cast<double>(n);
+  std::size_t assigned = 0;
+  for (const auto& [key, rows] : groups) {
+    Stratum s;
+    s.rows = rows;
+    const double exact = frac * static_cast<double>(rows.size());
+    s.quota = static_cast<std::size_t>(exact);
+    s.remainder = exact - std::floor(exact);
+    assigned += s.quota;
+    strata.push_back(std::move(s));
+  }
+  std::vector<std::size_t> order(strata.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return strata[a].remainder > strata[b].remainder;
+  });
+  for (std::size_t k = 0; assigned < test_count; ++k) {
+    auto& s = strata[order[k % order.size()]];
+    if (s.quota < s.rows.size()) {
+      ++s.quota;
+      ++assigned;
+    }
+  }
+
+  SplitIndices out;
+  for (auto& s : strata) {
+    const auto picked = rng.sample_without_replacement(s.rows.size(), s.quota);
+    std::vector<bool> is_test(s.rows.size(), false);
+    for (auto i : picked) is_test[i] = true;
+    for (std::size_t i = 0; i < s.rows.size(); ++i) {
+      (is_test[i] ? out.test : out.train).push_back(s.rows[i]);
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.test.begin(), out.test.end());
+  CCPRED_CHECK(out.test.size() == test_count);
+  CCPRED_CHECK(out.train.size() + out.test.size() == n);
+  return out;
+}
+
+SplitIndices stratified_split_fraction(const Dataset& dataset,
+                                       double test_fraction, Rng& rng) {
+  CCPRED_CHECK_MSG(test_fraction > 0.0 && test_fraction < 1.0,
+                   "test fraction must be in (0,1)");
+  const auto count = static_cast<std::size_t>(
+      std::lround(test_fraction * static_cast<double>(dataset.size())));
+  return stratified_split(dataset, std::max<std::size_t>(1, count), rng);
+}
+
+void ensure_config_coverage(const Dataset& dataset, SplitIndices& split) {
+  // Key a configuration by its full (O, V, nodes, tile) tuple.
+  using Key = std::tuple<int, int, int, int>;
+  auto key_of = [&](std::size_t row) {
+    const auto& c = dataset.config(row);
+    return Key{c.o, c.v, c.nodes, c.tile};
+  };
+  std::map<Key, std::size_t> train_count;
+  for (auto r : split.train) ++train_count[key_of(r)];
+
+  for (std::size_t ti = 0; ti < split.test.size(); ++ti) {
+    const std::size_t test_row = split.test[ti];
+    const Key k = key_of(test_row);
+    if (train_count[k] > 0) continue;
+    // Uncovered configuration: swap this test row with a same-problem train
+    // row whose configuration has at least two train copies.
+    const auto& cfg = dataset.config(test_row);
+    for (std::size_t gi = 0; gi < split.train.size(); ++gi) {
+      const std::size_t train_row = split.train[gi];
+      const auto& tc = dataset.config(train_row);
+      if (tc.o != cfg.o || tc.v != cfg.v) continue;
+      const Key tk = key_of(train_row);
+      if (train_count[tk] < 2) continue;
+      std::swap(split.train[gi], split.test[ti]);
+      --train_count[tk];
+      ++train_count[k];
+      break;
+    }
+  }
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.test.begin(), split.test.end());
+}
+
+TrainTest apply_split(const Dataset& dataset, const SplitIndices& split) {
+  return TrainTest{.train = dataset.select(split.train),
+                   .test = dataset.select(split.test)};
+}
+
+}  // namespace ccpred::data

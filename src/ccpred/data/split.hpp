@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file split.hpp
+/// Train/test splitting. The paper evaluates STQ/BQ per problem size, so
+/// the split must be stratified by (O, V): every problem keeps ~the same
+/// test fraction and therefore appears in both sets.
+
+#include <cstddef>
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/data/dataset.hpp"
+
+namespace ccpred::data {
+
+/// Row-index partition of a dataset.
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified split by problem (O, V): each stratum contributes ~test_count
+/// * |stratum| / n test rows (largest-remainder rounding to hit test_count
+/// exactly). Requires 0 < test_count < dataset size.
+SplitIndices stratified_split(const Dataset& dataset, std::size_t test_count,
+                              Rng& rng);
+
+/// Stratified split by fraction (e.g. 0.25 for the paper's 75/25).
+SplitIndices stratified_split_fraction(const Dataset& dataset,
+                                       double test_fraction, Rng& rng);
+
+/// Post-processes a split so that every distinct run configuration with at
+/// least two measurements keeps at least one of them in the training set
+/// (group-coverage): any fully-held-out configuration swaps one test row
+/// with a same-problem train row whose configuration stays covered. Set
+/// sizes are preserved. Mirrors the coverage the paper's denser campaigns
+/// had by construction; without it a handful of corner configurations can
+/// dominate MAPE.
+void ensure_config_coverage(const Dataset& dataset, SplitIndices& split);
+
+/// Materialized train/test datasets.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Applies a SplitIndices to a dataset.
+TrainTest apply_split(const Dataset& dataset, const SplitIndices& split);
+
+}  // namespace ccpred::data

@@ -1,0 +1,110 @@
+#include "ccpred/guidance/advisor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::guide {
+
+std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& sweep) {
+  std::vector<SweepPoint> sorted = sweep;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SweepPoint& a, const SweepPoint& b) {
+              if (a.predicted_time_s != b.predicted_time_s) {
+                return a.predicted_time_s < b.predicted_time_s;
+              }
+              return a.predicted_node_hours < b.predicted_node_hours;
+            });
+  std::vector<SweepPoint> front;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& pt : sorted) {
+    if (pt.predicted_node_hours < best_cost) {
+      front.push_back(pt);
+      best_cost = pt.predicted_node_hours;
+    }
+  }
+  return front;
+}
+
+Advisor::Advisor(const ml::Regressor& model,
+                 const sim::CcsdSimulator& simulator)
+    : model_(model), simulator_(simulator) {
+  CCPRED_CHECK_MSG(model.is_fitted(), "Advisor needs a fitted model");
+}
+
+Recommendation Advisor::recommend(int o, int v, Objective objective) const {
+  CCPRED_CHECK_MSG(o > 0 && v > 0, "orbital counts must be positive");
+
+  // Enumerate feasible candidates.
+  std::vector<sim::RunConfig> candidates;
+  for (int n : simulator_.machine().node_menu()) {
+    for (int t : simulator_.machine().tile_menu()) {
+      const sim::RunConfig cfg{.o = o, .v = v, .nodes = n, .tile = t};
+      if (simulator_.feasible(cfg)) candidates.push_back(cfg);
+    }
+  }
+  CCPRED_CHECK_MSG(!candidates.empty(), "no feasible configuration for O="
+                                            << o << " V=" << v);
+
+  // One batched prediction over the whole sweep.
+  linalg::Matrix x(candidates.size(), data::kNumFeatures);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    x(i, data::kFeatO) = candidates[i].o;
+    x(i, data::kFeatV) = candidates[i].v;
+    x(i, data::kFeatNodes) = candidates[i].nodes;
+    x(i, data::kFeatTile) = candidates[i].tile;
+  }
+  const auto times = model_.predict(x);
+
+  Recommendation rec;
+  rec.objective = objective;
+  rec.sweep.reserve(candidates.size());
+  bool first = true;
+  double best = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    SweepPoint pt;
+    pt.config = candidates[i];
+    pt.predicted_time_s = times[i];
+    pt.predicted_node_hours =
+        sim::CcsdSimulator::node_hours(candidates[i], times[i]);
+    rec.sweep.push_back(pt);
+
+    const double value = objective == Objective::kShortestTime
+                             ? pt.predicted_time_s
+                             : pt.predicted_node_hours;
+    if (first || value < best) {
+      best = value;
+      rec.config = pt.config;
+      rec.predicted_time_s = pt.predicted_time_s;
+      rec.predicted_node_hours = pt.predicted_node_hours;
+      first = false;
+    }
+  }
+  return rec;
+}
+
+Recommendation Advisor::fastest_within_budget(int o, int v,
+                                               double max_node_hours) const {
+  CCPRED_CHECK_MSG(max_node_hours > 0.0, "budget must be positive");
+  // Reuse the STQ sweep, then filter by the budget constraint.
+  Recommendation rec = recommend(o, v, Objective::kShortestTime);
+  bool found = false;
+  double best_time = 0.0;
+  for (const auto& pt : rec.sweep) {
+    if (pt.predicted_node_hours > max_node_hours) continue;
+    if (!found || pt.predicted_time_s < best_time) {
+      best_time = pt.predicted_time_s;
+      rec.config = pt.config;
+      rec.predicted_time_s = pt.predicted_time_s;
+      rec.predicted_node_hours = pt.predicted_node_hours;
+      found = true;
+    }
+  }
+  CCPRED_CHECK_MSG(found, "no configuration for O=" << o << " V=" << v
+                              << " fits within " << max_node_hours
+                              << " node-hours");
+  return rec;
+}
+
+}  // namespace ccpred::guide

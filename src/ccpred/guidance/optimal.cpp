@@ -1,0 +1,86 @@
+#include "ccpred/guidance/optimal.hpp"
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::guide {
+
+double objective_value(const data::Dataset& dataset,
+                       const std::vector<double>& y, std::size_t i,
+                       Objective objective) {
+  CCPRED_CHECK(i < dataset.size() && y.size() == dataset.size());
+  switch (objective) {
+    case Objective::kShortestTime:
+      return y[i];
+    case Objective::kNodeHours:
+      return sim::CcsdSimulator::node_hours(dataset.config(i), y[i]);
+  }
+  throw Error("unknown objective");
+}
+
+std::vector<OptimalChoice> get_optimal_values(const data::Dataset& dataset,
+                                              const std::vector<double>& y,
+                                              Objective objective) {
+  CCPRED_CHECK_MSG(y.size() == dataset.size(), "y size mismatch");
+  std::vector<OptimalChoice> out;
+  for (const auto& [key, rows] : dataset.group_by_problem()) {
+    OptimalChoice best;
+    best.o = key.first;
+    best.v = key.second;
+    bool first = true;
+    for (auto r : rows) {
+      const double value = objective_value(dataset, y, r, objective);
+      if (first || value < best.value) {
+        best.row = r;
+        best.config = dataset.config(r);
+        best.value = value;
+        first = false;
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+std::vector<ProblemOutcome> evaluate_optima(const data::Dataset& dataset,
+                                            const std::vector<double>& y_pred,
+                                            Objective objective) {
+  const auto truths = get_optimal_values(dataset, dataset.targets(), objective);
+  const auto preds = get_optimal_values(dataset, y_pred, objective);
+  CCPRED_CHECK(truths.size() == preds.size());
+
+  std::vector<ProblemOutcome> out;
+  out.reserve(truths.size());
+  for (std::size_t i = 0; i < truths.size(); ++i) {
+    CCPRED_CHECK(truths[i].o == preds[i].o && truths[i].v == preds[i].v);
+    ProblemOutcome po;
+    po.o = truths[i].o;
+    po.v = truths[i].v;
+    po.truth = truths[i];
+    po.predicted = preds[i];
+    po.true_value = truths[i].value;
+    // True-loss semantics: look up the TRUE target at the predicted row.
+    po.realized_value = objective_value(dataset, dataset.targets(),
+                                        preds[i].row, objective);
+    po.true_time = dataset.target(truths[i].row);
+    po.realized_time = dataset.target(preds[i].row);
+    po.config_match = truths[i].config.nodes == preds[i].config.nodes &&
+                      truths[i].config.tile == preds[i].config.tile;
+    out.push_back(po);
+  }
+  return out;
+}
+
+ml::Scores compute_losses(const std::vector<ProblemOutcome>& outcomes) {
+  CCPRED_CHECK_MSG(!outcomes.empty(), "no outcomes to score");
+  std::vector<double> truth;
+  std::vector<double> realized;
+  truth.reserve(outcomes.size());
+  realized.reserve(outcomes.size());
+  for (const auto& po : outcomes) {
+    truth.push_back(po.true_value);
+    realized.push_back(po.realized_value);
+  }
+  return ml::score_all(truth, realized);
+}
+
+}  // namespace ccpred::guide

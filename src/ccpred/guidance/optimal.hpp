@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file optimal.hpp
+/// get_optimal_values / compute_losses (paper §3.4): per problem size, the
+/// configuration minimizing an objective, and the *true-loss* evaluation of
+/// predicted optima — the loss of a predicted configuration is its TRUE
+/// measured value, not the model's predicted value (the paper's bold
+/// caveat: anything else under-reports the loss).
+
+#include <vector>
+
+#include "ccpred/core/metrics.hpp"
+#include "ccpred/data/dataset.hpp"
+
+namespace ccpred::guide {
+
+/// User objective: STQ minimizes wall time, BQ minimizes node-hours.
+enum class Objective {
+  kShortestTime,  ///< STQ
+  kNodeHours,     ///< BQ
+};
+
+/// Objective value of dataset row `i` given (possibly predicted) times `y`.
+double objective_value(const data::Dataset& dataset,
+                       const std::vector<double>& y, std::size_t i,
+                       Objective objective);
+
+/// The winning row for one problem size.
+struct OptimalChoice {
+  int o = 0;
+  int v = 0;
+  std::size_t row = 0;        ///< dataset row index of the optimum
+  sim::RunConfig config;      ///< its (nodes, tile)
+  double value = 0.0;         ///< objective value used for the argmin
+};
+
+/// Per problem size (ascending), the row of `dataset` minimizing the
+/// objective computed from `y` (pass dataset.targets() for true optima or
+/// model predictions for predicted optima). Ties break to the lower row.
+std::vector<OptimalChoice> get_optimal_values(const data::Dataset& dataset,
+                                              const std::vector<double>& y,
+                                              Objective objective);
+
+/// True-vs-predicted optimum for one problem size.
+struct ProblemOutcome {
+  int o = 0;
+  int v = 0;
+  OptimalChoice truth;          ///< argmin under true values
+  OptimalChoice predicted;      ///< argmin under predicted values
+  double true_value = 0.0;      ///< objective at truth.row (true y)
+  double realized_value = 0.0;  ///< TRUE objective at predicted.row
+  double true_time = 0.0;       ///< wall time at truth.row
+  double realized_time = 0.0;   ///< TRUE wall time at predicted.row
+  bool config_match = false;    ///< same (nodes, tile)?
+};
+
+/// Evaluates predicted optima with true-loss semantics: the predicted
+/// configuration is located with `y_pred`, then scored at its *true*
+/// target. `y_pred` must be predictions for the rows of `dataset`.
+std::vector<ProblemOutcome> evaluate_optima(const data::Dataset& dataset,
+                                            const std::vector<double>& y_pred,
+                                            Objective objective);
+
+/// Paper-style losses over the outcomes: R^2 / MAE / MAPE between the true
+/// optimal objective values and the realized (true-at-predicted-config)
+/// values.
+ml::Scores compute_losses(const std::vector<ProblemOutcome>& outcomes);
+
+}  // namespace ccpred::guide

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file report.hpp
+/// Formatting of STQ/BQ evaluation outcomes as the paper's Tables 3-6:
+/// one row per problem size; mismatched predictions shown in parentheses
+/// next to the true optimum, exactly like the paper's notation.
+
+#include <string>
+#include <vector>
+
+#include "ccpred/common/table.hpp"
+#include "ccpred/guidance/optimal.hpp"
+
+namespace ccpred::guide {
+
+/// Tables 3/4 format: O, V, Nodes, Tile size, Runtime(s); predicted values
+/// in parentheses where the model chose a different configuration.
+TextTable format_stq_table(const std::vector<ProblemOutcome>& outcomes,
+                           const std::string& title);
+
+/// Tables 5/6 format: adds the Node Hours column.
+TextTable format_bq_table(const std::vector<ProblemOutcome>& outcomes,
+                          const std::string& title);
+
+/// "x(y)" when mismatch, "x" otherwise — the paper's cell notation.
+std::string paren_cell(double true_value, double pred_value, bool match,
+                       int precision);
+std::string paren_cell(int true_value, int pred_value, bool match);
+
+/// Number of problems where the model predicted a suboptimal configuration.
+std::size_t mismatch_count(const std::vector<ProblemOutcome>& outcomes);
+
+}  // namespace ccpred::guide

@@ -1,0 +1,129 @@
+#include "ccpred/linalg/blas.hpp"
+
+#include <algorithm>
+
+#include "ccpred/common/thread_pool.hpp"
+
+namespace ccpred::linalg {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  CCPRED_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  CCPRED_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::vector<double> gemv(const Matrix& a, const std::vector<double>& x) {
+  CCPRED_CHECK(a.cols() == x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row_ptr(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) s += ar[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+std::vector<double> gemv_transposed(const Matrix& a,
+                                    const std::vector<double>& x) {
+  CCPRED_CHECK(a.rows() == x.size());
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row_ptr(r);
+    const double xr = x[r];
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += xr * ar[c];
+  }
+  return y;
+}
+
+namespace {
+
+// i-k-j loop order: the inner loop streams contiguously through B and C,
+// which vectorizes well; blocking keeps the working set in L1/L2.
+constexpr std::size_t kBlock = 64;
+
+void gemm_block(const Matrix& a, const Matrix& b, Matrix& c, std::size_t i0,
+                std::size_t i1) {
+  const std::size_t n = b.cols();
+  const std::size_t k_dim = a.cols();
+  for (std::size_t kk = 0; kk < k_dim; kk += kBlock) {
+    const std::size_t k1 = std::min(k_dim, kk + kBlock);
+    for (std::size_t i = i0; i < i1; ++i) {
+      const double* ai = a.row_ptr(i);
+      double* ci = c.row_ptr(i);
+      for (std::size_t k = kk; k < k1; ++k) {
+        const double aik = ai[k];
+        if (aik == 0.0) continue;
+        const double* bk = b.row_ptr(k);
+        for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  CCPRED_CHECK_MSG(a.cols() == b.rows(), "gemm dimension mismatch: "
+                                             << a.rows() << "x" << a.cols()
+                                             << " * " << b.rows() << "x"
+                                             << b.cols());
+  Matrix c(a.rows(), b.cols());
+  const std::size_t m = a.rows();
+  // Parallelize over row stripes when the product is large enough that the
+  // fork/join overhead is irrelevant.
+  if (m * b.cols() * a.cols() > 1u << 21) {
+    const std::size_t stripes = (m + kBlock - 1) / kBlock;
+    parallel_for(0, stripes, [&](std::size_t s) {
+      const std::size_t i0 = s * kBlock;
+      gemm_block(a, b, c, i0, std::min(m, i0 + kBlock));
+    });
+  } else {
+    gemm_block(a, b, c, 0, m);
+  }
+  return c;
+}
+
+Matrix syrk_at_a(const Matrix& a) {
+  const std::size_t n = a.cols();
+  Matrix c(n, n);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row_ptr(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ari = ar[i];
+      if (ari == 0.0) continue;
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = i; j < n; ++j) ci[j] += ari * ar[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  }
+  return c;
+}
+
+Matrix syrk_a_at(const Matrix& a) {
+  const std::size_t m = a.rows();
+  Matrix c(m, m);
+  parallel_for(0, m, [&](std::size_t i) {
+    const double* ai = a.row_ptr(i);
+    for (std::size_t j = i; j < m; ++j) {
+      const double* aj = a.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += ai[k] * aj[k];
+      c(i, j) = s;
+    }
+  });
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  }
+  return c;
+}
+
+}  // namespace ccpred::linalg

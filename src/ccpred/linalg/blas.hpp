@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file blas.hpp
+/// Cache-blocked dense kernels (GEMM/GEMV/dot/axpy) used by the matrix
+/// factorizations and kernel regressors. Written in plain C++ with
+/// register-tiled inner loops; GEMM additionally parallelizes over row
+/// blocks through the global thread pool.
+
+#include <cstddef>
+#include <vector>
+
+#include "ccpred/linalg/matrix.hpp"
+
+namespace ccpred::linalg {
+
+/// Dot product of two equal-length vectors.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// y += alpha * x (equal lengths).
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// Returns A * x (x.size() == A.cols()).
+std::vector<double> gemv(const Matrix& a, const std::vector<double>& x);
+
+/// Returns A^T * x (x.size() == A.rows()).
+std::vector<double> gemv_transposed(const Matrix& a,
+                                    const std::vector<double>& x);
+
+/// Returns A * B (dimension-checked), blocked and multi-threaded.
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// Returns A^T * A (n x n symmetric, only needs A once).
+Matrix syrk_at_a(const Matrix& a);
+
+/// Returns A * A^T.
+Matrix syrk_a_at(const Matrix& a);
+
+}  // namespace ccpred::linalg

@@ -1,0 +1,89 @@
+#include "ccpred/linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace ccpred::linalg {
+
+Cholesky::Cholesky(const Matrix& a) : l_(a.rows(), a.cols()) {
+  CCPRED_CHECK_MSG(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  // Left-looking column algorithm; inner dot products stream through the
+  // contiguous rows of L.
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* lj = l_.row_ptr(j);
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= lj[k] * lj[k];
+    CCPRED_CHECK_MSG(d > 0.0, "matrix is not positive definite (pivot "
+                                  << d << " at column " << j << ")");
+    const double ljj = std::sqrt(d);
+    l_(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double* li = l_.row_ptr(i);
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      l_(i, j) = s * inv;
+    }
+  }
+}
+
+std::vector<double> Cholesky::solve_lower(const std::vector<double>& b) const {
+  const std::size_t n = order();
+  CCPRED_CHECK(b.size() == n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l_.row_ptr(i);
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  return y;
+}
+
+std::vector<double> Cholesky::solve_upper(const std::vector<double>& y) const {
+  const std::size_t n = order();
+  CCPRED_CHECK(y.size() == n);
+  std::vector<double> x = y;
+  for (std::size_t ii = n; ii-- > 0;) {
+    x[ii] /= l_(ii, ii);
+    const double xi = x[ii];
+    // Column access on L == row access on L^T.
+    for (std::size_t k = 0; k < ii; ++k) x[k] -= l_(ii, k) * xi;
+  }
+  return x;
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double>& b) const {
+  return solve_upper(solve_lower(b));
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  CCPRED_CHECK(b.rows() == order());
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const auto xc = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+double Cholesky::log_determinant() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < order(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Matrix Cholesky::inverse() const {
+  const std::size_t n = order();
+  Matrix inv(n, n);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    e[c] = 1.0;
+    const auto x = solve(e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = x[r];
+    e[c] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace ccpred::linalg

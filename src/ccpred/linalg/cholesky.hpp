@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file cholesky.hpp
+/// Cholesky factorization of symmetric positive-definite matrices, the
+/// backbone of the kernel ridge / Gaussian-process / Bayesian-ridge solvers.
+
+#include <vector>
+
+#include "ccpred/linalg/matrix.hpp"
+
+namespace ccpred::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+///
+/// Factorizes once, then solves any number of right-hand sides in O(n^2).
+class Cholesky {
+ public:
+  /// Factorizes `a` (must be square, symmetric, positive definite).
+  /// Throws ccpred::Error if a non-positive pivot is encountered.
+  explicit Cholesky(const Matrix& a);
+
+  std::size_t order() const { return l_.rows(); }
+
+  /// The factor L (lower triangular; upper part is zero).
+  const Matrix& factor() const { return l_; }
+
+  /// Solves A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solves A X = B column-wise.
+  Matrix solve(const Matrix& b) const;
+
+  /// Solves L y = b (forward substitution).
+  std::vector<double> solve_lower(const std::vector<double>& b) const;
+
+  /// Solves L^T x = y (backward substitution).
+  std::vector<double> solve_upper(const std::vector<double>& y) const;
+
+  /// log(det A) = 2 * sum(log L_ii); used by GP marginal likelihood.
+  double log_determinant() const;
+
+  /// A^{-1} via n triangular solve pairs (used by Bayesian ridge).
+  Matrix inverse() const;
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace ccpred::linalg

@@ -1,0 +1,108 @@
+#include "ccpred/linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace ccpred::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    CCPRED_CHECK_MSG(row.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    CCPRED_CHECK_MSG(rows[r].size() == m.cols(), "ragged row data");
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  CCPRED_CHECK_MSG(r < rows_ && c < cols_,
+                   "index (" << r << "," << c << ") out of range for "
+                             << rows_ << "x" << cols_);
+  return (*this)(r, c);
+}
+
+std::vector<double> Matrix::row(std::size_t r) const {
+  CCPRED_CHECK(r < rows_);
+  return std::vector<double>(row_ptr(r), row_ptr(r) + cols_);
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+  CCPRED_CHECK(c < cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    CCPRED_CHECK(indices[i] < rows_);
+    const double* src = row_ptr(indices[i]);
+    double* dst = out.row_ptr(i);
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CCPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  CCPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+void Matrix::add_diagonal(double v) {
+  CCPRED_CHECK_MSG(rows_ == cols_, "add_diagonal requires a square matrix");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += v;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  CCPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+}  // namespace ccpred::linalg

@@ -1,0 +1,56 @@
+#include "ccpred/linalg/qr.hpp"
+
+#include <cmath>
+
+namespace ccpred::linalg {
+
+QR::QR(const Matrix& a) : qr_(a), rdiag_(a.cols()) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  CCPRED_CHECK_MSG(m >= n, "QR requires rows >= cols");
+  for (std::size_t k = 0; k < n; ++k) {
+    // Norm of the k-th column below the diagonal.
+    double nrm = 0.0;
+    for (std::size_t i = k; i < m; ++i) nrm = std::hypot(nrm, qr_(i, k));
+    CCPRED_CHECK_MSG(nrm > 1e-300, "rank-deficient matrix at column " << k);
+    if (qr_(k, k) < 0) nrm = -nrm;
+    for (std::size_t i = k; i < m; ++i) qr_(i, k) /= nrm;
+    qr_(k, k) += 1.0;
+    // Apply the reflector to the remaining columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s = -s / qr_(k, k);
+      for (std::size_t i = k; i < m; ++i) qr_(i, j) += s * qr_(i, k);
+    }
+    rdiag_[k] = -nrm;
+  }
+}
+
+std::vector<double> QR::solve(const std::vector<double>& b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  CCPRED_CHECK(b.size() == m);
+  std::vector<double> y = b;
+  // Apply Q^T to b.
+  for (std::size_t k = 0; k < n; ++k) {
+    double s = 0.0;
+    for (std::size_t i = k; i < m; ++i) s += qr_(i, k) * y[i];
+    s = -s / qr_(k, k);
+    for (std::size_t i = k; i < m; ++i) y[i] += s * qr_(i, k);
+  }
+  // Back-substitute R x = y.
+  std::vector<double> x(n);
+  for (std::size_t kk = n; kk-- > 0;) {
+    double s = y[kk];
+    for (std::size_t j = kk + 1; j < n; ++j) s -= qr_(kk, j) * x[j];
+    x[kk] = s / rdiag_[kk];
+  }
+  return x;
+}
+
+std::vector<double> lstsq(const Matrix& a, const std::vector<double>& b) {
+  return QR(a).solve(b);
+}
+
+}  // namespace ccpred::linalg

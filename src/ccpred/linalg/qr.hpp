@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file qr.hpp
+/// Householder QR for least-squares — numerically safer than normal
+/// equations for the (possibly ill-conditioned) polynomial design matrices.
+
+#include <vector>
+
+#include "ccpred/linalg/matrix.hpp"
+
+namespace ccpred::linalg {
+
+/// Compact Householder QR of an m x n matrix (m >= n).
+class QR {
+ public:
+  /// Factorizes `a`; throws if m < n or a column is (numerically) zero
+  /// dependent (rank deficiency).
+  explicit QR(const Matrix& a);
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Least-squares solution of min ||A x - b||_2.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+ private:
+  Matrix qr_;                  // R in the upper triangle, reflectors below
+  std::vector<double> rdiag_;  // diagonal of R
+};
+
+/// Convenience: least-squares solve of A x = b via QR.
+std::vector<double> lstsq(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace ccpred::linalg

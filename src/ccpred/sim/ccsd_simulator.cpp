@@ -1,0 +1,212 @@
+#include "ccpred/sim/ccsd_simulator.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/sim/network.hpp"
+#include "ccpred/sim/noise.hpp"
+#include "ccpred/sim/tiling.hpp"
+
+namespace ccpred::sim {
+namespace {
+
+/// Binomial coefficient for the tiny arguments used here (k indices <= 2).
+std::int64_t binom(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  std::int64_t r = 1;
+  for (int i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+/// Per-dimension tile statistics entering the group expansion.
+struct DimTiles {
+  std::int64_t full = 0;  ///< number of full tiles
+  bool ragged = false;    ///< whether a ragged remainder tile exists
+  double full_extent = 0.0;
+  double ragged_extent = 0.0;
+};
+
+DimTiles dim_tiles(int extent, int tile) {
+  const TileDecomposition d = decompose(extent, tile);
+  DimTiles t;
+  t.full = d.full_tiles;
+  t.ragged = d.remainder > 0;
+  t.full_extent = static_cast<double>(d.tile);
+  t.ragged_extent = static_cast<double>(d.remainder);
+  return t;
+}
+
+}  // namespace
+
+int CcsdSimulator::min_nodes(int o, int v) const {
+  CCPRED_CHECK_MSG(o > 0 && v > 0, "orbital counts must be positive");
+  const double od = o;
+  const double vd = v;
+  const double nd = od + vd;
+  // Distributed storage: ~4 copies of the doubles amplitudes/residuals
+  // (T2, R2, DIIS history) plus 3-index Cholesky integrals (rank ~ 6N).
+  const double bytes = 8.0 * (4.0 * od * od * vd * vd + 6.0 * nd * nd * nd);
+  const double per_node = machine_.node_mem_gb * 1e9;
+  return static_cast<int>(std::ceil(bytes / per_node));
+}
+
+bool CcsdSimulator::feasible(const RunConfig& cfg) const {
+  if (cfg.o <= 0 || cfg.v <= 0 || cfg.nodes <= 0 || cfg.tile <= 0) {
+    return false;
+  }
+  return cfg.nodes >= min_nodes(cfg.o, cfg.v);
+}
+
+namespace {
+
+/// One (volume, count) bucket of tile blocks over a set of occupied and
+/// virtual indices, accounting for ragged remainder tiles.
+struct TileBucket {
+  double volume = 1.0;       ///< product of the block's index extents
+  double count = 1.0;        ///< number of blocks with this volume
+};
+
+/// Enumerates the distinct blocks of an index group with `n_occ` occupied
+/// and `n_virt` virtual indices: for each choice of how many indices land
+/// on the ragged tile, one bucket.
+std::vector<TileBucket> enumerate_buckets(const DimTiles& to,
+                                          const DimTiles& tv, int n_occ,
+                                          int n_virt) {
+  std::vector<TileBucket> out;
+  for (int jo = 0; jo <= n_occ; ++jo) {
+    if (jo > 0 && !to.ragged) continue;
+    for (int jv = 0; jv <= n_virt; ++jv) {
+      if (jv > 0 && !tv.ragged) continue;
+      TileBucket b;
+      b.count = static_cast<double>(binom(n_occ, jo) * binom(n_virt, jv));
+      for (int i = 0; i < n_occ - jo; ++i) b.count *= static_cast<double>(to.full);
+      for (int i = 0; i < n_virt - jv; ++i) b.count *= static_cast<double>(tv.full);
+      if (b.count < 0.5) continue;
+      b.volume = std::pow(to.full_extent, n_occ - jo) *
+                 std::pow(to.ragged_extent, jo) *
+                 std::pow(tv.full_extent, n_virt - jv) *
+                 std::pow(tv.ragged_extent, jv);
+      out.push_back(b);
+    }
+  }
+  if (out.empty()) out.push_back(TileBucket{});  // scalar index group
+  return out;
+}
+
+}  // namespace
+
+std::vector<TaskGroup> CcsdSimulator::task_groups(const Contraction& c,
+                                                  const RunConfig& cfg) const {
+  const DimTiles to = dim_tiles(cfg.o, cfg.tile);
+  const DimTiles tv = dim_tiles(cfg.v, cfg.tile);
+
+  const double rate =
+      machine_.gpu_tflops * 1e12 * machine_.gemm_efficiency(cfg.tile);
+
+  // One task per (output tile block, summation tile block): TAMM splits the
+  // GEMM k-dimension across tasks as well, with local accumulation into the
+  // distributed output tile.
+  const auto out_buckets = enumerate_buckets(to, tv, c.out_occ, c.out_virt);
+  const auto sum_buckets = enumerate_buckets(to, tv, c.sum_occ, c.sum_virt);
+
+  // GPU-memory footprint of one (full-tile) task: output tile plus the two
+  // streamed input slabs of one k-block.
+  const double out_vol_full = std::pow(to.full_extent, c.out_occ) *
+                              std::pow(tv.full_extent, c.out_virt);
+  const double k_full = std::pow(to.full_extent, c.sum_occ) *
+                        std::pow(tv.full_extent, c.sum_virt);
+  const double buffer_bytes =
+      8.0 * (3.0 * out_vol_full + 2.0 * std::sqrt(out_vol_full) * k_full);
+  const double spill =
+      buffer_bytes > machine_.gpu_mem_gb * 1e9 ? machine_.spill_penalty : 1.0;
+
+  std::vector<TaskGroup> groups;
+  groups.reserve(out_buckets.size() * sum_buckets.size());
+  for (const auto& ob : out_buckets) {
+    for (const auto& sb : sum_buckets) {
+      // GEMM view of one task: C(M x N) += A(M x K) B(K x N) with
+      // M*N = ob.volume and K = sb.volume.
+      const double flops =
+          2.0 * c.mult * ob.volume * sb.volume * machine_.calibration;
+      const double compute_s = spill * flops / rate;
+
+      const double mn = 2.0 * std::sqrt(ob.volume);
+      const double bytes = 8.0 * sb.volume * mn * machine_.calibration;
+      const double comm_s =
+          transfer_time_s(machine_, bytes, /*messages=*/2.0, cfg.nodes);
+
+      const double hidden = machine_.comm_overlap;
+      const double task_s = std::max(compute_s, comm_s) +
+                            (1.0 - hidden) * std::min(compute_s, comm_s) +
+                            machine_.task_overhead_s;
+
+      groups.push_back(TaskGroup{
+          .duration_s = task_s,
+          .count = static_cast<std::int64_t>(std::llround(ob.count * sb.count))});
+    }
+  }
+  return groups;
+}
+
+CostBreakdown CcsdSimulator::breakdown(const RunConfig& cfg) const {
+  CCPRED_CHECK_MSG(feasible(cfg),
+                   "infeasible CCSD configuration: O=" << cfg.o
+                       << " V=" << cfg.v << " nodes=" << cfg.nodes
+                       << " tile=" << cfg.tile << " (min nodes "
+                       << min_nodes(std::max(cfg.o, 1), std::max(cfg.v, 1))
+                       << ")");
+  CostBreakdown out;
+  const int workers = machine_.workers(cfg.nodes);
+  for (const auto& c : inventory_) {
+    auto groups = task_groups(c, cfg);
+    out.tasks += total_tasks(groups);
+    out.contraction_s += lpt_makespan(std::move(groups), workers);
+    // k-chunk partial results are accumulated into the distributed output
+    // tensor once per contraction (machine-wide reduction of the output).
+    const double out_bytes = 8.0 *
+                             std::pow(static_cast<double>(cfg.o), c.out_occ) *
+                             std::pow(static_cast<double>(cfg.v), c.out_virt) *
+                             machine_.calibration;
+    out.collective_s += out_bytes / (static_cast<double>(cfg.nodes) *
+                                     machine_.effective_bw_bytes(cfg.nodes));
+  }
+  // Per-iteration collectives: residual-norm allreduce plus the T1
+  // amplitude broadcast that every rank needs.
+  const double t1_bytes = 8.0 * static_cast<double>(cfg.o) * cfg.v;
+  out.collective_s += allreduce_time_s(machine_, 4096.0, cfg.nodes) +
+                      allreduce_time_s(machine_, t1_bytes, cfg.nodes);
+  const double l2 = std::log2(static_cast<double>(cfg.nodes) + 1.0);
+  out.sync_s = machine_.sync_log2sq_s * l2 * l2;
+  out.fixed_s = machine_.fixed_iteration_s;
+  return out;
+}
+
+double CcsdSimulator::iteration_time(const RunConfig& cfg) const {
+  return breakdown(cfg).total_s();
+}
+
+double CcsdSimulator::memory_per_node_gb(const RunConfig& cfg) const {
+  CCPRED_CHECK_MSG(cfg.o > 0 && cfg.v > 0 && cfg.nodes > 0 && cfg.tile > 0,
+                   "run configuration fields must be positive");
+  const double od = cfg.o;
+  const double vd = cfg.v;
+  const double nd = od + vd;
+  // Distributed storage (same inventory as min_nodes), evenly spread.
+  const double distributed =
+      8.0 * (4.0 * od * od * vd * vd + 6.0 * nd * nd * nd) /
+      static_cast<double>(cfg.nodes);
+  // Resident tile buffers of the node's GPUs, sized by the dominant
+  // contraction's full task (output tile + two streamed slabs).
+  const double t = cfg.tile;
+  const double out_vol = t * t * t * t;
+  const double k_tile = std::min(vd * vd, t * t);
+  const double buffers = static_cast<double>(machine_.gpus_per_node) * 8.0 *
+                         (3.0 * out_vol + 2.0 * std::sqrt(out_vol) * k_tile);
+  return (distributed + buffers) / 1e9;
+}
+
+double CcsdSimulator::measured_time(const RunConfig& cfg, Rng& rng) const {
+  return iteration_time(cfg) * noise_factor(machine_, rng);
+}
+
+}  // namespace ccpred::sim

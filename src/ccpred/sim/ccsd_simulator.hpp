@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file ccsd_simulator.hpp
+/// End-to-end performance model of one CCSD iteration on a simulated
+/// supercomputer — the oracle that stands in for the paper's ExaChem/TAMM
+/// runs on Aurora and Frontier.
+///
+/// For a run configuration (O, V, nodes, tile) the simulator:
+///  1. tiles the occupied/virtual index spaces (ragged last tile included),
+///  2. expands each CCSD contraction class into task groups — one task per
+///     output tile block, with GEMM-view compute time (tile-size-dependent
+///     efficiency, GPU-memory spill penalty) and α–β communication time
+///     (remote fraction, congestion, partial compute/comm overlap),
+///  3. list-schedules each contraction's tasks onto the job's GPU workers
+///     (LPT makespan — the source of load-imbalance cliffs),
+///  4. adds per-iteration fixed, synchronization and collective costs,
+///  5. optionally applies machine-specific multiplicative measurement noise.
+
+#include <cstdint>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/sim/contraction.hpp"
+#include "ccpred/sim/machine.hpp"
+#include "ccpred/sim/scheduler.hpp"
+
+namespace ccpred::sim {
+
+/// One CCSD run configuration: problem size and runtime parameters.
+struct RunConfig {
+  int o = 0;      ///< occupied orbitals
+  int v = 0;      ///< virtual orbitals
+  int nodes = 0;  ///< supercomputer nodes
+  int tile = 0;   ///< TAMM tile size
+
+  friend bool operator==(const RunConfig&, const RunConfig&) = default;
+};
+
+/// Cost breakdown returned by CcsdSimulator::breakdown().
+struct CostBreakdown {
+  double contraction_s = 0.0;  ///< sum of per-contraction makespans
+  double collective_s = 0.0;   ///< allreduce / broadcast costs
+  double sync_s = 0.0;         ///< synchronization (log^2 nodes) term
+  double fixed_s = 0.0;        ///< serial per-iteration cost
+  std::int64_t tasks = 0;      ///< total tile tasks in the iteration
+
+  double total_s() const {
+    return contraction_s + collective_s + sync_s + fixed_s;
+  }
+};
+
+/// Deterministic performance simulator for one machine.
+///
+/// By default it models one CCSD iteration; pass a different contraction
+/// inventory (e.g. sim::triples_contractions()) to simulate another
+/// many-body kernel on the same machine/runtime model.
+class CcsdSimulator {
+ public:
+  explicit CcsdSimulator(MachineModel machine)
+      : machine_(std::move(machine)), inventory_(ccsd_contractions()) {}
+
+  CcsdSimulator(MachineModel machine, std::vector<Contraction> inventory)
+      : machine_(std::move(machine)), inventory_(std::move(inventory)) {}
+
+  const MachineModel& machine() const { return machine_; }
+
+  /// The contraction classes this simulator executes per iteration.
+  const std::vector<Contraction>& inventory() const { return inventory_; }
+
+  /// Minimum nodes whose aggregate memory holds the distributed tensors
+  /// (amplitudes, residuals, Cholesky-decomposed integrals).
+  int min_nodes(int o, int v) const;
+
+  /// True if the configuration fits in memory and is well-formed.
+  bool feasible(const RunConfig& cfg) const;
+
+  /// Noise-free wall time of one CCSD iteration, seconds.
+  /// Throws ccpred::Error if the configuration is infeasible.
+  double iteration_time(const RunConfig& cfg) const;
+
+  /// Peak per-node memory footprint in GB: this node's share of the
+  /// distributed tensors plus the tile buffers of its resident GPU tasks.
+  /// (The paper lists memory usage among the predictable target metrics.)
+  double memory_per_node_gb(const RunConfig& cfg) const;
+
+  /// Full cost breakdown for one iteration (noise-free).
+  CostBreakdown breakdown(const RunConfig& cfg) const;
+
+  /// One simulated *measurement*: iteration_time with machine noise.
+  double measured_time(const RunConfig& cfg, Rng& rng) const;
+
+  /// Node-hours consumed: nodes * time / 3600.
+  static double node_hours(const RunConfig& cfg, double time_s) {
+    return static_cast<double>(cfg.nodes) * time_s / 3600.0;
+  }
+
+  /// Task groups of one contraction at this configuration (exposed for
+  /// tests and the simulator ablation bench).
+  std::vector<TaskGroup> task_groups(const Contraction& c,
+                                     const RunConfig& cfg) const;
+
+ private:
+  MachineModel machine_;
+  std::vector<Contraction> inventory_;
+};
+
+}  // namespace ccpred::sim

@@ -1,0 +1,68 @@
+#include "ccpred/sim/contraction.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::sim {
+
+double Contraction::flops(int o, int v) const {
+  CCPRED_CHECK_MSG(o > 0 && v > 0, "orbital counts must be positive");
+  return 2.0 * mult * std::pow(static_cast<double>(o), out_occ + sum_occ) *
+         std::pow(static_cast<double>(v), out_virt + sum_virt);
+}
+
+double Contraction::sum_extent(int o, int v) const {
+  return std::pow(static_cast<double>(o), sum_occ) *
+         std::pow(static_cast<double>(v), sum_virt);
+}
+
+const std::vector<Contraction>& ccsd_contractions() {
+  // Multiplicities chosen so the aggregate tracks the operation profile of
+  // a spin-adapted closed-shell CCSD residual (Scuseria et al. 1988):
+  // the sextic terms dominate, ring terms contribute a comparable constant
+  // at O ~ V/5, and the quintic singles terms matter only for small V.
+  static const std::vector<Contraction> inventory = {
+      //                 name         oo  ov  so  sv  mult
+      {.name = "pp_ladder", .out_occ = 2, .out_virt = 2, .sum_occ = 0,
+       .sum_virt = 2, .mult = 2.0},  // T2(ij,cd) * V(ab,cd) and exchange
+      {.name = "hh_ladder", .out_occ = 2, .out_virt = 2, .sum_occ = 2,
+       .sum_virt = 0, .mult = 1.0},  // T2(kl,ab) * W(ij,kl)
+      {.name = "ring", .out_occ = 2, .out_virt = 2, .sum_occ = 1,
+       .sum_virt = 1, .mult = 6.0},  // particle-hole ring family
+      {.name = "t1_ovvv", .out_occ = 1, .out_virt = 1, .sum_occ = 0,
+       .sum_virt = 2, .mult = 2.0},  // singles with ovvv integrals
+      {.name = "t1_oovv", .out_occ = 1, .out_virt = 1, .sum_occ = 1,
+       .sum_virt = 1, .mult = 4.0},  // singles/doubles dressing terms
+  };
+  return inventory;
+}
+
+double ccsd_iteration_flops(int o, int v) {
+  double total = 0.0;
+  for (const auto& c : ccsd_contractions()) total += c.flops(o, v);
+  return total;
+}
+
+const std::vector<Contraction>& triples_contractions() {
+  // (T) builds T3(ijk,abc) blocks on the fly: the particle contraction
+  // sums over one virtual index (O^3 V^4), the hole contraction over one
+  // occupied index (O^4 V^3); the energy accumulation is O^3 V^3.
+  static const std::vector<Contraction> inventory = {
+      {.name = "t3_particle", .out_occ = 3, .out_virt = 3, .sum_occ = 0,
+       .sum_virt = 1, .mult = 3.0},
+      {.name = "t3_hole", .out_occ = 3, .out_virt = 3, .sum_occ = 1,
+       .sum_virt = 0, .mult = 3.0},
+      {.name = "t3_energy", .out_occ = 3, .out_virt = 3, .sum_occ = 0,
+       .sum_virt = 0, .mult = 2.0},
+  };
+  return inventory;
+}
+
+double triples_flops(int o, int v) {
+  double total = 0.0;
+  for (const auto& c : triples_contractions()) total += c.flops(o, v);
+  return total;
+}
+
+}  // namespace ccpred::sim

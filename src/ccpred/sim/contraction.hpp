@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file contraction.hpp
+/// Representative tensor-contraction classes of one CCSD iteration.
+///
+/// A full CCSD residual evaluation comprises dozens of contractions; their
+/// costs group into a few scaling classes. We model each class as a single
+/// contraction with a multiplicity weight, writing the cost as
+///   flops = 2 * mult * O^(oo+so) * V^(ov+sv)
+/// where (oo, ov) are the occupied/virtual *output* indices (these are
+/// tiled into tasks) and (so, sv) the *summation* indices (these form the
+/// GEMM k-dimension streamed through each task).
+
+#include <string>
+#include <vector>
+
+namespace ccpred::sim {
+
+/// One contraction class of the CCSD iteration.
+struct Contraction {
+  std::string name;
+  int out_occ = 0;    ///< occupied indices on the output tensor
+  int out_virt = 0;   ///< virtual indices on the output tensor
+  int sum_occ = 0;    ///< occupied summation indices
+  int sum_virt = 0;   ///< virtual summation indices
+  double mult = 1.0;  ///< number of contractions in this class
+
+  /// Total floating-point operations for problem size (O, V).
+  double flops(int o, int v) const;
+
+  /// Extent of the GEMM k-dimension (product of summation index extents).
+  double sum_extent(int o, int v) const;
+};
+
+/// The CCSD iteration inventory. Dominated by the particle-particle ladder
+/// (O^2 V^4); also includes the hole-hole ladder (O^4 V^2), ring terms
+/// (O^3 V^3) and the leading quintic singles contributions.
+const std::vector<Contraction>& ccsd_contractions();
+
+/// Total iteration flops: sum over the inventory; asymptotically
+/// ~ 4 * O^2 V^4 (the textbook 2 * O^2 V^4 ladder plus intermediates).
+double ccsd_iteration_flops(int o, int v);
+
+/// The perturbative-triples (T) correction inventory — the septic-scaling
+/// step of CCSD(T), the method the paper's framework is designed to grow
+/// into. Dominated by the O^3 V^4 particle and O^4 V^3 hole contractions
+/// that build the T3 amplitudes on the fly.
+const std::vector<Contraction>& triples_contractions();
+
+/// Total flops of the (T) correction.
+double triples_flops(int o, int v);
+
+}  // namespace ccpred::sim

@@ -1,0 +1,29 @@
+#include "ccpred/sim/network.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::sim {
+
+double transfer_time_s(const MachineModel& m, double bytes, double messages,
+                       int nodes) {
+  CCPRED_CHECK_MSG(bytes >= 0.0 && messages >= 0.0,
+                   "transfer sizes must be non-negative");
+  CCPRED_CHECK_MSG(nodes > 0, "node count must be positive");
+  const double remote_fraction =
+      1.0 - 1.0 / static_cast<double>(nodes);
+  const double per_gpu_bw =
+      m.effective_bw_bytes(nodes) / static_cast<double>(m.gpus_per_node);
+  return remote_fraction * (bytes / per_gpu_bw + messages * m.latency_s);
+}
+
+double allreduce_time_s(const MachineModel& m, double bytes, int nodes) {
+  CCPRED_CHECK_MSG(nodes > 0, "node count must be positive");
+  if (nodes == 1) return 0.0;
+  const double stages = std::ceil(std::log2(static_cast<double>(nodes)));
+  const double bw = m.effective_bw_bytes(nodes);
+  return stages * (m.latency_s + bytes / bw);
+}
+
+}  // namespace ccpred::sim

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file network.hpp
+/// α–β interconnect cost model: message latency plus bandwidth-limited
+/// transfer, with node-count-dependent congestion and the locality credit
+/// for data already resident on the node.
+
+#include <cstdint>
+
+#include "ccpred/sim/machine.hpp"
+
+namespace ccpred::sim {
+
+/// Time to move `bytes` in `messages` messages to one GPU of a job using
+/// `nodes` nodes. Only the remote fraction (1 - 1/nodes) crosses the
+/// network; per-node injection bandwidth is shared by the node's GPUs.
+double transfer_time_s(const MachineModel& m, double bytes,
+                       double messages, int nodes);
+
+/// Time of a binomial-tree allreduce of `bytes` across `nodes` nodes
+/// (log2(n) stages, each latency + bytes/bw).
+double allreduce_time_s(const MachineModel& m, double bytes, int nodes);
+
+}  // namespace ccpred::sim

@@ -1,0 +1,13 @@
+#include "ccpred/sim/noise.hpp"
+
+namespace ccpred::sim {
+
+double noise_factor(const MachineModel& m, Rng& rng) {
+  double f = rng.lognormal_median(1.0, m.noise_sigma);
+  if (m.spike_prob > 0.0 && rng.bernoulli(m.spike_prob)) {
+    f *= 1.0 + rng.uniform(m.spike_min, m.spike_max);
+  }
+  return f;
+}
+
+}  // namespace ccpred::sim

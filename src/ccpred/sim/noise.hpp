@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file noise.hpp
+/// Run-to-run measurement-noise model. Supercomputer wall times jitter
+/// multiplicatively (OS noise, network traffic from other jobs, GPU clock
+/// variation); Frontier traces additionally show occasional contention
+/// spikes, which is why the paper found it markedly harder to predict.
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/sim/machine.hpp"
+
+namespace ccpred::sim {
+
+/// Multiplicative noise factor (~1.0) drawn for one run on machine `m`.
+/// Lognormal with median 1 and sigma = m.noise_sigma, plus a contention
+/// spike (probability m.spike_prob) adding uniform(spike_min, spike_max)
+/// extra slowdown.
+double noise_factor(const MachineModel& m, Rng& rng);
+
+}  // namespace ccpred::sim

@@ -1,0 +1,97 @@
+#include "ccpred/sim/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::sim {
+
+double lpt_makespan(std::vector<TaskGroup> groups, int workers) {
+  CCPRED_CHECK_MSG(workers > 0, "need at least one worker");
+  std::erase_if(groups, [](const TaskGroup& g) { return g.count == 0; });
+  if (groups.empty()) return 0.0;
+  for (const auto& g : groups) {
+    CCPRED_CHECK_MSG(g.duration_s >= 0.0 && g.count >= 0,
+                     "task group must have non-negative duration and count");
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const TaskGroup& a, const TaskGroup& b) {
+              return a.duration_s > b.duration_s;
+            });
+
+  const auto w = static_cast<std::size_t>(workers);
+  std::vector<double> load(w, 0.0);
+  using Entry = std::pair<double, std::size_t>;
+
+  // Greedy assignment of `count` identical tasks of duration d: each task
+  // goes to the currently least-loaded worker.
+  auto assign_greedy = [&](double d, std::int64_t count) {
+    if (count <= 0 || d == 0.0) {
+      return;
+    }
+    std::vector<std::int64_t> extra(w, 0);
+    if (count > static_cast<std::int64_t>(4 * w)) {
+      // Water-fill bulk step: greedy raises the lowest loads toward the
+      // common level T = (sum load + count*d) / w. Pre-assign the whole
+      // multiples and leave the (O(w)-sized) remainder to the exact heap.
+      double total = static_cast<double>(count) * d;
+      for (double l : load) total += l;
+      const double level = total / static_cast<double>(w);
+      std::int64_t assigned = 0;
+      for (std::size_t i = 0; i < w; ++i) {
+        const auto n = static_cast<std::int64_t>(
+            std::floor((level - load[i]) / d));
+        extra[i] = std::max<std::int64_t>(0, n);
+        assigned += extra[i];
+      }
+      // Clamp overshoot (possible when some workers sit above the level):
+      // remove tasks from the workers that ended up highest.
+      while (assigned > count) {
+        std::size_t arg = 0;
+        double best = -1.0;
+        for (std::size_t i = 0; i < w; ++i) {
+          if (extra[i] == 0) continue;
+          const double top = load[i] + static_cast<double>(extra[i]) * d;
+          if (top > best) {
+            best = top;
+            arg = i;
+          }
+        }
+        --extra[arg];
+        --assigned;
+      }
+      for (std::size_t i = 0; i < w; ++i) {
+        load[i] += static_cast<double>(extra[i]) * d;
+      }
+      count -= assigned;
+    }
+    // Exact greedy for the remaining tasks.
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (std::size_t i = 0; i < w; ++i) heap.emplace(load[i], i);
+    for (std::int64_t t = 0; t < count; ++t) {
+      auto [l, i] = heap.top();
+      heap.pop();
+      load[i] = l + d;
+      heap.emplace(load[i], i);
+    }
+  };
+
+  for (const auto& g : groups) assign_greedy(g.duration_s, g.count);
+  return *std::max_element(load.begin(), load.end());
+}
+
+double total_work(const std::vector<TaskGroup>& groups) {
+  double s = 0.0;
+  for (const auto& g : groups) s += g.duration_s * static_cast<double>(g.count);
+  return s;
+}
+
+std::int64_t total_tasks(const std::vector<TaskGroup>& groups) {
+  std::int64_t n = 0;
+  for (const auto& g : groups) n += g.count;
+  return n;
+}
+
+}  // namespace ccpred::sim

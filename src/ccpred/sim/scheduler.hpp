@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Deterministic list scheduling of tile tasks onto GPU workers.
+///
+/// TAMM's task-based runtime hands ready contraction tasks to idle GPUs;
+/// for fixed-duration independent tasks this behaves like greedy
+/// longest-processing-time (LPT) list scheduling. Because a tiled
+/// contraction produces at most 2^k distinct task durations (full vs.
+/// ragged tile per dimension), tasks arrive as (duration, count) groups
+/// and the scheduler exploits that: a group with count >= workers loads
+/// every worker evenly, and only remainders need the least-loaded search.
+
+#include <cstdint>
+#include <vector>
+
+namespace ccpred::sim {
+
+/// A set of identical tasks.
+struct TaskGroup {
+  double duration_s = 0.0;
+  std::int64_t count = 0;
+};
+
+/// Greedy LPT makespan of the grouped task set on `workers` identical
+/// workers. Groups are processed in descending duration; within a group,
+/// whole multiples of `workers` are spread evenly and the remainder goes
+/// to the currently least-loaded workers. Returns the maximum worker load.
+double lpt_makespan(std::vector<TaskGroup> groups, int workers);
+
+/// Sum of duration*count over all groups (aggregate work).
+double total_work(const std::vector<TaskGroup>& groups);
+
+/// Total number of tasks.
+std::int64_t total_tasks(const std::vector<TaskGroup>& groups);
+
+}  // namespace ccpred::sim

@@ -1,0 +1,45 @@
+#include "ccpred/sim/solver.hpp"
+
+#include <cmath>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::sim {
+
+int ConvergenceModel::iterations_to_converge() const {
+  CCPRED_CHECK_MSG(decay > 0.0 && decay < 1.0, "decay must be in (0, 1)");
+  CCPRED_CHECK_MSG(tolerance > 0.0 && initial_residual > tolerance,
+                   "tolerance must be positive and below the initial "
+                   "residual");
+  CCPRED_CHECK_MSG(max_iterations >= 1, "max_iterations must be >= 1");
+  const double needed =
+      std::log(tolerance / initial_residual) / std::log(decay);
+  const int iters = static_cast<int>(std::ceil(needed));
+  return std::min(std::max(iters, 1), max_iterations);
+}
+
+double setup_time_s(const CcsdSimulator& simulator, const RunConfig& cfg) {
+  CCPRED_CHECK_MSG(simulator.feasible(cfg), "infeasible configuration");
+  const auto& m = simulator.machine();
+  const double n = static_cast<double>(cfg.o) + cfg.v;
+  // Cholesky decomposition of the two-electron integrals: ~10 N^4 flops at
+  // modest GEMM efficiency, distributed over the job's workers, plus a
+  // setup barrier.
+  const double flops = 10.0 * n * n * n * n * m.calibration;
+  const double rate = m.gpu_tflops * 1e12 * 0.5;
+  return flops / (static_cast<double>(m.workers(cfg.nodes)) * rate) +
+         0.5 * m.fixed_iteration_s;
+}
+
+JobEstimate estimate_job(const CcsdSimulator& simulator, const RunConfig& cfg,
+                         const ConvergenceModel& convergence) {
+  JobEstimate job;
+  job.iterations = convergence.iterations_to_converge();
+  job.setup_s = setup_time_s(simulator, cfg);
+  job.iteration_s = simulator.iteration_time(cfg);
+  job.total_s = job.setup_s + job.iterations * job.iteration_s;
+  job.node_hours = CcsdSimulator::node_hours(cfg, job.total_s);
+  return job;
+}
+
+}  // namespace ccpred::sim

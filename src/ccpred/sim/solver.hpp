@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file solver.hpp
+/// Job-level CCSD cost model: the paper predicts the cost of one iteration
+/// (performance per iteration is stable — §4.1); a user's allocation
+/// request is for the whole job. This module composes the per-iteration
+/// simulator with a DIIS-accelerated convergence model and the one-time
+/// setup costs (integral transformation) to estimate complete jobs.
+
+#include "ccpred/sim/ccsd_simulator.hpp"
+
+namespace ccpred::sim {
+
+/// Convergence behaviour of the CCSD amplitude equations under DIIS.
+struct ConvergenceModel {
+  double initial_residual = 1.0;  ///< residual norm after the MP2 guess
+  /// Per-iteration residual contraction factor; DIIS-accelerated CCSD on
+  /// well-behaved closed-shell systems contracts by ~3-10x per iteration.
+  double decay = 0.3;
+  double tolerance = 1e-7;  ///< convergence threshold on the residual
+  int max_iterations = 100; ///< safety cap
+
+  /// Iterations needed to reach the tolerance (at least 1).
+  int iterations_to_converge() const;
+};
+
+/// A whole-job estimate.
+struct JobEstimate {
+  int iterations = 0;       ///< CCSD iterations executed
+  double setup_s = 0.0;     ///< integral transformation / Cholesky setup
+  double iteration_s = 0.0; ///< per-iteration wall time (noise-free)
+  double total_s = 0.0;     ///< setup + iterations * iteration time
+  double node_hours = 0.0;  ///< total cost of the job
+};
+
+/// Estimates a complete CCSD job (setup + converged iterations) for one
+/// configuration. Deterministic; apply noise per-iteration via
+/// CcsdSimulator::measured_time if a sampled trajectory is needed.
+JobEstimate estimate_job(const CcsdSimulator& simulator, const RunConfig& cfg,
+                         const ConvergenceModel& convergence = {});
+
+/// One-time setup wall time: the O(N^4) Cholesky/integral transformation
+/// distributed over the job's GPUs.
+double setup_time_s(const CcsdSimulator& simulator, const RunConfig& cfg);
+
+}  // namespace ccpred::sim

@@ -1,0 +1,32 @@
+#include "ccpred/sim/tiling.hpp"
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::sim {
+
+int TileDecomposition::tile_extent(int i) const {
+  CCPRED_CHECK_MSG(i >= 0 && i < count(), "tile index out of range");
+  return i < full_tiles ? tile : remainder;
+}
+
+std::vector<int> TileDecomposition::extents() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(count()));
+  for (int i = 0; i < full_tiles; ++i) out.push_back(tile);
+  if (remainder > 0) out.push_back(remainder);
+  return out;
+}
+
+TileDecomposition decompose(int extent, int tile) {
+  CCPRED_CHECK_MSG(extent > 0, "index extent must be positive");
+  CCPRED_CHECK_MSG(tile > 0, "tile size must be positive");
+  TileDecomposition d;
+  d.extent = extent;
+  d.tile = tile;
+  d.full_tiles = extent / tile;
+  d.remainder = extent % tile;
+  // An extent smaller than the tile is a single ragged tile.
+  return d;
+}
+
+}  // namespace ccpred::sim

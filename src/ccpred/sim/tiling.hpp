@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file tiling.hpp
+/// Tiling of an orbital index range into blocks, mirroring TAMM's tiled
+/// index spaces: a range of extent E with tile size T splits into
+/// floor(E/T) full tiles plus one ragged remainder tile. The ragged tile
+/// is what makes the task-duration distribution non-uniform and gives the
+/// runtime surface its load-imbalance structure.
+
+#include <cstdint>
+#include <vector>
+
+namespace ccpred::sim {
+
+/// Tile decomposition of one index range.
+struct TileDecomposition {
+  int extent = 0;        ///< total index extent (O or V)
+  int tile = 0;          ///< requested tile size
+  int full_tiles = 0;    ///< number of tiles of size `tile`
+  int remainder = 0;     ///< extent of the ragged last tile (0 if none)
+
+  /// Total number of tiles.
+  int count() const { return full_tiles + (remainder > 0 ? 1 : 0); }
+
+  /// Extent of tile `i` (full tiles first, ragged tile last).
+  int tile_extent(int i) const;
+
+  /// All tile extents in order.
+  std::vector<int> extents() const;
+};
+
+/// Decomposes an index range of `extent` into tiles of size `tile`.
+/// Requires extent > 0 and tile > 0.
+TileDecomposition decompose(int extent, int tile);
+
+}  // namespace ccpred::sim

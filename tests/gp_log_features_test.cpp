@@ -1,0 +1,95 @@
+// Tests for the GP's log_features option: kernel distances computed on
+// log-transformed features, the natural metric for the power-law runtime
+// surface (see DESIGN.md §6).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccpred/core/gaussian_process.hpp"
+#include "ccpred/core/metrics.hpp"
+#include "test_util.hpp"
+
+namespace ccpred::ml {
+namespace {
+
+TEST(GpLogFeaturesTest, LearnsPowerLawQuickly) {
+  // y = c * x0^-1 * x1^2 — exactly log-linear; the log-feature GP should
+  // generalize from few samples.
+  Rng rng(1);
+  linalg::Matrix x(60, 2);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.uniform(1.0, 100.0);
+    x(i, 1) = rng.uniform(1.0, 50.0);
+    y[i] = 500.0 / x(i, 0) * x(i, 1) * x(i, 1);
+  }
+  GaussianProcessRegression plain(0.5, 1e-4, true, true, false);
+  GaussianProcessRegression logged(0.5, 1e-4, true, true, true);
+  plain.fit(x, y);
+  logged.fit(x, y);
+
+  linalg::Matrix probe(40, 2);
+  std::vector<double> truth(40);
+  Rng prng(2);
+  for (std::size_t i = 0; i < 40; ++i) {
+    probe(i, 0) = prng.uniform(1.0, 100.0);
+    probe(i, 1) = prng.uniform(1.0, 50.0);
+    truth[i] = 500.0 / probe(i, 0) * probe(i, 1) * probe(i, 1);
+  }
+  const double mape_plain =
+      mean_absolute_percentage_error(truth, plain.predict(probe));
+  const double mape_logged =
+      mean_absolute_percentage_error(truth, logged.predict(probe));
+  EXPECT_LT(mape_logged, mape_plain);
+  EXPECT_LT(mape_logged, 0.1);
+}
+
+TEST(GpLogFeaturesTest, RuntimeSurfaceAccuracy) {
+  // On the CCSD surface the log-feature GP should fit well with few rows.
+  const auto tt = test::small_campaign(300, 3);
+  GaussianProcessRegression gp(0.5, 1e-4, true, true, true);
+  gp.fit(tt.train.features(), tt.train.targets());
+  const auto scores =
+      score_all(tt.test.targets(), gp.predict(tt.test.features()));
+  EXPECT_GT(scores.r2, 0.9);
+}
+
+TEST(GpLogFeaturesTest, RejectsNonPositiveFeatures) {
+  linalg::Matrix x = {{1.0, 2.0}, {0.0, 3.0}};
+  const std::vector<double> y = {1.0, 2.0};
+  GaussianProcessRegression gp(0.5, 1e-4, false, false, true);
+  EXPECT_THROW(gp.fit(x, y), Error);
+}
+
+TEST(GpLogFeaturesTest, CloneAndParamsPreserveFlag) {
+  const auto tt = test::small_campaign(200, 4);
+  GaussianProcessRegression gp(0.5, 1e-4, false, true, true);
+  gp.fit(tt.train.features(), tt.train.targets());
+  auto copy = gp.clone();
+  copy->fit(tt.train.features(), tt.train.targets());
+  const auto p1 = gp.predict(tt.test.features());
+  const auto p2 = copy->predict(tt.test.features());
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_DOUBLE_EQ(p1[i], p2[i]);
+
+  GaussianProcessRegression configured;
+  EXPECT_NO_THROW(configured.set_params({{"log_features", 1.0},
+                                         {"log_target", 1.0}}));
+}
+
+TEST(GpLogFeaturesTest, StdStaysPositiveAndFinite) {
+  const auto tt = test::small_campaign(200, 5);
+  GaussianProcessRegression gp(0.5, 1e-4, true, true, true);
+  gp.fit(tt.train.features(), tt.train.targets());
+  std::vector<double> mean;
+  std::vector<double> std;
+  gp.predict_with_std(tt.test.features(), mean, std);
+  for (std::size_t i = 0; i < std.size(); ++i) {
+    EXPECT_GE(std[i], 0.0);
+    EXPECT_TRUE(std::isfinite(std[i]));
+    EXPECT_GT(mean[i], 0.0);  // log-target predictions are positive
+  }
+}
+
+}  // namespace
+}  // namespace ccpred::ml

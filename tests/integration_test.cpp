@@ -1,0 +1,171 @@
+// End-to-end integration tests: the full paper pipeline at reduced scale —
+// campaign -> split -> train -> evaluate -> answer STQ/BQ -> active
+// learning — plus persistence through CSV.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ccpred/active/loop.hpp"
+#include "ccpred/active/uncertainty_sampling.hpp"
+#include "ccpred/core/gaussian_process.hpp"
+#include "ccpred/core/metrics.hpp"
+#include "ccpred/core/model_zoo.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/split.hpp"
+#include "ccpred/guidance/advisor.hpp"
+#include "ccpred/guidance/report.hpp"
+#include "test_util.hpp"
+
+namespace ccpred {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    simulator_ = new sim::CcsdSimulator(sim::MachineModel::aurora());
+    data::GeneratorOptions opt;
+    opt.seed = 2025;
+    opt.target_total = 1200;
+    dataset_ = new data::Dataset(generate_dataset(
+        *simulator_, data::aurora_problems(), opt));
+    Rng rng(99);
+    auto split = data::stratified_split_fraction(*dataset_, 0.25, rng);
+    data::ensure_config_coverage(*dataset_, split);
+    tt_ = new data::TrainTest(data::apply_split(*dataset_, split));
+    auto gb = ml::make_paper_gb();
+    gb->set_params({{"n_estimators", 300.0}});
+    gb->fit(tt_->train.features(), tt_->train.targets());
+    model_ = gb.release();
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete tt_;
+    delete dataset_;
+    delete simulator_;
+    model_ = nullptr;
+    tt_ = nullptr;
+    dataset_ = nullptr;
+    simulator_ = nullptr;
+  }
+
+  static sim::CcsdSimulator* simulator_;
+  static data::Dataset* dataset_;
+  static data::TrainTest* tt_;
+  static ml::Regressor* model_;
+};
+
+sim::CcsdSimulator* PipelineTest::simulator_ = nullptr;
+data::Dataset* PipelineTest::dataset_ = nullptr;
+data::TrainTest* PipelineTest::tt_ = nullptr;
+ml::Regressor* PipelineTest::model_ = nullptr;
+
+TEST_F(PipelineTest, GbPredictsHeldOutAccurately) {
+  const auto scores = ml::score_all(tt_->test.targets(),
+                                    model_->predict(tt_->test.features()));
+  // Reduced-scale campaign: looser than the paper's 0.999/0.023 but the
+  // same qualitative story.
+  EXPECT_GT(scores.r2, 0.9);
+  EXPECT_LT(scores.mape, 0.2);
+}
+
+TEST_F(PipelineTest, StqLossesSmallUnderTrueLossSemantics) {
+  const auto y_pred = model_->predict(tt_->test.features());
+  const auto outcomes = guide::evaluate_optima(
+      tt_->test, y_pred, guide::Objective::kShortestTime);
+  EXPECT_EQ(outcomes.size(), tt_->test.problems().size());
+  const auto losses = guide::compute_losses(outcomes);
+  EXPECT_GT(losses.r2, 0.9);
+  EXPECT_LT(losses.mape, 0.2);
+}
+
+TEST_F(PipelineTest, BqRecommendationsCheaperThanStq) {
+  const auto y_pred = model_->predict(tt_->test.features());
+  const auto stq = guide::evaluate_optima(tt_->test, y_pred,
+                                          guide::Objective::kShortestTime);
+  const auto bq = guide::evaluate_optima(tt_->test, y_pred,
+                                         guide::Objective::kNodeHours);
+  // Per problem: the BQ predicted config must not use more nodes than the
+  // STQ predicted config on average (Tables 3 vs 5 pattern).
+  double stq_nodes = 0.0;
+  double bq_nodes = 0.0;
+  for (std::size_t i = 0; i < stq.size(); ++i) {
+    stq_nodes += stq[i].predicted.config.nodes;
+    bq_nodes += bq[i].predicted.config.nodes;
+  }
+  EXPECT_LT(bq_nodes, stq_nodes);
+}
+
+TEST_F(PipelineTest, AdvisorRegretIsBounded) {
+  // The advisor's STQ recommendation, evaluated on the true simulator,
+  // should be within 2x of the true best over the same candidate set.
+  const guide::Advisor advisor(*model_, *simulator_);
+  const auto rec = advisor.shortest_time(134, 951);
+  double true_best = 1e300;
+  for (const auto& pt : rec.sweep) {
+    true_best = std::min(true_best, simulator_->iteration_time(pt.config));
+  }
+  const double realized = simulator_->iteration_time(rec.config);
+  EXPECT_LT(realized, 2.0 * true_best);
+}
+
+TEST_F(PipelineTest, CsvPersistenceRoundTripsModelInput) {
+  const std::string path = ::testing::TempDir() + "/ccpred_campaign.csv";
+  write_csv(dataset_->to_csv(), path, /*precision=*/17);
+  const auto reloaded = data::Dataset::from_csv(read_csv(path));
+  ASSERT_EQ(reloaded.size(), dataset_->size());
+  // Training on the reloaded data gives identical predictions.
+  auto m1 = ml::make_model("DT");
+  auto m2 = ml::make_model("DT");
+  m1->fit(dataset_->features(), dataset_->targets());
+  m2->fit(reloaded.features(), reloaded.targets());
+  const auto p1 = m1->predict(tt_->test.features());
+  const auto p2 = m2->predict(tt_->test.features());
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_DOUBLE_EQ(p1[i], p2[i]);
+  std::remove(path.c_str());
+}
+
+TEST_F(PipelineTest, ActiveLearningUsefulInLowDataRegime) {
+  al::UncertaintySampling us;
+  const ml::GaussianProcessRegression gp(0.5, 1e-4, true, true);
+  al::ActiveLearningOptions opt;
+  opt.n_initial = 40;
+  opt.query_size = 40;
+  opt.n_queries = 6;
+  opt.goal = guide::Objective::kShortestTime;
+  const auto result =
+      al::run_active_learning(tt_->train, tt_->test, gp, us, opt);
+  ASSERT_EQ(result.rounds.size(), 6u);
+  // The learning curve must improve substantially from round 0 to the end.
+  EXPECT_GT(result.rounds.back().train_scores.r2,
+            result.rounds.front().train_scores.r2);
+  EXPECT_TRUE(result.rounds.back().goal_losses.has_value());
+}
+
+TEST_F(PipelineTest, TwoMachinesDifferInPredictability) {
+  // Frontier's heavier noise must show up as higher best-case MAPE —
+  // the paper's central cross-machine observation.
+  auto run = [](const sim::MachineModel& machine) {
+    const sim::CcsdSimulator simulator(machine);
+    data::GeneratorOptions opt;
+    opt.seed = 12;
+    opt.target_total = 600;
+    const auto ds = data::generate_dataset(
+        simulator, data::problems_for(machine.name), opt);
+    Rng rng(13);
+    auto split = data::stratified_split_fraction(ds, 0.25, rng);
+    data::ensure_config_coverage(ds, split);
+    const auto tt = data::apply_split(ds, split);
+    auto gb = ml::make_paper_gb();
+    gb->set_params({{"n_estimators", 200.0}});
+    gb->fit(tt.train.features(), tt.train.targets());
+    return ml::mean_absolute_percentage_error(
+        tt.test.targets(), gb->predict(tt.test.features()));
+  };
+  const double aurora_mape = run(sim::MachineModel::aurora());
+  const double frontier_mape = run(sim::MachineModel::frontier());
+  EXPECT_LT(aurora_mape, frontier_mape);
+}
+
+}  // namespace
+}  // namespace ccpred

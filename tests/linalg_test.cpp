@@ -1,0 +1,350 @@
+// Unit and property tests for the dense linear algebra kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/linalg/blas.hpp"
+#include "ccpred/linalg/cholesky.hpp"
+#include "ccpred/linalg/matrix.hpp"
+#include "ccpred/linalg/qr.hpp"
+#include "ccpred/linalg/solve.hpp"
+
+namespace ccpred::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+/// Random symmetric positive-definite matrix A = B B^T + n I.
+Matrix random_spd(std::size_t n, Rng& rng) {
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix a = syrk_a_at(b);
+  a.add_diagonal(static_cast<double>(n) * 0.1);
+  return a;
+}
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+// ---------- Matrix ----------
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  const Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), Error);
+}
+
+TEST(MatrixTest, AtOutOfRangeThrows) {
+  const Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 2), 0.0);
+}
+
+TEST(MatrixTest, FromRowsAndRowCol) {
+  const auto m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+  EXPECT_THROW(Matrix::from_rows({{1}, {2, 3}}), Error);
+}
+
+TEST(MatrixTest, Transpose) {
+  const Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, SelectRows) {
+  const Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  const auto s = m.select_rows({2, 0});
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 2.0);
+  EXPECT_THROW(m.select_rows({3}), Error);
+}
+
+TEST(MatrixTest, Arithmetic) {
+  const Matrix a = {{1, 2}, {3, 4}};
+  const Matrix b = {{1, 1}, {1, 1}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  const Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 0.0);
+  const Matrix scaled = 2.0 * a;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(MatrixTest, DimensionMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, Error);
+}
+
+TEST(MatrixTest, AddDiagonalRequiresSquare) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.add_diagonal(1.0), Error);
+  Matrix sq(2, 2);
+  sq.add_diagonal(3.0);
+  EXPECT_DOUBLE_EQ(sq(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(sq(0, 1), 0.0);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix m = {{3, 4}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  const Matrix a = {{1, 2}};
+  const Matrix b = {{1.5, 1.0}};
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 1.0);
+}
+
+// ---------- BLAS ----------
+
+TEST(BlasTest, DotAndAxpy) {
+  const std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  axpy(2.0, a, b);
+  EXPECT_EQ(b, (std::vector<double>{6, 9, 12}));
+}
+
+TEST(BlasTest, DotSizeMismatchThrows) {
+  EXPECT_THROW(dot({1.0}, {1.0, 2.0}), Error);
+}
+
+TEST(BlasTest, GemvMatchesManual) {
+  const Matrix a = {{1, 2}, {3, 4}, {5, 6}};
+  const auto y = gemv(a, {1, -1});
+  EXPECT_EQ(y, (std::vector<double>{-1, -1, -1}));
+}
+
+TEST(BlasTest, GemvTransposedMatchesTranspose) {
+  Rng rng(5);
+  const Matrix a = random_matrix(7, 4, rng);
+  std::vector<double> x(7);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  const auto y1 = gemv_transposed(a, x);
+  const auto y2 = gemv(a.transposed(), x);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(BlasTest, GemmDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(gemm(a, b), Error);
+}
+
+TEST(BlasTest, SyrkAtAMatchesGemm) {
+  Rng rng(6);
+  const Matrix a = random_matrix(9, 5, rng);
+  const Matrix g1 = syrk_at_a(a);
+  const Matrix g2 = gemm(a.transposed(), a);
+  EXPECT_LT(g1.max_abs_diff(g2), 1e-10);
+}
+
+TEST(BlasTest, SyrkAAtMatchesGemm) {
+  Rng rng(7);
+  const Matrix a = random_matrix(6, 8, rng);
+  const Matrix g1 = syrk_a_at(a);
+  const Matrix g2 = gemm(a, a.transposed());
+  EXPECT_LT(g1.max_abs_diff(g2), 1e-10);
+}
+
+// Parameterized sweep: blocked gemm matches the naive reference across
+// shapes including non-multiples of the block size.
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 73 + k * 7 + n));
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(k, n, rng);
+  EXPECT_LT(gemm(a, b).max_abs_diff(naive_gemm(a, b)), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                      std::tuple{17, 5, 9}, std::tuple{64, 64, 64},
+                      std::tuple{65, 63, 66}, std::tuple{128, 1, 128},
+                      std::tuple{1, 128, 1}, std::tuple{100, 130, 70}));
+
+// ---------- Cholesky ----------
+
+TEST(CholeskyTest, ReconstructsMatrix) {
+  Rng rng(8);
+  const Matrix a = random_spd(12, rng);
+  const Cholesky chol(a);
+  const Matrix l = chol.factor();
+  EXPECT_LT(gemm(l, l.transposed()).max_abs_diff(a), 1e-9);
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  Rng rng(9);
+  const Matrix a = random_spd(20, rng);
+  std::vector<double> x_true(20);
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  const auto b = gemv(a, x_true);
+  const auto x = Cholesky(a).solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskyTest, MatrixSolveMatchesVectorSolve) {
+  Rng rng(10);
+  const Matrix a = random_spd(8, rng);
+  const Matrix b = random_matrix(8, 3, rng);
+  const Cholesky chol(a);
+  const Matrix x = chol.solve(b);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto xc = chol.solve(b.col(c));
+    for (std::size_t r = 0; r < 8; ++r) EXPECT_NEAR(x(r, c), xc[r], 1e-12);
+  }
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesKnown) {
+  // diag(2, 3, 4): log det = log 24.
+  Matrix d(3, 3);
+  d(0, 0) = 2;
+  d(1, 1) = 3;
+  d(2, 2) = 4;
+  EXPECT_NEAR(Cholesky(d).log_determinant(), std::log(24.0), 1e-12);
+}
+
+TEST(CholeskyTest, InverseTimesMatrixIsIdentity) {
+  Rng rng(11);
+  const Matrix a = random_spd(10, rng);
+  const Matrix inv = Cholesky(a).inverse();
+  EXPECT_LT(gemm(a, inv).max_abs_diff(Matrix::identity(10)), 1e-8);
+}
+
+TEST(CholeskyTest, NonSquareThrows) {
+  EXPECT_THROW(Cholesky{Matrix(2, 3)}, Error);
+}
+
+TEST(CholeskyTest, IndefiniteThrows) {
+  Matrix m = {{1, 0}, {0, -1}};
+  EXPECT_THROW(Cholesky{m}, Error);
+}
+
+TEST(CholeskyTest, TriangularSolvesCompose) {
+  Rng rng(12);
+  const Matrix a = random_spd(6, rng);
+  const Cholesky chol(a);
+  std::vector<double> b(6);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto via_parts = chol.solve_upper(chol.solve_lower(b));
+  const auto direct = chol.solve(b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(via_parts[i], direct[i], 1e-12);
+}
+
+// ---------- QR ----------
+
+TEST(QrTest, SolvesSquareSystemExactly) {
+  Rng rng(13);
+  const Matrix a = random_matrix(10, 10, rng);
+  std::vector<double> x_true(10);
+  for (auto& v : x_true) v = rng.uniform(-1, 1);
+  const auto x = QR(a).solve(gemv(a, x_true));
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(QrTest, LeastSquaresResidualOrthogonalToColumns) {
+  Rng rng(14);
+  const Matrix a = random_matrix(30, 5, rng);
+  std::vector<double> b(30);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto x = lstsq(a, b);
+  auto r = gemv(a, x);
+  for (std::size_t i = 0; i < 30; ++i) r[i] = b[i] - r[i];
+  const auto atr = gemv_transposed(a, r);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(QrTest, UnderdeterminedThrows) { EXPECT_THROW(QR{Matrix(3, 5)}, Error); }
+
+TEST(QrTest, RankDeficientThrows) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // dependent column
+  }
+  EXPECT_THROW(QR{a}, Error);
+}
+
+// ---------- solve ----------
+
+TEST(SolveTest, RidgeZeroLambdaMatchesLstsq) {
+  Rng rng(15);
+  const Matrix a = random_matrix(40, 6, rng);
+  std::vector<double> b(40);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto x1 = ridge_solve(a, b, 0.0);
+  const auto x2 = lstsq(a, b);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-6);
+}
+
+TEST(SolveTest, RidgeShrinksCoefficients) {
+  Rng rng(16);
+  const Matrix a = random_matrix(40, 6, rng);
+  std::vector<double> b(40);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  auto norm = [](const std::vector<double>& v) {
+    double s = 0;
+    for (double x : v) s += x * x;
+    return s;
+  };
+  EXPECT_LT(norm(ridge_solve(a, b, 10.0)), norm(ridge_solve(a, b, 0.01)));
+}
+
+TEST(SolveTest, RidgeNegativeLambdaThrows) {
+  EXPECT_THROW(ridge_solve(Matrix(2, 2), {1, 2}, -1.0), Error);
+}
+
+TEST(SolveTest, JitterRecoversSemidefinite) {
+  // Singular PSD matrix: jitter should make it solvable.
+  Matrix a = {{1, 1}, {1, 1}};
+  const auto x = spd_solve_with_jitter(a, {1.0, 1.0}, 1e-8);
+  EXPECT_EQ(x.size(), 2u);
+  EXPECT_TRUE(std::isfinite(x[0]));
+}
+
+TEST(SolveTest, JitterGivesUpOnNegativeDefinite) {
+  Matrix a = {{-5, 0}, {0, -5}};
+  EXPECT_THROW(spd_solve_with_jitter(a, {1.0, 1.0}, 1e-12, 3), Error);
+}
+
+}  // namespace
+}  // namespace ccpred::linalg

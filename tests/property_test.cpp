@@ -1,0 +1,218 @@
+// Property-based suites (parameterized gtest): invariants that must hold
+// across seeds, scales and configurations rather than at single points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/core/metrics.hpp"
+#include "ccpred/core/model_zoo.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/split.hpp"
+#include "ccpred/sim/ccsd_simulator.hpp"
+#include "test_util.hpp"
+
+namespace ccpred {
+namespace {
+
+// ---------- RNG statistical properties across seeds ----------
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMomentsStable) {
+  Rng rng(GetParam());
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.015);
+  EXPECT_NEAR(sq / n, 1.0 / 3.0, 0.015);
+}
+
+TEST_P(RngSeedSweep, PermutationUnbiasedFirstElement) {
+  // Over many permutations of size 8, element 0 lands in each slot with
+  // roughly equal frequency.
+  Rng rng(GetParam());
+  std::vector<int> counts(8, 0);
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    const auto p = rng.permutation(8);
+    for (std::size_t s = 0; s < 8; ++s) {
+      if (p[s] == 0) ++counts[s];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 1.0 / 8.0, 0.03);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1ULL, 42ULL, 2025ULL,
+                                           0xdeadbeefULL, 999983ULL));
+
+// ---------- metric invariances ----------
+
+class MetricScaleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetricScaleSweep, R2AndMapeScaleInvariant) {
+  // Multiplying y_true and y_pred by a constant leaves R^2 and MAPE
+  // unchanged and scales MAE linearly.
+  const double c = GetParam();
+  Rng rng(7);
+  std::vector<double> yt(50);
+  std::vector<double> yp(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    yt[i] = rng.uniform(1.0, 10.0);
+    yp[i] = yt[i] * rng.uniform(0.8, 1.2);
+  }
+  auto scaled = [c](std::vector<double> v) {
+    for (auto& x : v) x *= c;
+    return v;
+  };
+  EXPECT_NEAR(ml::r2_score(scaled(yt), scaled(yp)), ml::r2_score(yt, yp),
+              1e-9);
+  EXPECT_NEAR(ml::mean_absolute_percentage_error(scaled(yt), scaled(yp)),
+              ml::mean_absolute_percentage_error(yt, yp), 1e-9);
+  EXPECT_NEAR(ml::mean_absolute_error(scaled(yt), scaled(yp)),
+              c * ml::mean_absolute_error(yt, yp), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MetricScaleSweep,
+                         ::testing::Values(0.001, 0.5, 3.0, 1000.0));
+
+TEST(MetricPropertyTest, MaeLowerBoundsRmse) {
+  Rng rng(8);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> yt(20);
+    std::vector<double> yp(20);
+    for (std::size_t i = 0; i < 20; ++i) {
+      yt[i] = rng.uniform(1.0, 5.0);
+      yp[i] = rng.uniform(1.0, 5.0);
+    }
+    EXPECT_LE(ml::mean_absolute_error(yt, yp),
+              ml::root_mean_squared_error(yt, yp) + 1e-12);
+  }
+}
+
+// ---------- simulator invariants across the config space ----------
+
+class SimulatorInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  sim::CcsdSimulator simulator_{sim::MachineModel::aurora()};
+};
+
+TEST_P(SimulatorInvariants, WorkConservation) {
+  // Makespan-based time at n nodes is at least the perfectly-parallel
+  // time: t(n) * n >= t(4n) * 4n never holds strictly better than linear,
+  // i.e. node-seconds are non-decreasing in node count.
+  const auto [o, v, tile] = GetParam();
+  const int base = std::max(simulator_.min_nodes(o, v), 5);
+  const sim::RunConfig c1{o, v, base, tile};
+  const sim::RunConfig c4{o, v, 4 * base, tile};
+  const double ns1 = simulator_.iteration_time(c1) * c1.nodes;
+  const double ns4 = simulator_.iteration_time(c4) * c4.nodes;
+  EXPECT_GE(ns4, ns1 * 0.999);
+}
+
+TEST_P(SimulatorInvariants, MoreVirtualsNeverCheaper) {
+  const auto [o, v, tile] = GetParam();
+  const int nodes = std::max(simulator_.min_nodes(o, v + 200), 50);
+  EXPECT_LE(simulator_.iteration_time({o, v, nodes, tile}),
+            simulator_.iteration_time({o, v + 200, nodes, tile}));
+}
+
+TEST_P(SimulatorInvariants, NoiseBandIsBounded) {
+  const auto [o, v, tile] = GetParam();
+  const int nodes = std::max(simulator_.min_nodes(o, v), 25);
+  const sim::RunConfig cfg{o, v, nodes, tile};
+  const double truth = simulator_.iteration_time(cfg);
+  Rng rng(static_cast<std::uint64_t>(o * 1000 + v));
+  for (int i = 0; i < 200; ++i) {
+    const double measured = simulator_.measured_time(cfg, rng);
+    EXPECT_GT(measured, 0.6 * truth);
+    EXPECT_LT(measured, 1.8 * truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SimulatorInvariants,
+    ::testing::Values(std::tuple{44, 260, 40}, std::tuple{85, 698, 80},
+                      std::tuple{134, 951, 90}, std::tuple{146, 1568, 120},
+                      std::tuple{280, 1040, 100}));
+
+// ---------- dataset generator invariants across targets ----------
+
+class GeneratorTargetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeneratorTargetSweep, ExactRowCountAndFeasibility) {
+  const sim::CcsdSimulator simulator(sim::MachineModel::frontier());
+  data::GeneratorOptions opt;
+  opt.target_total = GetParam();
+  const auto ds = data::generate_dataset(
+      simulator, data::frontier_problems(), opt);
+  EXPECT_EQ(ds.size(), GetParam());
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_TRUE(simulator.feasible(ds.config(i)));
+    EXPECT_GT(ds.target(i), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, GeneratorTargetSweep,
+                         ::testing::Values(100u, 333u, 777u, 2454u));
+
+// ---------- split invariants across fractions ----------
+
+class SplitFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionSweep, PartitionAndStratification) {
+  const auto tt_src = test::small_campaign(400);
+  // Rebuild the union to test splitting itself.
+  data::Dataset all;
+  for (std::size_t i = 0; i < tt_src.train.size(); ++i) {
+    all.add(tt_src.train.config(i), tt_src.train.target(i));
+  }
+  for (std::size_t i = 0; i < tt_src.test.size(); ++i) {
+    all.add(tt_src.test.config(i), tt_src.test.target(i));
+  }
+  Rng rng(31);
+  const auto split = data::stratified_split_fraction(all, GetParam(), rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), all.size());
+  const double got =
+      static_cast<double>(split.test.size()) / static_cast<double>(all.size());
+  EXPECT_NEAR(got, GetParam(), 0.01);
+  const auto tt = data::apply_split(all, split);
+  EXPECT_EQ(tt.test.problems().size(), all.problems().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionSweep,
+                         ::testing::Values(0.1, 0.25, 0.4));
+
+// ---------- model-accuracy ordering on the real task ----------
+
+TEST(ModelOrderingTest, TreeEnsemblesBeatLinearOnRuntimeSurface) {
+  // The paper's core finding: GB (tree ensembles) beat the linear-family
+  // models on the CCSD runtime surface.
+  const auto tt = test::small_campaign(500);
+  auto evaluate = [&](const std::string& key) {
+    auto model = ml::make_model(key);
+    if (key == "GB") model->set_params({{"n_estimators", 200.0}});
+    model->fit(tt.train.features(), tt.train.targets());
+    return ml::r2_score(tt.test.targets(),
+                        model->predict(tt.test.features()));
+  };
+  const double gb = evaluate("GB");
+  const double pr = evaluate("PR");
+  const double br = evaluate("BR");
+  EXPECT_GT(gb, pr);
+  EXPECT_GT(gb, br);
+  EXPECT_GT(gb, 0.9);
+}
+
+}  // namespace
+}  // namespace ccpred

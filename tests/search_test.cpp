@@ -1,0 +1,230 @@
+// Tests for cross-validation and the three hyper-parameter search
+// strategies (grid, randomized, Bayesian).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ccpred/core/bayes_search.hpp"
+#include "ccpred/core/cross_validation.hpp"
+#include "ccpred/core/decision_tree.hpp"
+#include "ccpred/core/grid_search.hpp"
+#include "ccpred/core/kernel_ridge.hpp"
+#include "ccpred/core/param_space.hpp"
+#include "ccpred/core/random_search.hpp"
+#include "test_util.hpp"
+
+namespace ccpred::ml {
+namespace {
+
+using test::make_nonlinear;
+
+// ---------- kfold ----------
+
+TEST(KFoldTest, PartitionsAllRowsOnce) {
+  Rng rng(1);
+  const auto folds = kfold_indices(103, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (auto i : fold) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 103u);
+}
+
+TEST(KFoldTest, BalancedSizes) {
+  Rng rng(2);
+  const auto folds = kfold_indices(10, 3, rng);
+  std::vector<std::size_t> sizes;
+  for (const auto& f : folds) sizes.push_back(f.size());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{3, 3, 4}));
+}
+
+TEST(KFoldTest, InvalidArgsThrow) {
+  Rng rng(3);
+  EXPECT_THROW(kfold_indices(10, 1, rng), Error);
+  EXPECT_THROW(kfold_indices(3, 4, rng), Error);
+}
+
+TEST(ScoringTest, ValueOrientation) {
+  Scores s{.r2 = 0.9, .mae = 2.0, .mape = 0.1, .rmse = 3.0};
+  EXPECT_DOUBLE_EQ(scoring_value(s, Scoring::kR2), 0.9);
+  EXPECT_DOUBLE_EQ(scoring_value(s, Scoring::kNegMae), -2.0);
+  EXPECT_DOUBLE_EQ(scoring_value(s, Scoring::kNegMape), -0.1);
+}
+
+TEST(CrossValidateTest, ReasonableScoresOnLearnableData) {
+  const auto s = make_nonlinear(300, 0.05);
+  const DecisionTreeRegressor tree(TreeOptions{.max_depth = 8});
+  Rng rng(4);
+  const auto cv = cross_validate(tree, s.x, s.y, 5, rng);
+  EXPECT_EQ(cv.fold_scores.size(), 5u);
+  EXPECT_GT(cv.mean.r2, 0.5);
+  EXPECT_GT(cv.mean.mae, 0.0);
+}
+
+TEST(CrossValidateTest, MeanIsAverageOfFolds) {
+  const auto s = make_nonlinear(150, 0.1);
+  const DecisionTreeRegressor tree(TreeOptions{.max_depth = 5});
+  Rng rng(5);
+  const auto cv = cross_validate(tree, s.x, s.y, 3, rng);
+  double sum = 0.0;
+  for (const auto& f : cv.fold_scores) sum += f.r2;
+  EXPECT_NEAR(cv.mean.r2, sum / 3.0, 1e-12);
+}
+
+// ---------- param spaces ----------
+
+TEST(ParamSpaceTest, GridExpansionIsCartesian) {
+  const ParamGrid grid = {{"a", {1, 2}}, {"b", {10, 20, 30}}};
+  const auto combos = expand_grid(grid);
+  EXPECT_EQ(combos.size(), 6u);
+  EXPECT_EQ(grid_size(grid), 6u);
+  std::set<std::pair<double, double>> seen;
+  for (const auto& c : combos) seen.insert({c.at("a"), c.at("b")});
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(ParamSpaceTest, EmptyGridValueThrows) {
+  EXPECT_THROW(expand_grid({{"a", {}}}), Error);
+}
+
+TEST(ParamSpaceTest, SampleRespectsBoundsAndInteger) {
+  const ParamSpace space = {
+      {"lin", {.lo = -1.0, .hi = 1.0}},
+      {"log", {.lo = 1e-3, .hi = 1e3, .log_scale = true}},
+      {"int", {.lo = 2.0, .hi = 9.0, .integer = true}},
+  };
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = sample_params(space, rng);
+    EXPECT_GE(p.at("lin"), -1.0);
+    EXPECT_LE(p.at("lin"), 1.0);
+    EXPECT_GE(p.at("log"), 1e-3);
+    EXPECT_LE(p.at("log"), 1e3);
+    EXPECT_DOUBLE_EQ(p.at("int"), std::round(p.at("int")));
+  }
+}
+
+TEST(ParamSpaceTest, LogSamplingCoversDecades) {
+  const ParamSpace space = {{"g", {.lo = 1e-3, .hi = 1e3, .log_scale = true}}};
+  Rng rng(7);
+  int low = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_params(space, rng).at("g") < 1.0) ++low;
+  }
+  // Log-uniform: half the draws below the geometric midpoint (1.0).
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.05);
+}
+
+TEST(ParamSpaceTest, EncodeDecodeRoundTrip) {
+  const ParamSpace space = {
+      {"a", {.lo = 0.0, .hi = 10.0}},
+      {"b", {.lo = 1e-2, .hi = 1e2, .log_scale = true}},
+  };
+  const ParamMap p = {{"a", 2.5}, {"b", 3.0}};
+  const auto decoded = decode_params(space, encode_params(space, p));
+  EXPECT_NEAR(decoded.at("a"), 2.5, 1e-9);
+  EXPECT_NEAR(decoded.at("b"), 3.0, 1e-6);
+}
+
+TEST(ParamSpaceTest, SpaceFromGridInfersScales) {
+  const ParamGrid grid = {{"alpha", {1e-4, 1e-2, 1.0}},
+                          {"depth", {4, 8, 12}}};
+  const auto space = space_from_grid(grid);
+  EXPECT_TRUE(space.at("alpha").log_scale);
+  EXPECT_FALSE(space.at("alpha").integer);
+  EXPECT_TRUE(space.at("depth").integer);
+  EXPECT_FALSE(space.at("depth").log_scale);
+  EXPECT_DOUBLE_EQ(space.at("depth").lo, 4.0);
+  EXPECT_DOUBLE_EQ(space.at("depth").hi, 12.0);
+}
+
+// ---------- searches ----------
+
+class SearchFixture : public ::testing::Test {
+ protected:
+  SearchFixture() : data_(make_nonlinear(250, 0.05, 9)) {}
+  test::Synthetic data_;
+  DecisionTreeRegressor prototype_{TreeOptions{.max_depth = 4}};
+  // Depth is the decisive knob on this target: depth 1 badly underfits.
+  ParamGrid grid_ = {{"max_depth", {1, 4, 8}}, {"min_samples_leaf", {1, 4}}};
+};
+
+TEST_F(SearchFixture, GridSearchEvaluatesEveryCombo) {
+  const auto result = grid_search(prototype_, grid_, data_.x, data_.y);
+  EXPECT_EQ(result.trials.size(), 6u);
+  EXPECT_TRUE(result.best_model && result.best_model->is_fitted());
+  EXPECT_GT(result.elapsed_s, 0.0);
+}
+
+TEST_F(SearchFixture, GridSearchPrefersDeeperTree) {
+  const auto result = grid_search(prototype_, grid_, data_.x, data_.y);
+  EXPECT_GT(result.best_params.at("max_depth"), 1.0);
+  // Best value beats the worst trial.
+  double worst = 1e300;
+  for (const auto& t : result.trials) worst = std::min(worst, t.value);
+  EXPECT_GT(result.best_value(ml::Scoring::kR2), worst);
+}
+
+TEST_F(SearchFixture, GridSearchDeterministic) {
+  const auto a = grid_search(prototype_, grid_, data_.x, data_.y);
+  const auto b = grid_search(prototype_, grid_, data_.x, data_.y);
+  EXPECT_EQ(a.best_params, b.best_params);
+  EXPECT_DOUBLE_EQ(a.best_cv_scores.r2, b.best_cv_scores.r2);
+}
+
+TEST_F(SearchFixture, NoRefitSkipsModel) {
+  SearchOptions opt;
+  opt.refit = false;
+  const auto result = grid_search(prototype_, grid_, data_.x, data_.y, opt);
+  EXPECT_EQ(result.best_model, nullptr);
+}
+
+TEST_F(SearchFixture, RandomSearchStaysInSpaceAndFindsGoodDepth) {
+  const auto space = space_from_grid(grid_);
+  const auto result =
+      random_search(prototype_, space, 12, data_.x, data_.y);
+  EXPECT_EQ(result.trials.size(), 12u);
+  for (const auto& t : result.trials) {
+    EXPECT_GE(t.params.at("max_depth"), 1.0);
+    EXPECT_LE(t.params.at("max_depth"), 8.0);
+  }
+  EXPECT_GT(result.best_params.at("max_depth"), 1.0);
+  EXPECT_THROW(random_search(prototype_, space, 0, data_.x, data_.y), Error);
+}
+
+TEST_F(SearchFixture, BayesSearchImprovesOnWarmup) {
+  const auto space = space_from_grid(grid_);
+  BayesSearchOptions opt;
+  opt.n_initial = 3;
+  const auto result =
+      bayes_search(prototype_, space, 10, data_.x, data_.y, opt);
+  EXPECT_EQ(result.trials.size(), 10u);
+  // The incumbent after all iterations is at least as good as the best
+  // warm-up point.
+  double warmup_best = -1e300;
+  for (int i = 0; i < 3; ++i) {
+    warmup_best = std::max(warmup_best, result.trials[i].value);
+  }
+  EXPECT_GE(result.best_value(ml::Scoring::kR2), warmup_best);
+}
+
+TEST(ExpectedImprovementTest, Properties) {
+  // Zero sigma: EI is the positive part of the mean gap.
+  EXPECT_DOUBLE_EQ(expected_improvement(2.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_improvement(0.5, 0.0, 1.0), 0.0);
+  // EI is non-negative and grows with sigma at fixed mean.
+  EXPECT_GE(expected_improvement(0.0, 0.5, 1.0), 0.0);
+  EXPECT_LT(expected_improvement(0.0, 0.1, 1.0),
+            expected_improvement(0.0, 2.0, 1.0));
+  // Above-incumbent mean dominates a deep-below one at equal sigma.
+  EXPECT_GT(expected_improvement(1.5, 0.3, 1.0),
+            expected_improvement(-3.0, 0.3, 1.0));
+}
+
+}  // namespace
+}  // namespace ccpred::ml

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file test_util.hpp
+/// Shared fixtures for the ccpred test suite: synthetic regression data
+/// and a small, fast CCSD campaign.
+
+#include <cmath>
+#include <vector>
+
+#include "ccpred/common/rng.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/split.hpp"
+#include "ccpred/linalg/matrix.hpp"
+
+namespace ccpred::test {
+
+/// Synthetic regression problem y = f(x) + noise on d uniform features.
+struct Synthetic {
+  linalg::Matrix x;
+  std::vector<double> y;
+};
+
+/// Linear target: y = 3 x0 - 2 x1 + 0.5 x2 + 1 (+ gaussian noise).
+inline Synthetic make_linear(std::size_t n, double noise_std = 0.0,
+                             std::uint64_t seed = 1) {
+  Rng rng(seed);
+  Synthetic s{linalg::Matrix(n, 3), std::vector<double>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) s.x(i, c) = rng.uniform(-2.0, 2.0);
+    s.y[i] = 3.0 * s.x(i, 0) - 2.0 * s.x(i, 1) + 0.5 * s.x(i, 2) + 1.0 +
+             rng.normal(0.0, noise_std);
+  }
+  return s;
+}
+
+/// Smooth nonlinear target: y = sin(2 x0) + x1^2 - x0 x2 (+ noise).
+inline Synthetic make_nonlinear(std::size_t n, double noise_std = 0.0,
+                                std::uint64_t seed = 2) {
+  Rng rng(seed);
+  Synthetic s{linalg::Matrix(n, 3), std::vector<double>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) s.x(i, c) = rng.uniform(-2.0, 2.0);
+    s.y[i] = std::sin(2.0 * s.x(i, 0)) + s.x(i, 1) * s.x(i, 1) -
+             s.x(i, 0) * s.x(i, 2) + rng.normal(0.0, noise_std);
+  }
+  return s;
+}
+
+/// A small CCSD campaign (fast to generate, ~n rows) on Aurora with its
+/// 75/25 coverage split.
+inline data::TrainTest small_campaign(std::size_t n = 400,
+                                      std::uint64_t seed = 3) {
+  static const sim::CcsdSimulator simulator(sim::MachineModel::aurora());
+  const std::vector<data::Problem> problems = {
+      {44, 260}, {85, 698}, {116, 575}, {134, 951}, {180, 720}};
+  data::GeneratorOptions opt;
+  opt.seed = seed;
+  opt.target_total = n;
+  const auto ds = data::generate_dataset(simulator, problems, opt);
+  Rng rng(seed ^ 0xabc);
+  auto split = data::stratified_split_fraction(ds, 0.25, rng);
+  data::ensure_config_coverage(ds, split);
+  return data::apply_split(ds, split);
+}
+
+}  // namespace ccpred::test

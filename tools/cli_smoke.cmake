@@ -1,0 +1,27 @@
+# CTest script: generate a small campaign CSV, evaluate it, and ask for
+# advice — the CLI's three data-driven subcommands end to end.
+
+set(csv "${WORKDIR}/cli_smoke_campaign.csv")
+
+execute_process(COMMAND "${CLI}" generate --machine aurora --rows 500
+                        --seed 3 --out "${csv}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${out}")
+endif()
+
+execute_process(COMMAND "${CLI}" evaluate --data "${csv}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "R\\^2=")
+  message(FATAL_ERROR "evaluate failed: ${out}")
+endif()
+
+execute_process(COMMAND "${CLI}" advise --data "${csv}" --machine aurora
+                        --o 134 --v 951 --budget 8.0
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "fastest")
+  message(FATAL_ERROR "advise failed: ${out}")
+endif()
+
+file(REMOVE "${csv}")
+message(STATUS "CLI smoke OK")
