@@ -1,0 +1,140 @@
+/// Serving-layer throughput: cold sweeps vs cached answers.
+///
+/// Pre-trains a small artifact, then drives the server through two phases:
+/// a cold pass where every problem size forces a full enumerate+predict
+/// sweep, and a warm pass where the sweep cache answers everything. The
+/// interesting number is the ratio — the whole point of caching one
+/// kShortestTime sweep per (machine, model, O, V) is that repeat questions
+/// (STQ, BQ and budget alike) cost a hash lookup instead of a model sweep.
+/// Target: >= 10x. The cache counters printed alongside prove the phases
+/// exercised what they claim (cold = all misses, warm = all hits).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ccpred/common/stopwatch.hpp"
+#include "ccpred/common/table.hpp"
+#include "ccpred/data/problems.hpp"
+#include "ccpred/serve/model_registry.hpp"
+#include "ccpred/serve/server.hpp"
+
+int main() {
+  using namespace ccpred;
+  namespace fs = std::filesystem;
+
+  const bool fast = bench::fast_mode();
+  const std::string machine = "aurora";
+  const auto& problems = data::problems_for(machine);
+  const int warm_rounds = fast ? 20 : 200;
+
+  const fs::path dir = fs::temp_directory_path() / "ccpred_bench_serve";
+  fs::remove_all(dir);
+
+  serve::RegistryOptions ropt;
+  ropt.fallback_rows = fast ? 300 : 600;
+  ropt.gb_estimators = fast ? 40 : 120;
+  serve::ModelRegistry registry(dir.string(), ropt);
+
+  Stopwatch train_watch;
+  registry.train_artifact(machine, "gb");
+  const double train_s = train_watch.elapsed_s();
+
+  serve::ServeOptions sopt;
+  sopt.cache_capacity = 64;
+  serve::Server server(registry, sopt);
+
+  const auto question = [&](std::size_t step) {
+    serve::Request req;
+    const auto& p = problems[step % problems.size()];
+    req.o = p.o;
+    req.v = p.v;
+    switch (step % 3) {
+      case 0: req.op = serve::Op::kStq; break;
+      case 1: req.op = serve::Op::kBq; break;
+      default:
+        req.op = serve::Op::kBudget;
+        req.max_node_hours = 100.0;
+    }
+    return req;
+  };
+
+  // Cold phase: first STQ per problem size computes the sweep.
+  Stopwatch cold_watch;
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    serve::Request req;
+    req.op = serve::Op::kStq;
+    req.o = problems[i].o;
+    req.v = problems[i].v;
+    const auto r = server.handle(req);
+    if (!r.ok) {
+      std::printf("cold request failed: %s\n", r.error.c_str());
+      return 1;
+    }
+  }
+  const double cold_s = cold_watch.elapsed_s();
+  const auto cold_stats = server.stats();
+
+  // Warm phase: every question repeats a problem size -> pure cache hits.
+  Stopwatch warm_watch;
+  std::size_t warm_requests = 0;
+  for (int round = 0; round < warm_rounds; ++round) {
+    for (std::size_t i = 0; i < problems.size(); ++i, ++warm_requests) {
+      const auto r = server.handle(question(warm_requests));
+      if (!r.ok) {
+        std::printf("warm request failed: %s\n", r.error.c_str());
+        return 1;
+      }
+    }
+  }
+  const double warm_s = warm_watch.elapsed_s();
+  const auto stats = server.stats();
+
+  const double cold_rps = static_cast<double>(problems.size()) / cold_s;
+  const double warm_rps = static_cast<double>(warm_requests) / warm_s;
+  const double speedup = warm_rps / cold_rps;
+
+  std::printf("== Serving throughput (%s, gb) ==\n\n", machine.c_str());
+  TextTable table({"phase", "requests", "seconds", "req/s"},
+                  "Cold sweeps vs cached answers");
+  table.add_row({"cold (sweep per request)",
+                 TextTable::cell(static_cast<long long>(problems.size())),
+                 TextTable::cell(cold_s, 4), TextTable::cell(cold_rps, 1)});
+  table.add_row({"warm (cache hits)",
+                 TextTable::cell(static_cast<long long>(warm_requests)),
+                 TextTable::cell(warm_s, 4), TextTable::cell(warm_rps, 1)});
+  table.print();
+
+  std::printf(
+      "\nartifact training: %.2f s (%zu-row campaign, %d stages)\n"
+      "cache counters: %llu hits / %llu misses / %llu evictions "
+      "(hit rate %.3f)\n"
+      "sweeps computed: %llu (== %zu problem sizes)\n"
+      "latency: p50 %.3f ms, p95 %.3f ms\n",
+      train_s, ropt.fallback_rows, ropt.gb_estimators,
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.cache_misses),
+      static_cast<unsigned long long>(stats.cache_evictions),
+      stats.cache_hit_rate,
+      static_cast<unsigned long long>(stats.sweeps_computed), problems.size(),
+      stats.latency_p50_ms, stats.latency_p95_ms);
+
+  std::printf("\ncache-hit speedup: %.1fx (target >= 10x): %s\n", speedup,
+              speedup >= 10.0 ? "PASS" : "FAIL");
+
+  // Sanity: the phases must have exercised what they claim.
+  const bool counters_ok =
+      cold_stats.cache_misses == problems.size() &&
+      cold_stats.sweeps_computed == problems.size() &&
+      stats.sweeps_computed == problems.size() &&
+      stats.cache_hits == warm_requests;
+  if (!counters_ok) {
+    std::printf("counter check FAILED: phases did not run as designed\n");
+    return 1;
+  }
+
+  fs::remove_all(dir);
+  return speedup >= 10.0 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+#include "ccpred/common/latency_histogram.hpp"
+
+#include <cmath>
+
+namespace ccpred {
+
+std::size_t LatencyHistogram::bucket_for(double seconds) const {
+  if (!(seconds > kMinSeconds)) return 0;
+  const double i = std::log(seconds / kMinSeconds) / std::log(kGrowth);
+  const auto bucket = static_cast<std::size_t>(i);
+  return bucket >= kBuckets ? kBuckets - 1 : bucket;
+}
+
+double LatencyHistogram::bucket_lower(std::size_t i) const {
+  return kMinSeconds * std::pow(kGrowth, static_cast<double>(i));
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  buckets_[bucket_for(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                    std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e9 /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (1-based, ceil so q=1 is the max bucket).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      // Interpolate position-in-bucket between the bucket bounds.
+      const double lo = bucket_lower(i);
+      const double hi = lo * kGrowth;
+      const double frac = in_bucket == 0
+                              ? 0.0
+                              : static_cast<double>(rank - seen) /
+                                    static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return bucket_lower(kBuckets - 1) * kGrowth;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ccpred

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file latency_histogram.hpp
+/// A lock-free latency histogram with geometric buckets, good enough for
+/// serving-layer p50/p95 snapshots. record() is a single relaxed atomic
+/// increment on the hot path; quantile() scans the fixed bucket array and
+/// interpolates inside the winning bucket.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace ccpred {
+
+/// Histogram over positive durations in seconds. Buckets are geometric:
+/// bucket i covers [kMinSeconds * growth^i, kMinSeconds * growth^(i+1));
+/// with 64 buckets from 1 µs growing by 1.5x the range spans past 10^5 s.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  static constexpr double kMinSeconds = 1e-6;
+  static constexpr double kGrowth = 1.5;
+
+  LatencyHistogram() = default;
+
+  /// Records one observation (thread-safe, wait-free).
+  void record(double seconds);
+
+  /// Number of recorded observations.
+  std::uint64_t count() const;
+
+  /// Approximate quantile in seconds, q in [0, 1]. Returns 0 when empty.
+  /// Linear interpolation within the selected bucket keeps the error
+  /// bounded by the bucket growth factor.
+  double quantile(double q) const;
+
+  /// Mean of recorded observations (0 when empty).
+  double mean() const;
+
+  void reset();
+
+ private:
+  std::size_t bucket_for(double seconds) const;
+  double bucket_lower(std::size_t i) const;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  /// Sum in nanoseconds so the mean survives atomic accumulation.
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+}  // namespace ccpred

@@ -75,6 +75,14 @@ std::vector<double> RandomForestRegressor::feature_importances() const {
   return out;
 }
 
+RandomForestRegressor RandomForestRegressor::from_parts(
+    std::vector<DecisionTreeRegressor> trees) {
+  CCPRED_CHECK_MSG(!trees.empty(), "from_parts needs at least one tree");
+  RandomForestRegressor forest(static_cast<int>(trees.size()));
+  forest.trees_ = std::move(trees);
+  return forest;
+}
+
 std::unique_ptr<Regressor> RandomForestRegressor::clone() const {
   return std::make_unique<RandomForestRegressor>(n_estimators_, tree_options_,
                                                  bootstrap_, seed_);

@@ -39,6 +39,11 @@ class RandomForestRegressor : public Regressor {
   std::vector<double> feature_importances() const;
   const DecisionTreeRegressor& tree(std::size_t i) const { return trees_[i]; }
 
+  /// Reconstructs a fitted forest from its member trees (serialization
+  /// loader); the result predicts bit-identically to the original.
+  static RandomForestRegressor from_parts(
+      std::vector<DecisionTreeRegressor> trees);
+
  private:
   int n_estimators_;
   TreeOptions tree_options_;

@@ -11,6 +11,7 @@ namespace {
 
 constexpr const char* kTreeHeader = "ccpred-tree-v1";
 constexpr const char* kGbHeader = "ccpred-gb-v1";
+constexpr const char* kRfHeader = "ccpred-rf-v1";
 
 void write_tree_body(std::ostream& out, const DecisionTreeRegressor& tree) {
   out.precision(17);
@@ -99,6 +100,49 @@ GradientBoostingRegressor deserialize_gb(const std::string& text) {
   }
   return GradientBoostingRegressor::from_parts(learning_rate, base,
                                                std::move(stages));
+}
+
+std::string serialize_rf(const RandomForestRegressor& model) {
+  CCPRED_CHECK_MSG(model.is_fitted(), "cannot serialize an unfitted model");
+  std::ostringstream out;
+  out << kRfHeader << '\n' << model.tree_count() << '\n';
+  for (std::size_t t = 0; t < model.tree_count(); ++t) {
+    write_tree_body(out, model.tree(t));
+  }
+  return out.str();
+}
+
+RandomForestRegressor deserialize_rf(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  CCPRED_CHECK_MSG(static_cast<bool>(in >> header) && header == kRfHeader,
+                   "not a ccpred RF model file");
+  std::size_t n_trees = 0;
+  CCPRED_CHECK_MSG(static_cast<bool>(in >> n_trees),
+                   "RF model file: missing tree count");
+  CCPRED_CHECK_MSG(n_trees >= 1 && n_trees < (1u << 20),
+                   "RF model file: implausible tree count " << n_trees);
+  std::vector<DecisionTreeRegressor> trees;
+  trees.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    trees.push_back(read_tree_body(in));
+  }
+  return RandomForestRegressor::from_parts(std::move(trees));
+}
+
+void save_rf(const RandomForestRegressor& model, const std::string& path) {
+  std::ofstream out(path);
+  CCPRED_CHECK_MSG(out.good(), "cannot open model file for write: " << path);
+  out << serialize_rf(model);
+  CCPRED_CHECK_MSG(out.good(), "I/O error writing model file: " << path);
+}
+
+RandomForestRegressor load_rf(const std::string& path) {
+  std::ifstream in(path);
+  CCPRED_CHECK_MSG(in.good(), "cannot open model file: " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return deserialize_rf(buf.str());
 }
 
 void save_gb(const GradientBoostingRegressor& model, const std::string& path) {

@@ -14,6 +14,7 @@
 
 #include "ccpred/core/decision_tree.hpp"
 #include "ccpred/core/gradient_boosting.hpp"
+#include "ccpred/core/random_forest.hpp"
 
 namespace ccpred::ml {
 
@@ -34,5 +35,17 @@ GradientBoostingRegressor deserialize_gb(const std::string& text);
 /// Convenience: write/read a GB model file.
 void save_gb(const GradientBoostingRegressor& model, const std::string& path);
 GradientBoostingRegressor load_gb(const std::string& path);
+
+/// Serializes a fitted random forest (header "ccpred-rf-v1", then each
+/// member tree in serialize_tree body format).
+std::string serialize_rf(const RandomForestRegressor& model);
+
+/// Restores a forest from serialize_rf output; the result predicts
+/// bit-identically to the original.
+RandomForestRegressor deserialize_rf(const std::string& text);
+
+/// Convenience: write/read an RF model file.
+void save_rf(const RandomForestRegressor& model, const std::string& path);
+RandomForestRegressor load_rf(const std::string& path);
 
 }  // namespace ccpred::ml

@@ -57,19 +57,28 @@ Recommendation Advisor::recommend(int o, int v, Objective objective) const {
   }
   const auto times = model_.predict(x);
 
-  Recommendation rec;
-  rec.objective = objective;
-  rec.sweep.reserve(candidates.size());
-  bool first = true;
-  double best = 0.0;
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     SweepPoint pt;
     pt.config = candidates[i];
     pt.predicted_time_s = times[i];
     pt.predicted_node_hours =
         sim::CcsdSimulator::node_hours(candidates[i], times[i]);
-    rec.sweep.push_back(pt);
+    sweep.push_back(pt);
+  }
+  return from_sweep(std::move(sweep), objective);
+}
 
+Recommendation Advisor::from_sweep(std::vector<SweepPoint> sweep,
+                                   Objective objective) {
+  CCPRED_CHECK_MSG(!sweep.empty(), "cannot recommend from an empty sweep");
+  Recommendation rec;
+  rec.objective = objective;
+  rec.sweep = std::move(sweep);
+  bool first = true;
+  double best = 0.0;
+  for (const auto& pt : rec.sweep) {
     const double value = objective == Objective::kShortestTime
                              ? pt.predicted_time_s
                              : pt.predicted_node_hours;
@@ -86,9 +95,16 @@ Recommendation Advisor::recommend(int o, int v, Objective objective) const {
 
 Recommendation Advisor::fastest_within_budget(int o, int v,
                                                double max_node_hours) const {
+  // One recommend() sweep, then the constraint filter on the cached points.
+  return fastest_within_budget(recommend(o, v, Objective::kShortestTime),
+                               max_node_hours);
+}
+
+Recommendation Advisor::fastest_within_budget(const Recommendation& base,
+                                              double max_node_hours) {
   CCPRED_CHECK_MSG(max_node_hours > 0.0, "budget must be positive");
-  // Reuse the STQ sweep, then filter by the budget constraint.
-  Recommendation rec = recommend(o, v, Objective::kShortestTime);
+  Recommendation rec = base;
+  rec.objective = Objective::kShortestTime;
   bool found = false;
   double best_time = 0.0;
   for (const auto& pt : rec.sweep) {
@@ -101,7 +117,8 @@ Recommendation Advisor::fastest_within_budget(int o, int v,
       found = true;
     }
   }
-  CCPRED_CHECK_MSG(found, "no configuration for O=" << o << " V=" << v
+  CCPRED_CHECK_MSG(found, "no swept configuration for O="
+                              << rec.config.o << " V=" << rec.config.v
                               << " fits within " << max_node_hours
                               << " node-hours");
   return rec;

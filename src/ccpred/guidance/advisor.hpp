@@ -63,9 +63,23 @@ class Advisor {
   /// Constrained question: the fastest predicted configuration whose
   /// predicted cost stays within `max_node_hours`. Throws ccpred::Error if
   /// no feasible configuration fits the budget (the cheapest_run answer
-  /// tells the user the minimum budget needed).
+  /// tells the user the minimum budget needed). Delegates to the sweep
+  /// overload below after one recommend() sweep.
   Recommendation fastest_within_budget(int o, int v,
                                        double max_node_hours) const;
+
+  /// Same question answered from an already-computed sweep (any objective):
+  /// no model predictions are re-run, so callers holding a cached
+  /// Recommendation (e.g. the serving layer) answer budget queries for
+  /// free. Throws ccpred::Error if nothing fits the budget.
+  static Recommendation fastest_within_budget(const Recommendation& base,
+                                              double max_node_hours);
+
+  /// Re-derives the argmin for `objective` from an existing sweep without
+  /// re-predicting — the sweep is objective-independent, only the winner
+  /// changes. Throws ccpred::Error on an empty sweep.
+  static Recommendation from_sweep(std::vector<SweepPoint> sweep,
+                                   Objective objective);
 
  private:
   const ml::Regressor& model_;

@@ -1,0 +1,152 @@
+#include "ccpred/serve/model_registry.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/core/serialize.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/problems.hpp"
+
+namespace ccpred::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::int64_t mtime_ns(const std::string& path) {
+  std::error_code ec;
+  const auto t = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+void check_kind(const std::string& kind) {
+  CCPRED_CHECK_MSG(kind == "gb" || kind == "rf",
+                   "unknown model kind '" << kind << "' (use gb|rf)");
+}
+
+}  // namespace
+
+sim::CcsdSimulator simulator_for(const std::string& machine) {
+  if (machine == "aurora") {
+    return sim::CcsdSimulator(sim::MachineModel::aurora());
+  }
+  if (machine == "frontier") {
+    return sim::CcsdSimulator(sim::MachineModel::frontier());
+  }
+  throw Error("unknown machine: " + machine + " (use aurora|frontier)");
+}
+
+ModelRegistry::ModelRegistry(std::string artifact_dir, RegistryOptions options)
+    : dir_(std::move(artifact_dir)), options_(options) {
+  CCPRED_CHECK_MSG(!dir_.empty(), "artifact directory must not be empty");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  CCPRED_CHECK_MSG(!ec, "cannot create artifact directory " << dir_ << ": "
+                                                            << ec.message());
+}
+
+std::string ModelRegistry::artifact_path(const std::string& machine,
+                                         const std::string& kind) const {
+  return (fs::path(dir_) / (machine + "-" + kind + ".model")).string();
+}
+
+ModelHandle ModelRegistry::load_locked(const std::string& machine,
+                                       const std::string& kind,
+                                       const std::string& path) {
+  ModelHandle handle;
+  if (kind == "gb") {
+    handle.model = std::make_shared<const ml::GradientBoostingRegressor>(
+        ml::load_gb(path));
+  } else {
+    handle.model = std::make_shared<const ml::RandomForestRegressor>(
+        ml::load_rf(path));
+  }
+  handle.version = next_version_++;
+  handle.machine = machine;
+  handle.kind = kind;
+  handle.path = path;
+  ++loads_;
+  return handle;
+}
+
+std::string ModelRegistry::train_artifact(const std::string& machine,
+                                          const std::string& kind) {
+  check_kind(kind);
+  const auto simulator = simulator_for(machine);
+  data::GeneratorOptions gen;
+  gen.seed = options_.fallback_seed;
+  gen.target_total = options_.fallback_rows;
+  const auto dataset = data::generate_dataset(
+      simulator, data::problems_for(simulator.machine().name), gen);
+  const std::string path = artifact_path(machine, kind);
+  if (kind == "gb") {
+    ml::GradientBoostingRegressor model(options_.gb_estimators);
+    model.fit(dataset.features(), dataset.targets());
+    ml::save_gb(model, path);
+  } else {
+    ml::RandomForestRegressor model(options_.rf_estimators);
+    model.fit(dataset.features(), dataset.targets());
+    ml::save_rf(model, path);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++trainings_;
+  }
+  return path;
+}
+
+ModelHandle ModelRegistry::get(const std::string& machine,
+                               const std::string& kind) {
+  check_kind(kind);
+  simulator_for(machine);  // validates the machine name early
+  const std::string key = machine + "/" + kind;
+  const std::string path = artifact_path(machine, kind);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (!options_.hot_reload) return it->second.handle;
+      const std::int64_t now_ns = mtime_ns(path);
+      if (now_ns != 0 && now_ns == it->second.mtime_ns) {
+        return it->second.handle;
+      }
+      // Artifact changed (or vanished — fall through to reload/retrain).
+      if (now_ns != 0) {
+        Entry entry{load_locked(machine, kind, path), now_ns};
+        it->second = entry;
+        return entry.handle;
+      }
+      entries_.erase(it);
+    } else if (fs::exists(path)) {
+      Entry entry{load_locked(machine, kind, path), mtime_ns(path)};
+      entries_[key] = entry;
+      return entry.handle;
+    }
+  }
+  // Missing artifact: train-and-cache outside the lock (training is the
+  // slow path and must not block serving other machines), then load.
+  train_artifact(machine, kind);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Another thread may have loaded while we trained; reuse its entry.
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second.handle;
+  Entry entry{load_locked(machine, kind, path), mtime_ns(path)};
+  entries_[key] = entry;
+  return entry.handle;
+}
+
+std::uint64_t ModelRegistry::loads() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return loads_;
+}
+
+std::uint64_t ModelRegistry::trainings() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return trainings_;
+}
+
+}  // namespace ccpred::serve

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file model_registry.hpp
+/// Artifact-backed model store for the serving layer: train once per
+/// (machine, model-kind), publish "<machine>-<kind>.model" into a
+/// directory, and every server process serves from it. The registry
+/// hot-reloads when the artifact's mtime changes (a newer campaign was
+/// published) and falls back to train-and-cache when an artifact is
+/// missing, so a fresh deployment bootstraps itself.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ccpred/core/regressor.hpp"
+#include "ccpred/sim/ccsd_simulator.hpp"
+
+namespace ccpred::serve {
+
+/// The simulator for a machine name ("aurora" | "frontier"); throws
+/// ccpred::Error on anything else. Shared by the registry's fallback
+/// training and the server's sweep enumeration.
+sim::CcsdSimulator simulator_for(const std::string& machine);
+
+/// Registry knobs; the defaults match the paper's production models, the
+/// small values are for tests and benches.
+struct RegistryOptions {
+  bool hot_reload = true;          ///< stat() artifacts on every get()
+  std::size_t fallback_rows = 600; ///< campaign size for train-and-cache
+  std::uint64_t fallback_seed = 2025;
+  int gb_estimators = 750;  ///< boosting stages for fallback-trained GB
+  int rf_estimators = 100;  ///< trees for fallback-trained RF
+};
+
+/// A loaded model plus its identity. `version` increments globally on every
+/// (re)load, so a sweep cached under version N can never be served from a
+/// newer model. The shared_ptr keeps an in-flight sweep's model alive
+/// across a concurrent hot-reload.
+struct ModelHandle {
+  std::shared_ptr<const ml::Regressor> model;
+  std::uint64_t version = 0;
+  std::string machine;
+  std::string kind;  ///< "gb" | "rf"
+  std::string path;  ///< artifact the model came from
+};
+
+/// Thread-safe registry of serialized models in one artifact directory.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string artifact_dir,
+                         RegistryOptions options = {});
+
+  /// The model for (machine, kind), loading / hot-reloading / fallback-
+  /// training as needed. kind is "gb" or "rf". Throws ccpred::Error for
+  /// unknown machines or kinds, or corrupt artifacts.
+  ModelHandle get(const std::string& machine, const std::string& kind);
+
+  /// Trains the fallback model for (machine, kind) on a fresh simulated
+  /// campaign and writes the artifact (overwriting any existing one).
+  /// Returns the artifact path. Used by `ccpred_serverd train` and by
+  /// get()'s missing-artifact fallback.
+  std::string train_artifact(const std::string& machine,
+                             const std::string& kind);
+
+  /// Artifact path for (machine, kind): "<dir>/<machine>-<kind>.model".
+  std::string artifact_path(const std::string& machine,
+                            const std::string& kind) const;
+
+  const std::string& artifact_dir() const { return dir_; }
+  const RegistryOptions& options() const { return options_; }
+
+  /// Total artifact (re)loads since construction.
+  std::uint64_t loads() const;
+  /// Total train-and-cache fallbacks taken since construction.
+  std::uint64_t trainings() const;
+
+ private:
+  struct Entry {
+    ModelHandle handle;
+    std::int64_t mtime_ns = 0;  ///< artifact mtime at load, for hot reload
+  };
+
+  /// Loads the artifact at `path` into a fresh handle (caller holds lock).
+  ModelHandle load_locked(const std::string& machine, const std::string& kind,
+                          const std::string& path);
+
+  std::string dir_;
+  RegistryOptions options_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< keyed "machine/kind"
+  std::uint64_t next_version_ = 1;
+  std::uint64_t loads_ = 0;
+  std::uint64_t trainings_ = 0;
+};
+
+}  // namespace ccpred::serve

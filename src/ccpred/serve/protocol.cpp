@@ -1,0 +1,270 @@
+#include "ccpred/serve/protocol.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/strings.hpp"
+
+namespace ccpred::serve {
+namespace {
+
+/// Cursor over one request line; all helpers throw on malformed input so
+/// the caller can turn any parse failure into an error response.
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool done() {
+    skip_ws();
+    return i >= s.size();
+  }
+  char peek() {
+    skip_ws();
+    CCPRED_CHECK_MSG(i < s.size(), "protocol: unexpected end of line");
+    return s[i];
+  }
+  void expect(char c) {
+    CCPRED_CHECK_MSG(peek() == c, "protocol: expected '"
+                                      << c << "' at column " << i << ", got '"
+                                      << s[i] << "'");
+    ++i;
+  }
+};
+
+std::string parse_string(Cursor& c) {
+  c.expect('"');
+  std::string out;
+  while (true) {
+    CCPRED_CHECK_MSG(c.i < c.s.size(), "protocol: unterminated string");
+    const char ch = c.s[c.i++];
+    if (ch == '"') return out;
+    if (ch == '\\') {
+      CCPRED_CHECK_MSG(c.i < c.s.size(), "protocol: dangling escape");
+      const char esc = c.s[c.i++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        default:
+          throw Error(std::string("protocol: unsupported escape '\\") + esc +
+                      "'");
+      }
+    } else {
+      out += ch;
+    }
+  }
+}
+
+/// A bare (unquoted) scalar: number, true or false. Returned as written.
+std::string parse_scalar(Cursor& c) {
+  c.skip_ws();
+  std::string out;
+  while (c.i < c.s.size()) {
+    const char ch = c.s[c.i];
+    if (ch == ',' || ch == '}' ||
+        std::isspace(static_cast<unsigned char>(ch))) {
+      break;
+    }
+    CCPRED_CHECK_MSG(ch != '{' && ch != '[',
+                     "protocol: nested values are not supported");
+    out += ch;
+    ++c.i;
+  }
+  CCPRED_CHECK_MSG(!out.empty(), "protocol: empty value");
+  return out;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+/// Compact double rendering with enough digits to round-trip answers.
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+int field_int(const std::map<std::string, std::string>& rec,
+              const std::string& key) {
+  const auto it = rec.find(key);
+  CCPRED_CHECK_MSG(it != rec.end(), "request: missing field \"" << key
+                                        << "\"");
+  return static_cast<int>(parse_int(it->second));
+}
+
+double field_double(const std::map<std::string, std::string>& rec,
+                    const std::string& key) {
+  const auto it = rec.find(key);
+  CCPRED_CHECK_MSG(it != rec.end(), "request: missing field \"" << key
+                                        << "\"");
+  return parse_double(it->second);
+}
+
+std::string field_or(const std::map<std::string, std::string>& rec,
+                     const std::string& key, const std::string& fallback) {
+  const auto it = rec.find(key);
+  return it == rec.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kStq: return "stq";
+    case Op::kBq: return "bq";
+    case Op::kBudget: return "budget";
+    case Op::kJob: return "job";
+    case Op::kStats: return "stats";
+  }
+  return "?";
+}
+
+std::map<std::string, std::string> parse_record(const std::string& line) {
+  Cursor c{line};
+  c.expect('{');
+  std::map<std::string, std::string> rec;
+  if (c.peek() == '}') {
+    ++c.i;
+  } else {
+    while (true) {
+      const std::string key = parse_string(c);
+      c.expect(':');
+      const std::string value =
+          c.peek() == '"' ? parse_string(c) : parse_scalar(c);
+      CCPRED_CHECK_MSG(rec.emplace(key, value).second,
+                       "protocol: duplicate key \"" << key << "\"");
+      const char next = c.peek();
+      ++c.i;
+      if (next == '}') break;
+      CCPRED_CHECK_MSG(next == ',', "protocol: expected ',' or '}' after \""
+                                        << key << "\"");
+    }
+  }
+  CCPRED_CHECK_MSG(c.done(), "protocol: trailing characters after '}'");
+  return rec;
+}
+
+Request parse_request(const std::string& line) {
+  const auto rec = parse_record(line);
+  Request req;
+  const std::string op = field_or(rec, "op", "");
+  CCPRED_CHECK_MSG(!op.empty(), "request: missing field \"op\"");
+  if (op == "stq") {
+    req.op = Op::kStq;
+  } else if (op == "bq") {
+    req.op = Op::kBq;
+  } else if (op == "budget") {
+    req.op = Op::kBudget;
+  } else if (op == "job") {
+    req.op = Op::kJob;
+  } else if (op == "stats") {
+    req.op = Op::kStats;
+  } else {
+    throw Error("request: unknown op \"" + op +
+                "\" (use stq|bq|budget|job|stats)");
+  }
+  req.id = field_or(rec, "id", "");
+  req.machine = field_or(rec, "machine", "");
+  req.model = field_or(rec, "model", "");
+  if (req.op != Op::kStats) {
+    req.o = field_int(rec, "o");
+    req.v = field_int(rec, "v");
+  }
+  if (req.op == Op::kJob) {
+    req.nodes = field_int(rec, "nodes");
+    req.tile = field_int(rec, "tile");
+  }
+  if (req.op == Op::kBudget) {
+    req.max_node_hours = field_double(rec, "max_node_hours");
+  }
+  return req;
+}
+
+std::string format_response(const Response& r) {
+  std::ostringstream os;
+  os << "{\"ok\":" << (r.ok ? "true" : "false");
+  if (!r.op.empty()) {
+    os << ",\"op\":\"";
+    json_escape(os, r.op);
+    os << '"';
+  }
+  if (!r.id.empty()) {
+    os << ",\"id\":\"";
+    json_escape(os, r.id);
+    os << '"';
+  }
+  if (!r.ok) {
+    os << ",\"error\":\"";
+    json_escape(os, r.error);
+    os << '"';
+  }
+  if (r.has_recommendation) {
+    os << ",\"nodes\":" << r.nodes << ",\"tile\":" << r.tile
+       << ",\"time_s\":" << number(r.time_s)
+       << ",\"node_hours\":" << number(r.node_hours)
+       << ",\"model_version\":" << r.model_version
+       << ",\"sweep_size\":" << r.sweep_size
+       << ",\"cache_hit\":" << (r.cache_hit ? "true" : "false");
+  }
+  if (r.has_job) {
+    os << ",\"iterations\":" << r.iterations
+       << ",\"setup_s\":" << number(r.setup_s)
+       << ",\"iteration_s\":" << number(r.iteration_s)
+       << ",\"total_s\":" << number(r.total_s)
+       << ",\"node_hours\":" << number(r.node_hours);
+  }
+  if (r.has_stats) {
+    const ServerStats& s = r.stats;
+    os << ",\"requests\":" << s.requests << ",\"errors\":" << s.errors
+       << ",\"sweeps_computed\":" << s.sweeps_computed
+       << ",\"coalesced\":" << s.coalesced
+       << ",\"cache_hits\":" << s.cache_hits
+       << ",\"cache_misses\":" << s.cache_misses
+       << ",\"cache_evictions\":" << s.cache_evictions
+       << ",\"cache_hit_rate\":" << number(s.cache_hit_rate)
+       << ",\"cache_size\":" << s.cache_size
+       << ",\"queue_depth\":" << s.queue_depth
+       << ",\"models_loaded\":" << s.models_loaded
+       << ",\"models_trained\":" << s.models_trained
+       << ",\"latency_p50_ms\":" << number(s.latency_p50_ms)
+       << ",\"latency_p95_ms\":" << number(s.latency_p95_ms)
+       << ",\"latency_mean_ms\":" << number(s.latency_mean_ms);
+  }
+  os << '}';
+  return os.str();
+}
+
+Response error_response(const std::string& message, const std::string& op,
+                        const std::string& id) {
+  Response r;
+  r.ok = false;
+  r.op = op;
+  r.id = id;
+  r.error = message;
+  return r;
+}
+
+}  // namespace ccpred::serve

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The serving subsystem's wire format: one flat JSON object per line, for
+/// both requests and responses. Flat means string / number / boolean values
+/// only — no nesting — which keeps the parser ~100 lines, the protocol
+/// greppable, and a session scriptable with a shell here-doc.
+///
+/// Requests:
+///   {"op":"stq","machine":"aurora","o":134,"v":951}
+///   {"op":"bq","machine":"frontier","o":99,"v":718,"id":"q7"}
+///   {"op":"budget","machine":"aurora","o":134,"v":951,"max_node_hours":8.0}
+///   {"op":"job","machine":"aurora","o":134,"v":951,"nodes":110,"tile":90}
+///   {"op":"stats"}
+///
+/// Responses echo "op" (and "id" when given) and carry either the answer
+/// fields or {"ok":false,"error":"..."}.
+
+#include <map>
+#include <string>
+
+#include "ccpred/serve/stats.hpp"
+
+namespace ccpred::serve {
+
+/// Request kinds understood by the server.
+enum class Op {
+  kStq,     ///< shortest-time question
+  kBq,      ///< budget question (min node-hours)
+  kBudget,  ///< fastest within a node-hour budget
+  kJob,     ///< whole-job estimate straight from the simulator
+  kStats,   ///< server statistics snapshot
+};
+
+/// Canonical wire name of an op ("stq", "bq", ...).
+const char* op_name(Op op);
+
+/// One parsed request. `machine` / `model` may be empty, meaning "use the
+/// server's defaults".
+struct Request {
+  Op op = Op::kStats;
+  std::string id;       ///< optional client tag, echoed verbatim
+  std::string machine;  ///< "aurora" | "frontier" | "" (server default)
+  std::string model;    ///< "gb" | "rf" | "" (server default)
+  int o = 0;
+  int v = 0;
+  int nodes = 0;              ///< job op only
+  int tile = 0;               ///< job op only
+  double max_node_hours = 0.0;  ///< budget op only
+};
+
+/// One response; which optional block is populated depends on the op.
+struct Response {
+  bool ok = false;
+  std::string op;     ///< echoed op name
+  std::string id;     ///< echoed request id (may be empty)
+  std::string error;  ///< set when !ok
+
+  // Recommendation block (stq / bq / budget).
+  bool has_recommendation = false;
+  int nodes = 0;
+  int tile = 0;
+  double time_s = 0.0;
+  double node_hours = 0.0;
+  std::uint64_t model_version = 0;
+  std::size_t sweep_size = 0;
+  bool cache_hit = false;
+
+  // Job block.
+  bool has_job = false;
+  int iterations = 0;
+  double setup_s = 0.0;
+  double iteration_s = 0.0;
+  double total_s = 0.0;
+
+  // Stats block.
+  bool has_stats = false;
+  ServerStats stats;
+};
+
+/// Parses one flat JSON object into key -> raw value text (strings are
+/// unescaped, numbers/booleans kept as written). Throws ccpred::Error on
+/// malformed input, nesting, or duplicate keys.
+std::map<std::string, std::string> parse_record(const std::string& line);
+
+/// Parses and validates a request line. Throws ccpred::Error with a
+/// user-facing message on unknown ops, missing fields, or bad numbers.
+Request parse_request(const std::string& line);
+
+/// Renders a response as one flat JSON line (no trailing newline).
+std::string format_response(const Response& response);
+
+/// Convenience: an ok=false response echoing whatever could be salvaged.
+Response error_response(const std::string& message, const std::string& op = "",
+                        const std::string& id = "");
+
+}  // namespace ccpred::serve

@@ -1,0 +1,190 @@
+#include "ccpred/serve/server.hpp"
+
+#include <utility>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/stopwatch.hpp"
+#include "ccpred/sim/solver.hpp"
+
+namespace ccpred::serve {
+
+Server::Server(ModelRegistry& registry, ServeOptions options)
+    : registry_(registry),
+      options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      pool_(options_.threads) {}
+
+const sim::CcsdSimulator& Server::simulator(const std::string& machine) {
+  const std::lock_guard<std::mutex> lock(simulators_mutex_);
+  auto it = simulators_.find(machine);
+  if (it == simulators_.end()) {
+    it = simulators_.emplace(machine, simulator_for(machine)).first;
+  }
+  return it->second;
+}
+
+SweepPtr Server::sweep_for(const std::string& machine, const std::string& kind,
+                           int o, int v, std::uint64_t* model_version,
+                           bool* cache_hit) {
+  const ModelHandle handle = registry_.get(machine, kind);
+  *model_version = handle.version;
+  const SweepKey key{machine, kind, handle.version, o, v};
+  if (SweepPtr cached = cache_.get(key)) {
+    *cache_hit = true;
+    return cached;
+  }
+  *cache_hit = false;
+
+  // Single-flight: first requester becomes the leader and computes; everyone
+  // else blocks on the leader's future instead of re-running the sweep.
+  std::promise<SweepPtr> promise;
+  std::shared_future<SweepPtr> future;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) {
+      leader = true;
+      future = promise.get_future().share();
+      inflight_[key] = future;
+    } else {
+      future = it->second;
+    }
+  }
+  if (!leader) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return future.get();
+  }
+  try {
+    const guide::Advisor advisor(*handle.model, simulator(machine));
+    auto sweep = std::make_shared<const guide::Recommendation>(
+        advisor.recommend(o, v, guide::Objective::kShortestTime));
+    sweeps_computed_.fetch_add(1, std::memory_order_relaxed);
+    cache_.put(key, sweep);
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_value(sweep);
+    return sweep;
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+Response Server::dispatch(const Request& req) {
+  Response r;
+  r.op = op_name(req.op);
+  r.id = req.id;
+
+  if (req.op == Op::kStats) {
+    r.ok = true;
+    r.has_stats = true;
+    r.stats = stats();
+    return r;
+  }
+
+  const std::string machine =
+      req.machine.empty() ? options_.default_machine : req.machine;
+
+  if (req.op == Op::kJob) {
+    const sim::RunConfig cfg{
+        .o = req.o, .v = req.v, .nodes = req.nodes, .tile = req.tile};
+    const auto job = sim::estimate_job(simulator(machine), cfg);
+    r.ok = true;
+    r.has_job = true;
+    r.iterations = job.iterations;
+    r.setup_s = job.setup_s;
+    r.iteration_s = job.iteration_s;
+    r.total_s = job.total_s;
+    r.node_hours = job.node_hours;
+    return r;
+  }
+
+  // STQ / BQ / budget: one cached sweep answers all three.
+  const std::string kind =
+      req.model.empty() ? options_.default_model : req.model;
+  std::uint64_t version = 0;
+  bool cache_hit = false;
+  const SweepPtr sweep =
+      sweep_for(machine, kind, req.o, req.v, &version, &cache_hit);
+
+  guide::Recommendation rec;
+  switch (req.op) {
+    case Op::kStq:
+      rec = *sweep;  // the cached sweep IS the shortest-time answer
+      break;
+    case Op::kBq:
+      rec = guide::Advisor::from_sweep(sweep->sweep,
+                                       guide::Objective::kNodeHours);
+      break;
+    case Op::kBudget:
+      rec = guide::Advisor::fastest_within_budget(*sweep, req.max_node_hours);
+      break;
+    default:
+      throw Error("unhandled op");  // unreachable
+  }
+  r.ok = true;
+  r.has_recommendation = true;
+  r.nodes = rec.config.nodes;
+  r.tile = rec.config.tile;
+  r.time_s = rec.predicted_time_s;
+  r.node_hours = rec.predicted_node_hours;
+  r.model_version = version;
+  r.sweep_size = sweep->sweep.size();
+  r.cache_hit = cache_hit;
+  return r;
+}
+
+Response Server::handle(const Request& req) {
+  const Stopwatch timer;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Response r;
+  try {
+    r = dispatch(req);
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    r = error_response(e.what(), op_name(req.op), req.id);
+  }
+  latency_.record(timer.elapsed_s());
+  return r;
+}
+
+std::future<Response> Server::submit(Request request) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  pool_.submit([this, promise, request = std::move(request)]() {
+    promise->set_value(handle(request));  // handle() never throws
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+  });
+  return future;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.sweeps_computed = sweeps_computed_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  const CacheCounters cc = cache_.counters();
+  s.cache_hits = cc.hits;
+  s.cache_misses = cc.misses;
+  s.cache_evictions = cc.evictions;
+  s.cache_hit_rate = cc.hit_rate();
+  s.cache_size = cache_.size();
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.models_loaded = registry_.loads();
+  s.models_trained = registry_.trainings();
+  s.latency_p50_ms = latency_.quantile(0.50) * 1e3;
+  s.latency_p95_ms = latency_.quantile(0.95) * 1e3;
+  s.latency_mean_ms = latency_.mean() * 1e3;
+  return s;
+}
+
+}  // namespace ccpred::serve

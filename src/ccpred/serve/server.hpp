@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file server.hpp
+/// The recommendation server: a thread-safe request handler over a model
+/// registry, a sharded sweep cache, and a worker pool. Three properties
+/// matter for a guidance service and are tested explicitly:
+///
+///  * determinism — any interleaving of requests produces the same answers
+///    as serial execution against the same artifacts (sweeps are pure
+///    functions of (machine, model-version, O, V));
+///  * single-flight sweeps — concurrent requests for the same uncached
+///    (machine, O, V) run ONE enumerate+predict sweep; the rest block on
+///    its future (`coalesced` counts them);
+///  * cheap repeats — a cached sweep answers STQ, BQ and budget questions
+///    without touching the model at all.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "ccpred/common/latency_histogram.hpp"
+#include "ccpred/common/thread_pool.hpp"
+#include "ccpred/serve/model_registry.hpp"
+#include "ccpred/serve/protocol.hpp"
+#include "ccpred/serve/stats.hpp"
+#include "ccpred/serve/sweep_cache.hpp"
+
+namespace ccpred::serve {
+
+/// Server construction knobs.
+struct ServeOptions {
+  std::size_t threads = 0;        ///< worker pool size; 0 = hardware
+  std::size_t cache_capacity = 256;  ///< sweeps kept across all shards
+  std::size_t cache_shards = 8;
+  std::string default_machine = "aurora";  ///< when a request omits it
+  std::string default_model = "gb";        ///< when a request omits it
+};
+
+/// See file comment. The registry must outlive the server.
+class Server {
+ public:
+  explicit Server(ModelRegistry& registry, ServeOptions options = {});
+
+  /// Handles one request synchronously. Thread-safe; never throws —
+  /// failures come back as ok=false responses.
+  Response handle(const Request& request);
+
+  /// Enqueues a request onto the worker pool.
+  std::future<Response> submit(Request request);
+
+  /// Point-in-time statistics snapshot.
+  ServerStats stats() const;
+
+  const ServeOptions& options() const { return options_; }
+  const SweepCache& cache() const { return cache_; }
+
+ private:
+  Response dispatch(const Request& request);
+
+  /// The sweep for (machine, kind, o, v): cache -> in-flight future ->
+  /// compute. Sets `cache_hit`; returns the model version used.
+  SweepPtr sweep_for(const std::string& machine, const std::string& kind,
+                     int o, int v, std::uint64_t* model_version,
+                     bool* cache_hit);
+
+  /// Lazily-built simulator per machine (stable address for Advisor refs).
+  const sim::CcsdSimulator& simulator(const std::string& machine);
+
+  ModelRegistry& registry_;
+  ServeOptions options_;
+  SweepCache cache_;
+  ThreadPool pool_;
+  LatencyHistogram latency_;
+
+  std::mutex simulators_mutex_;
+  std::map<std::string, sim::CcsdSimulator> simulators_;
+
+  std::mutex inflight_mutex_;
+  std::unordered_map<SweepKey, std::shared_future<SweepPtr>, SweepKeyHash>
+      inflight_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> sweeps_computed_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+};
+
+}  // namespace ccpred::serve

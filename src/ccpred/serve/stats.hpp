@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file stats.hpp
+/// The serving subsystem's observable state: one plain snapshot struct
+/// filled by Server::stats() and rendered by the line protocol's `stats`
+/// response. Kept dependency-free so both server.cpp and protocol.cpp can
+/// include it.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccpred::serve {
+
+/// Point-in-time snapshot of a running Server.
+struct ServerStats {
+  std::uint64_t requests = 0;        ///< requests handled (incl. errors)
+  std::uint64_t errors = 0;          ///< requests answered with ok=false
+  std::uint64_t sweeps_computed = 0; ///< full enumerate+predict sweeps run
+  std::uint64_t coalesced = 0;       ///< requests that joined an in-flight sweep
+  std::uint64_t cache_hits = 0;      ///< sweep-cache hits
+  std::uint64_t cache_misses = 0;    ///< sweep-cache misses
+  std::uint64_t cache_evictions = 0; ///< sweep-cache LRU evictions
+  double cache_hit_rate = 0.0;       ///< hits / (hits + misses), 0 if unused
+  std::size_t cache_size = 0;        ///< cached sweeps right now
+  std::size_t queue_depth = 0;       ///< submitted but unfinished requests
+  std::uint64_t models_loaded = 0;   ///< registry artifact (re)loads
+  std::uint64_t models_trained = 0;  ///< train-and-cache fallbacks taken
+  double latency_p50_ms = 0.0;       ///< median request latency
+  double latency_p95_ms = 0.0;       ///< tail request latency
+  double latency_mean_ms = 0.0;      ///< mean request latency
+};
+
+}  // namespace ccpred::serve

@@ -1,0 +1,53 @@
+#include "ccpred/serve/sweep_cache.hpp"
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::serve {
+
+SweepCache::SweepCache(std::size_t capacity, std::size_t shards) {
+  CCPRED_CHECK_MSG(capacity > 0, "SweepCache capacity must be > 0");
+  CCPRED_CHECK_MSG(shards > 0, "SweepCache needs at least one shard");
+  if (shards > capacity) shards = capacity;
+  const std::size_t per_shard = (capacity + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(per_shard));
+  }
+}
+
+SweepCache::Shard& SweepCache::shard_for(const SweepKey& key) {
+  return *shards_[SweepKeyHash()(key) % shards_.size()];
+}
+
+SweepPtr SweepCache::get(const SweepKey& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  auto hit = shard.cache.get(key);
+  return hit ? *hit : nullptr;
+}
+
+void SweepCache::put(const SweepKey& key, SweepPtr sweep) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.cache.put(key, std::move(sweep));
+}
+
+CacheCounters SweepCache::counters() const {
+  CacheCounters total;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.counters();
+  }
+  return total;
+}
+
+std::size_t SweepCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.size();
+  }
+  return total;
+}
+
+}  // namespace ccpred::serve

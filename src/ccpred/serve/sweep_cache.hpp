@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file sweep_cache.hpp
+/// Sharded LRU cache of completed advisor sweeps. A sweep for
+/// (machine, model-version, O, V) answers every STQ/BQ/budget question
+/// about that problem size, so caching it turns repeat questions — the
+/// common case for a guidance service — into a hash lookup. Keys include
+/// the model version: a hot-reloaded model invalidates by construction.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ccpred/common/lru_cache.hpp"
+#include "ccpred/guidance/advisor.hpp"
+
+namespace ccpred::serve {
+
+/// Identity of one cached sweep.
+struct SweepKey {
+  std::string machine;
+  std::string kind;             ///< model kind ("gb" | "rf")
+  std::uint64_t model_version = 0;
+  int o = 0;
+  int v = 0;
+
+  friend bool operator==(const SweepKey&, const SweepKey&) = default;
+};
+
+struct SweepKeyHash {
+  std::size_t operator()(const SweepKey& k) const {
+    std::size_t h = std::hash<std::string>()(k.machine);
+    h = h * 1000003u ^ std::hash<std::string>()(k.kind);
+    h = h * 1000003u ^ std::hash<std::uint64_t>()(k.model_version);
+    h = h * 1000003u ^ std::hash<int>()(k.o);
+    h = h * 1000003u ^ std::hash<int>()(k.v);
+    return h;
+  }
+};
+
+/// Immutable cached sweep (the kShortestTime recommendation, whose `sweep`
+/// holds every feasible point — other objectives re-derive from it).
+using SweepPtr = std::shared_ptr<const guide::Recommendation>;
+
+/// Thread-safe sharded LRU: each shard is an LruCache under its own mutex;
+/// keys are distributed by hash, so concurrent lookups for different
+/// problems rarely contend.
+class SweepCache {
+ public:
+  /// `capacity` is total across shards (each shard gets its even share,
+  /// at least 1).
+  explicit SweepCache(std::size_t capacity, std::size_t shards = 8);
+
+  /// Returns the cached sweep or nullptr; refreshes LRU recency on hit.
+  SweepPtr get(const SweepKey& key);
+
+  /// Inserts (or refreshes) a sweep.
+  void put(const SweepKey& key, SweepPtr sweep);
+
+  /// Counters aggregated over all shards.
+  CacheCounters counters() const;
+
+  /// Cached sweeps right now.
+  std::size_t size() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity) : cache(capacity) {}
+    mutable std::mutex mutex;
+    LruCache<SweepKey, SweepPtr, SweepKeyHash> cache;
+  };
+
+  Shard& shard_for(const SweepKey& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ccpred::serve

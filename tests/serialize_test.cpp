@@ -1,0 +1,130 @@
+// Serialization robustness: bit-for-bit round trips for the tree-family
+// models (GB and RF) on random inputs, plus negative tests proving that
+// corrupted artifacts fail through CCPRED_CHECK rather than reading
+// uninitialized structure.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/core/gradient_boosting.hpp"
+#include "ccpred/core/random_forest.hpp"
+#include "ccpred/core/serialize.hpp"
+#include "test_util.hpp"
+
+namespace ccpred::ml {
+namespace {
+
+linalg::Matrix random_queries(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix x(n, 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.uniform(-3.0, 3.0);
+  }
+  return x;
+}
+
+GradientBoostingRegressor small_gb(std::uint64_t seed = 7) {
+  const auto data = test::make_nonlinear(200, 0.05, seed);
+  GradientBoostingRegressor model(25);
+  model.fit(data.x, data.y);
+  return model;
+}
+
+TEST(SerializeGbTest, RoundTripPredictsBitForBitOnRandomInputs) {
+  // Property: over several models and query batches, deserialize(serialize)
+  // is an exact functional identity — doubles compare with ==, not NEAR.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto model = small_gb(seed);
+    const auto restored = deserialize_gb(serialize_gb(model));
+    const auto x = random_queries(64, seed * 31 + 1);
+    const auto expect = model.predict(x);
+    const auto got = restored.predict(x);
+    ASSERT_EQ(expect.size(), got.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(expect[i], got[i]) << "seed " << seed << " row " << i;
+    }
+  }
+}
+
+TEST(SerializeGbTest, SerializationIsAFixedPoint) {
+  const auto model = small_gb();
+  const auto text = serialize_gb(model);
+  EXPECT_EQ(text, serialize_gb(deserialize_gb(text)));
+}
+
+TEST(SerializeRfTest, RoundTripPredictsBitForBit) {
+  const auto data = test::make_nonlinear(200, 0.05, 11);
+  RandomForestRegressor model(15);
+  model.fit(data.x, data.y);
+  const auto restored = deserialize_rf(serialize_rf(model));
+  EXPECT_EQ(restored.tree_count(), model.tree_count());
+  const auto x = random_queries(64, 99);
+  const auto expect = model.predict(x);
+  const auto got = restored.predict(x);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(expect[i], got[i]);
+  }
+}
+
+TEST(SerializeRfTest, FixedPointAndHeader) {
+  const auto data = test::make_linear(100, 0.0, 3);
+  RandomForestRegressor model(5);
+  model.fit(data.x, data.y);
+  const auto text = serialize_rf(model);
+  EXPECT_EQ(text.rfind("ccpred-rf-v1\n", 0), 0u);
+  EXPECT_EQ(text, serialize_rf(deserialize_rf(text)));
+}
+
+TEST(SerializeNegativeTest, WrongHeaderThrows) {
+  const auto text = serialize_gb(small_gb());
+  EXPECT_THROW(deserialize_rf(text), Error);   // GB artifact into RF loader
+  EXPECT_THROW(deserialize_gb("ccpred-rf-v1\n1\n"), Error);
+  EXPECT_THROW(deserialize_gb("not-a-model\n"), Error);
+  EXPECT_THROW(deserialize_gb(""), Error);
+}
+
+TEST(SerializeNegativeTest, TruncatedNodeRecordsThrow) {
+  const auto text = serialize_gb(small_gb());
+  // Chop the artifact at several depths: mid-header-line, mid-node-table,
+  // mid-final-tree. Every truncation must throw, never return a model.
+  for (const double frac : {0.02, 0.3, 0.6, 0.9, 0.99}) {
+    const auto cut = text.substr(0, static_cast<std::size_t>(
+                                        text.size() * frac));
+    EXPECT_THROW(deserialize_gb(cut), Error) << "fraction " << frac;
+  }
+}
+
+TEST(SerializeNegativeTest, ShortNodeRecordThrows) {
+  // A structurally valid prefix whose node table lies about its length.
+  std::ostringstream os;
+  os << "ccpred-tree-v1\n"
+     << "3 2\n"                      // claims 3 nodes...
+     << "-1 0 1.5 -1 -1\n";          // ...but provides 1
+  EXPECT_THROW(deserialize_tree(os.str()), Error);
+}
+
+TEST(SerializeNegativeTest, ImplausibleCountsThrow) {
+  EXPECT_THROW(deserialize_tree("ccpred-tree-v1\n999999999 4\n"), Error);
+  EXPECT_THROW(deserialize_gb("ccpred-gb-v1\n99999999 0.1 5.0\n"), Error);
+  EXPECT_THROW(deserialize_rf("ccpred-rf-v1\n99999999\n"), Error);
+  EXPECT_THROW(deserialize_rf("ccpred-rf-v1\n0\n"), Error);
+}
+
+TEST(SerializeNegativeTest, TruncatedImportanceThrows) {
+  std::ostringstream os;
+  os << "ccpred-tree-v1\n"
+     << "1 4\n"
+     << "-1 0 2.5 -1 -1\n"
+     << "0.1 0.2\n";  // 4 importances promised, 2 delivered
+  EXPECT_THROW(deserialize_tree(os.str()), Error);
+}
+
+TEST(SerializeNegativeTest, UnfittedModelsRefuseToSerialize) {
+  EXPECT_THROW(serialize_gb(GradientBoostingRegressor(10)), Error);
+  EXPECT_THROW(serialize_rf(RandomForestRegressor(10)), Error);
+}
+
+}  // namespace
+}  // namespace ccpred::ml

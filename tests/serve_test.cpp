@@ -1,0 +1,518 @@
+// Tests for the serving subsystem: LRU cache + latency histogram
+// utilities, the line protocol, the artifact registry (fallback training
+// and hot reload), and the server itself — including the concurrent-
+// correctness property that any interleaving of requests produces the
+// same recommendations as serial execution.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/latency_histogram.hpp"
+#include "ccpred/common/lru_cache.hpp"
+#include "ccpred/common/strings.hpp"
+#include "ccpred/core/gradient_boosting.hpp"
+#include "ccpred/core/serialize.hpp"
+#include "ccpred/guidance/advisor.hpp"
+#include "ccpred/serve/model_registry.hpp"
+#include "ccpred/serve/server.hpp"
+#include "ccpred/sim/solver.hpp"
+#include "test_util.hpp"
+
+namespace ccpred::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("ccpred_serve_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A small fitted GB on real campaign features (4 columns), fast to train.
+ml::GradientBoostingRegressor campaign_gb(int stages = 15) {
+  static const auto split = test::small_campaign(250);
+  ml::GradientBoostingRegressor model(stages);
+  model.fit(split.train.features(), split.train.targets());
+  return model;
+}
+
+// ---------------------------------------------------------------- LruCache
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_EQ(cache.get(1).value(), 10);  // 1 is now most recent
+  cache.put(3, 30);                     // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1).value(), 10);
+  EXPECT_EQ(cache.get(3).value(), 30);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+}
+
+TEST(LruCacheTest, CountersTrackHitsAndMisses) {
+  LruCache<int, int> cache(4);
+  EXPECT_FALSE(cache.get(7).has_value());
+  cache.put(7, 70);
+  EXPECT_TRUE(cache.get(7).has_value());
+  EXPECT_TRUE(cache.get(7).has_value());
+  EXPECT_EQ(cache.counters().hits, 2u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+  EXPECT_DOUBLE_EQ(cache.counters().hit_rate(), 2.0 / 3.0);
+}
+
+TEST(LruCacheTest, PutOverwritesAndRefreshes) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // overwrite refreshes recency, no eviction
+  EXPECT_EQ(cache.size(), 2u);
+  cache.put(3, 30);  // evicts 2, not 1
+  EXPECT_EQ(cache.get(1).value(), 11);
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(LruCacheTest, ZeroCapacityRejected) {
+  EXPECT_THROW((LruCache<int, int>(0)), Error);
+}
+
+// ------------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogramTest, QuantilesAreOrderedAndBracketed) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-4);  // 0.1 ms .. 100 ms
+  EXPECT_EQ(h.count(), 1000u);
+  const double p50 = h.quantile(0.50);
+  const double p95 = h.quantile(0.95);
+  const double p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Geometric buckets grow by 1.5x: quantiles are right within that factor.
+  EXPECT_NEAR(p50, 0.050, 0.050 * 0.6);
+  EXPECT_NEAR(p95, 0.095, 0.095 * 0.6);
+  EXPECT_NEAR(h.mean(), 0.05005, 0.002);
+}
+
+TEST(LatencyHistogramTest, EmptyAndReset) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  h.record(0.01);
+  EXPECT_EQ(h.count(), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllCounted) {
+  LatencyHistogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.record(1e-3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 4000u);
+}
+
+// ---------------------------------------------------------------- Protocol
+
+TEST(ProtocolTest, ParsesFlatRecords) {
+  const auto rec = parse_record(
+      R"({"op":"stq","o":134,"v":951,"machine":"aurora","flag":true})");
+  EXPECT_EQ(rec.at("op"), "stq");
+  EXPECT_EQ(rec.at("o"), "134");
+  EXPECT_EQ(rec.at("machine"), "aurora");
+  EXPECT_EQ(rec.at("flag"), "true");
+}
+
+TEST(ProtocolTest, ParseRequestFillsTypedFields) {
+  const auto req = parse_request(
+      R"({"op":"budget","o":99,"v":718,"max_node_hours":2.5,"id":"q1"})");
+  EXPECT_EQ(req.op, Op::kBudget);
+  EXPECT_EQ(req.o, 99);
+  EXPECT_EQ(req.v, 718);
+  EXPECT_DOUBLE_EQ(req.max_node_hours, 2.5);
+  EXPECT_EQ(req.id, "q1");
+  EXPECT_TRUE(req.machine.empty());
+}
+
+TEST(ProtocolTest, MalformedInputsThrow) {
+  EXPECT_THROW(parse_record("not json"), Error);
+  EXPECT_THROW(parse_record(R"({"a":1)"), Error);          // unterminated
+  EXPECT_THROW(parse_record(R"({"a":{"b":1}})"), Error);   // nested
+  EXPECT_THROW(parse_record(R"({"a":1,"a":2})"), Error);   // duplicate
+  EXPECT_THROW(parse_record(R"({"a":1} trailing)"), Error);
+  EXPECT_THROW(parse_request(R"({"op":"warp","o":1,"v":2})"), Error);
+  EXPECT_THROW(parse_request(R"({"op":"stq","o":1})"), Error);  // missing v
+  EXPECT_THROW(parse_request(R"({"o":1,"v":2})"), Error);       // missing op
+  EXPECT_THROW(parse_request(R"({"op":"stq","o":"x","v":2})"), Error);
+}
+
+TEST(ProtocolTest, ResponseRoundTripsThroughParseRecord) {
+  Response r;
+  r.ok = true;
+  r.op = "stq";
+  r.id = "a\"b";  // embedded quote must survive escaping
+  r.has_recommendation = true;
+  r.nodes = 110;
+  r.tile = 90;
+  r.time_s = 123.456;
+  r.node_hours = 3.7718;
+  r.model_version = 42;
+  r.sweep_size = 480;
+  const auto rec = parse_record(format_response(r));
+  EXPECT_EQ(rec.at("ok"), "true");
+  EXPECT_EQ(rec.at("id"), "a\"b");
+  EXPECT_EQ(rec.at("nodes"), "110");
+  EXPECT_DOUBLE_EQ(parse_double(rec.at("time_s")), 123.456);
+  EXPECT_EQ(rec.at("model_version"), "42");
+}
+
+TEST(ProtocolTest, StatsRequestNeedsNoProblemSize) {
+  const auto req = parse_request(R"({"op":"stats"})");
+  EXPECT_EQ(req.op, Op::kStats);
+}
+
+// -------------------------------------------------------------- SweepCache
+
+TEST(SweepCacheTest, StoresAndEvictsAcrossShards) {
+  SweepCache cache(4, 2);
+  const auto rec = std::make_shared<const guide::Recommendation>();
+  for (int o = 1; o <= 8; ++o) {
+    cache.put(SweepKey{"aurora", "gb", 1, o, o * 10}, rec);
+  }
+  EXPECT_LE(cache.size(), 4u);
+  const auto counters = cache.counters();
+  EXPECT_GE(counters.evictions, 4u);
+  // Most recent key should still be resident.
+  EXPECT_NE(cache.get(SweepKey{"aurora", "gb", 1, 8, 80}), nullptr);
+}
+
+TEST(SweepCacheTest, VersionIsPartOfTheKey) {
+  SweepCache cache(8);
+  const auto rec = std::make_shared<const guide::Recommendation>();
+  cache.put(SweepKey{"aurora", "gb", 1, 134, 951}, rec);
+  EXPECT_NE(cache.get(SweepKey{"aurora", "gb", 1, 134, 951}), nullptr);
+  EXPECT_EQ(cache.get(SweepKey{"aurora", "gb", 2, 134, 951}), nullptr);
+  EXPECT_EQ(cache.get(SweepKey{"aurora", "rf", 1, 134, 951}), nullptr);
+}
+
+// ----------------------------------------------------------- ModelRegistry
+
+TEST(ModelRegistryTest, LoadsPublishedArtifact) {
+  const auto dir = scratch_dir("registry_load");
+  const auto model = campaign_gb();
+  ModelRegistry registry(dir);
+  ml::save_gb(model, registry.artifact_path("aurora", "gb"));
+
+  const auto handle = registry.get("aurora", "gb");
+  ASSERT_NE(handle.model, nullptr);
+  EXPECT_EQ(handle.version, 1u);
+  EXPECT_EQ(registry.trainings(), 0u);
+  EXPECT_EQ(registry.loads(), 1u);
+  // Bit-identical predictions to the published model.
+  const auto split = test::small_campaign(250);
+  const auto expect = model.predict(split.test.features());
+  const auto got = handle.model->predict(split.test.features());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(expect[i], got[i]);
+  }
+  // Unchanged artifact: same version, no reload.
+  EXPECT_EQ(registry.get("aurora", "gb").version, 1u);
+  EXPECT_EQ(registry.loads(), 1u);
+}
+
+TEST(ModelRegistryTest, HotReloadsOnArtifactChange) {
+  const auto dir = scratch_dir("registry_reload");
+  ModelRegistry registry(dir);
+  const auto path = registry.artifact_path("aurora", "gb");
+  ml::save_gb(campaign_gb(10), path);
+  const auto first = registry.get("aurora", "gb");
+  EXPECT_EQ(first.version, 1u);
+
+  // Publish a different model and force a visible mtime step (filesystem
+  // clocks can be coarse).
+  ml::save_gb(campaign_gb(20), path);
+  fs::last_write_time(path,
+                      fs::last_write_time(path) + std::chrono::seconds(2));
+  const auto second = registry.get("aurora", "gb");
+  EXPECT_EQ(second.version, 2u);
+  EXPECT_NE(first.model, second.model);
+  // The old handle still works (shared ownership).
+  EXPECT_TRUE(first.model->is_fitted());
+}
+
+TEST(ModelRegistryTest, TrainsAndCachesWhenArtifactMissing) {
+  const auto dir = scratch_dir("registry_train");
+  RegistryOptions opt;
+  opt.fallback_rows = 150;  // clipped up to one row per config — still small
+  opt.gb_estimators = 6;
+  ModelRegistry registry(dir, opt);
+  const auto handle = registry.get("aurora", "gb");
+  ASSERT_NE(handle.model, nullptr);
+  EXPECT_TRUE(handle.model->is_fitted());
+  EXPECT_EQ(registry.trainings(), 1u);
+  EXPECT_TRUE(fs::exists(registry.artifact_path("aurora", "gb")));
+  // Second get serves the cached artifact without retraining.
+  registry.get("aurora", "gb");
+  EXPECT_EQ(registry.trainings(), 1u);
+  // A fresh registry over the same directory loads instead of training.
+  ModelRegistry again(dir, opt);
+  again.get("aurora", "gb");
+  EXPECT_EQ(again.trainings(), 0u);
+}
+
+TEST(ModelRegistryTest, RejectsUnknownMachineAndKind) {
+  ModelRegistry registry(scratch_dir("registry_bad"));
+  EXPECT_THROW(registry.get("summit", "gb"), Error);
+  EXPECT_THROW(registry.get("aurora", "xgboost"), Error);
+}
+
+// ------------------------------------------------------------------ Server
+
+/// Registry + server over one pre-published small GB artifact.
+struct ServerFixture {
+  explicit ServerFixture(std::size_t cache_capacity = 32,
+                         std::size_t threads = 4)
+      : dir(scratch_dir("server")), registry(dir) {
+    ml::save_gb(campaign_gb(), registry.artifact_path("aurora", "gb"));
+    ServeOptions opt;
+    opt.threads = threads;
+    opt.cache_capacity = cache_capacity;
+    server = std::make_unique<Server>(registry, opt);
+  }
+
+  Request stq(int o, int v) {
+    Request r;
+    r.op = Op::kStq;
+    r.o = o;
+    r.v = v;
+    return r;
+  }
+
+  std::string dir;
+  ModelRegistry registry;
+  std::unique_ptr<Server> server;
+};
+
+TEST(ServerTest, MatchesInProcessAdvisorExactly) {
+  ServerFixture f;
+  const auto handle = f.registry.get("aurora", "gb");
+  const sim::CcsdSimulator simulator(sim::MachineModel::aurora());
+  const guide::Advisor advisor(*handle.model, simulator);
+
+  for (const auto& [o, v] : std::vector<std::pair<int, int>>{
+           {44, 260}, {85, 698}, {134, 951}}) {
+    Request req = f.stq(o, v);
+    const auto stq = f.server->handle(req);
+    ASSERT_TRUE(stq.ok) << stq.error;
+    const auto expect_stq = advisor.shortest_time(o, v);
+    EXPECT_EQ(stq.nodes, expect_stq.config.nodes);
+    EXPECT_EQ(stq.tile, expect_stq.config.tile);
+    EXPECT_EQ(stq.time_s, expect_stq.predicted_time_s);
+    EXPECT_EQ(stq.node_hours, expect_stq.predicted_node_hours);
+    EXPECT_EQ(stq.sweep_size, expect_stq.sweep.size());
+
+    req.op = Op::kBq;
+    const auto bq = f.server->handle(req);
+    const auto expect_bq = advisor.cheapest_run(o, v);
+    EXPECT_EQ(bq.nodes, expect_bq.config.nodes);
+    EXPECT_EQ(bq.time_s, expect_bq.predicted_time_s);
+
+    req.op = Op::kBudget;
+    req.max_node_hours = expect_stq.predicted_node_hours * 0.75;
+    const auto budget = f.server->handle(req);
+    if (budget.ok) {
+      const auto expect_budget =
+          advisor.fastest_within_budget(o, v, req.max_node_hours);
+      EXPECT_EQ(budget.nodes, expect_budget.config.nodes);
+      EXPECT_EQ(budget.time_s, expect_budget.predicted_time_s);
+      EXPECT_LE(budget.node_hours, req.max_node_hours);
+    } else {
+      EXPECT_THROW(advisor.fastest_within_budget(o, v, req.max_node_hours),
+                   Error);
+    }
+  }
+}
+
+TEST(ServerTest, RepeatQuestionsHitTheSweepCache) {
+  ServerFixture f;
+  Request req = f.stq(134, 951);
+  const auto first = f.server->handle(req);
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.cache_hit);
+  req.op = Op::kBq;
+  const auto second = f.server->handle(req);
+  EXPECT_TRUE(second.cache_hit);  // BQ reuses the STQ sweep
+  req.op = Op::kStq;
+  const auto third = f.server->handle(req);
+  EXPECT_TRUE(third.cache_hit);
+  const auto stats = f.server->stats();
+  EXPECT_EQ(stats.sweeps_computed, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.requests, 3u);
+}
+
+TEST(ServerTest, ErrorsComeBackAsResponsesAndAreCounted) {
+  ServerFixture f;
+  Request req = f.stq(-3, 100);  // invalid orbital count
+  const auto r = f.server->handle(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  Request bad_machine = f.stq(44, 260);
+  bad_machine.machine = "summit";
+  EXPECT_FALSE(f.server->handle(bad_machine).ok);
+  EXPECT_EQ(f.server->stats().errors, 2u);
+}
+
+TEST(ServerTest, JobEstimatesMatchTheSimulator) {
+  ServerFixture f;
+  Request req;
+  req.op = Op::kJob;
+  req.o = 134;
+  req.v = 951;
+  req.nodes = 110;
+  req.tile = 90;
+  const auto r = f.server->handle(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  const sim::CcsdSimulator simulator(sim::MachineModel::aurora());
+  const auto job = sim::estimate_job(
+      simulator, sim::RunConfig{.o = 134, .v = 951, .nodes = 110, .tile = 90});
+  EXPECT_EQ(r.total_s, job.total_s);
+  EXPECT_EQ(r.iterations, job.iterations);
+  EXPECT_EQ(r.node_hours, job.node_hours);
+}
+
+TEST(ServerTest, SubmitRunsThroughTheWorkerPool) {
+  ServerFixture f;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(f.server->submit(f.stq(85, 698)));
+  for (auto& fut : futures) {
+    const auto r = fut.get();
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  const auto stats = f.server->stats();
+  EXPECT_EQ(stats.requests, 8u);
+  // One sweep total: the rest were cache hits or coalesced onto the leader.
+  EXPECT_EQ(stats.sweeps_computed, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.coalesced, 7u);
+}
+
+TEST(ServerConcurrencyTest, ParallelRequestsMatchSerialExecution) {
+  // The acceptance property: N threads issuing overlapping STQ/BQ/budget
+  // requests produce exactly the answers serial execution produces.
+  const std::vector<std::pair<int, int>> problems = {
+      {44, 260}, {85, 698}, {116, 575}, {134, 951}};
+
+  // Serial reference on its own server instance (fresh cache).
+  ServerFixture serial_f(32, 1);
+  ServerFixture parallel_f(32, 4);
+
+  const auto make_request = [&](int step) {
+    const auto& [o, v] = problems[step % problems.size()];
+    Request r;
+    r.o = o;
+    r.v = v;
+    switch (step % 3) {
+      case 0: r.op = Op::kStq; break;
+      case 1: r.op = Op::kBq; break;
+      default:
+        r.op = Op::kBudget;
+        r.max_node_hours = 100.0;
+    }
+    return r;
+  };
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 24;
+  std::vector<Response> serial(kThreads * kPerThread);
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    serial[i] = serial_f.server->handle(make_request(i));
+  }
+
+  std::vector<Response> parallel(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int idx = t * kPerThread + i;
+        parallel[idx] = parallel_f.server->handle(make_request(idx));
+        if (!parallel[idx].ok) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    ASSERT_TRUE(serial[i].ok) << serial[i].error;
+    EXPECT_EQ(parallel[i].nodes, serial[i].nodes) << "request " << i;
+    EXPECT_EQ(parallel[i].tile, serial[i].tile) << "request " << i;
+    EXPECT_EQ(parallel[i].time_s, serial[i].time_s) << "request " << i;
+    EXPECT_EQ(parallel[i].node_hours, serial[i].node_hours)
+        << "request " << i;
+  }
+
+  // Sweep work must not scale with request count: one sweep per problem
+  // size (model version is fixed), everything else cache/coalesce.
+  const auto stats = parallel_f.server->stats();
+  EXPECT_EQ(stats.sweeps_computed, problems.size());
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServerTest, CacheEvictionKeepsServing) {
+  ServerFixture f(/*cache_capacity=*/1, /*threads=*/1);
+  const auto a = f.server->handle(f.stq(44, 260));
+  const auto b = f.server->handle(f.stq(85, 698));   // evicts (44,260)
+  const auto a2 = f.server->handle(f.stq(44, 260));  // recomputed, same answer
+  ASSERT_TRUE(a.ok && b.ok && a2.ok);
+  EXPECT_EQ(a.nodes, a2.nodes);
+  EXPECT_EQ(a.time_s, a2.time_s);
+  EXPECT_GE(f.server->stats().cache_evictions, 1u);
+  EXPECT_EQ(f.server->stats().sweeps_computed, 3u);
+}
+
+// ------------------------------------------------- Advisor sweep reuse
+
+TEST(AdvisorSweepReuseTest, BudgetOverloadMatchesFullSweep) {
+  const auto handle_model = campaign_gb();
+  const sim::CcsdSimulator simulator(sim::MachineModel::aurora());
+  const guide::Advisor advisor(handle_model, simulator);
+  const auto base = advisor.shortest_time(134, 951);
+
+  const auto direct = advisor.fastest_within_budget(134, 951, 2.0);
+  const auto reused = guide::Advisor::fastest_within_budget(base, 2.0);
+  EXPECT_EQ(direct.config.nodes, reused.config.nodes);
+  EXPECT_EQ(direct.config.tile, reused.config.tile);
+  EXPECT_EQ(direct.predicted_time_s, reused.predicted_time_s);
+
+  const auto bq = guide::Advisor::from_sweep(base.sweep,
+                                             guide::Objective::kNodeHours);
+  const auto expect_bq = advisor.cheapest_run(134, 951);
+  EXPECT_EQ(bq.config.nodes, expect_bq.config.nodes);
+  EXPECT_EQ(bq.predicted_node_hours, expect_bq.predicted_node_hours);
+
+  EXPECT_THROW(guide::Advisor::fastest_within_budget(base, 1e-9), Error);
+  EXPECT_THROW(guide::Advisor::from_sweep({}, guide::Objective::kNodeHours),
+               Error);
+}
+
+}  // namespace
+}  // namespace ccpred::serve

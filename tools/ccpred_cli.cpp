@@ -38,9 +38,11 @@ using namespace ccpred;
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc; i += 2) {
     CCPRED_CHECK_MSG(std::strncmp(argv[i], "--", 2) == 0,
                      "expected --flag, got '" << argv[i] << "'");
+    CCPRED_CHECK_MSG(i + 1 < argc,
+                     "flag '" << argv[i] << "' is missing a value");
     flags[argv[i] + 2] = argv[i + 1];
   }
   return flags;

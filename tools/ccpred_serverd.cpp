@@ -1,0 +1,273 @@
+/// ccpred_serverd — the recommendation-serving daemon.
+///
+/// Subcommands:
+///   train --artifacts DIR --machine aurora|frontier [--model gb|rf]
+///         [--rows N] [--seed S] [--estimators N]
+///       Run a simulated trace-collection campaign, train the model and
+///       publish the artifact as DIR/<machine>-<model>.model.
+///   serve --artifacts DIR [--default-machine M] [--default-model gb|rf]
+///         [--threads N] [--cache N] [--port P] [--serial]
+///       Serve line-protocol requests (see serve/protocol.hpp) from stdin,
+///       one response line per request line, in request order. Requests are
+///       pipelined through the worker pool unless --serial is given. With
+///       --port, additionally listen on 127.0.0.1:P; every connection
+///       speaks the same protocol. EOF on stdin shuts the server down and
+///       prints a final stats line to stderr.
+///
+/// Missing artifacts are trained on first use (train-and-cache), so
+/// `serve` works on an empty directory — pre-train with `train` to make
+/// startup instant and answers reproducible across deployments.
+
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/strings.hpp"
+#include "ccpred/serve/model_registry.hpp"
+#include "ccpred/serve/server.hpp"
+
+namespace {
+
+using namespace ccpred;
+
+/// Minimal --key value argument parser (same contract as ccpred_cli: a
+/// trailing flag without a value is a hard error).
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; i += 2) {
+    CCPRED_CHECK_MSG(std::strncmp(argv[i], "--", 2) == 0,
+                     "expected --flag, got '" << argv[i] << "'");
+    CCPRED_CHECK_MSG(i + 1 < argc,
+                     "flag '" << argv[i] << "' is missing a value");
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string need(const std::map<std::string, std::string>& flags,
+                 const std::string& key) {
+  const auto it = flags.find(key);
+  CCPRED_CHECK_MSG(it != flags.end(), "missing required flag --" << key);
+  return it->second;
+}
+
+std::string get_or(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+serve::RegistryOptions registry_options(
+    const std::map<std::string, std::string>& flags) {
+  serve::RegistryOptions opt;
+  opt.fallback_rows =
+      static_cast<std::size_t>(parse_int(get_or(flags, "rows", "600")));
+  opt.fallback_seed =
+      static_cast<std::uint64_t>(parse_int(get_or(flags, "seed", "2025")));
+  if (flags.count("estimators")) {
+    const int n = static_cast<int>(parse_int(flags.at("estimators")));
+    opt.gb_estimators = n;
+    opt.rf_estimators = n;
+  }
+  return opt;
+}
+
+int cmd_train(const std::map<std::string, std::string>& flags) {
+  serve::ModelRegistry registry(need(flags, "artifacts"),
+                                registry_options(flags));
+  const std::string machine = need(flags, "machine");
+  const std::string kind = get_or(flags, "model", "gb");
+  const std::string path = registry.train_artifact(machine, kind);
+  std::printf("trained %s/%s artifact: %s\n", machine.c_str(), kind.c_str(),
+              path.c_str());
+  return 0;
+}
+
+/// One protocol line in, one response line out (used by both the stdin
+/// --serial path and TCP connections).
+std::string answer_line(serve::Server& server, const std::string& line) {
+  try {
+    return serve::format_response(server.handle(serve::parse_request(line)));
+  } catch (const std::exception& e) {
+    return serve::format_response(serve::error_response(e.what()));
+  }
+}
+
+/// Serves one accepted TCP connection until the peer closes it.
+void serve_connection(serve::Server& server, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  ssize_t got = 0;
+  while ((got = ::read(fd, chunk, sizeof chunk)) > 0) {
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t nl = 0;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (trim(line).empty()) continue;
+      const std::string out = answer_line(server, line) + "\n";
+      std::size_t sent = 0;
+      while (sent < out.size()) {
+        const ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
+        if (n <= 0) {
+          ::close(fd);
+          return;
+        }
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+  }
+  ::close(fd);
+}
+
+/// Localhost TCP listener; accepts until the listening socket is closed.
+class TcpListener {
+ public:
+  TcpListener(serve::Server& server, int port) : server_(server) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    CCPRED_CHECK_MSG(listen_fd_ >= 0, "cannot create socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    CCPRED_CHECK_MSG(
+        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+            0,
+        "cannot bind 127.0.0.1:" << port);
+    CCPRED_CHECK_MSG(::listen(listen_fd_, 16) == 0, "cannot listen on port "
+                                                        << port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  ~TcpListener() {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  void accept_loop() {
+    while (true) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // listener closed: shut down
+      connections_.emplace_back(
+          [this, fd] { serve_connection(server_, fd); });
+    }
+  }
+
+  serve::Server& server_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::vector<std::thread> connections_;
+};
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  serve::ModelRegistry registry(need(flags, "artifacts"),
+                                registry_options(flags));
+  serve::ServeOptions opt;
+  opt.threads =
+      static_cast<std::size_t>(parse_int(get_or(flags, "threads", "0")));
+  opt.cache_capacity =
+      static_cast<std::size_t>(parse_int(get_or(flags, "cache", "256")));
+  opt.default_machine = get_or(flags, "default-machine", "aurora");
+  opt.default_model = get_or(flags, "default-model", "gb");
+  serve::Server server(registry, opt);
+  const bool serial = flags.count("serial") != 0;
+
+  std::unique_ptr<TcpListener> listener;
+  if (flags.count("port")) {
+    const int port = static_cast<int>(parse_int(flags.at("port")));
+    listener = std::make_unique<TcpListener>(server, port);
+    std::fprintf(stderr, "ccpred_serverd listening on 127.0.0.1:%d\n", port);
+  }
+
+  // stdin/stdout loop: submit each line to the pool and flush completed
+  // responses in request order (a response never overtakes an earlier one).
+  std::deque<std::future<serve::Response>> pending;
+  const auto flush_ready = [&](bool all) {
+    while (!pending.empty() &&
+           (all || pending.front().wait_for(std::chrono::seconds(0)) ==
+                       std::future_status::ready)) {
+      std::cout << serve::format_response(pending.front().get()) << '\n';
+      pending.pop_front();
+    }
+    if (all) std::cout.flush();
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (trim(line).empty()) continue;
+    if (serial) {
+      std::cout << answer_line(server, line) << std::endl;
+      continue;
+    }
+    serve::Request req;
+    try {
+      req = serve::parse_request(line);
+    } catch (const std::exception& e) {
+      // Keep ordering: materialize the parse error as a ready future.
+      std::promise<serve::Response> p;
+      p.set_value(serve::error_response(e.what()));
+      pending.push_back(p.get_future());
+      flush_ready(false);
+      continue;
+    }
+    pending.push_back(server.submit(std::move(req)));
+    flush_ready(false);
+  }
+  flush_ready(true);
+
+  const auto final_stats = server.stats();
+  std::fprintf(stderr,
+               "served %llu requests (%llu errors), %llu sweeps, cache "
+               "hit rate %.2f, p50 %.2f ms, p95 %.2f ms\n",
+               static_cast<unsigned long long>(final_stats.requests),
+               static_cast<unsigned long long>(final_stats.errors),
+               static_cast<unsigned long long>(final_stats.sweeps_computed),
+               final_stats.cache_hit_rate, final_stats.latency_p50_ms,
+               final_stats.latency_p95_ms);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ccpred_serverd <train|serve> [--flag value ...]\n"
+               "  train --artifacts DIR --machine M [--model gb|rf] "
+               "[--rows N] [--seed S] [--estimators N]\n"
+               "  serve --artifacts DIR [--default-machine M] "
+               "[--default-model gb|rf] [--threads N] [--cache N] "
+               "[--port P] [--serial 1]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const auto flags = parse_flags(argc, argv, 2);
+    if (cmd == "train") return cmd_train(flags);
+    if (cmd == "serve") return cmd_serve(flags);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,95 @@
+# CTest script: the serving daemon end to end. Pre-trains a small artifact,
+# replays a scripted session of 100+ mixed requests twice, and checks:
+#  * every request gets an ok response (no retraining stalls, no errors),
+#  * answers are deterministic across runs (stats lines excluded — they
+#    carry latency measurements),
+#  * the sweep cache reports hits (the session repeats problem sizes).
+
+set(dir "${WORKDIR}/serverd_smoke_artifacts")
+file(REMOVE_RECURSE "${dir}")
+
+# Small fallback model so the test stays fast: 60 boosting stages on a
+# 300-row campaign still yields a deterministic, fully functional server.
+execute_process(COMMAND "${SERVERD}" train --artifacts "${dir}"
+                        --machine aurora --rows 300 --estimators 60
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "train failed: ${out} ${err}")
+endif()
+if(NOT EXISTS "${dir}/aurora-gb.model")
+  message(FATAL_ERROR "train did not publish aurora-gb.model")
+endif()
+
+# Build the scripted session: 9 problem sizes x 12 rounds of mixed
+# STQ/BQ/budget plus one stats probe per round = 120 requests.
+set(session "${WORKDIR}/serverd_smoke_session.txt")
+set(lines "")
+set(problems "44\;260" "81\;835" "85\;698" "99\;718" "116\;575"
+             "134\;523" "134\;951" "146\;591" "180\;720")
+foreach(round RANGE 1 12)
+  foreach(p IN LISTS problems)
+    list(GET p 0 o)
+    list(GET p 1 v)
+    math(EXPR pick "(${round} + ${o}) % 3")
+    if(pick EQUAL 0)
+      string(APPEND lines "{\"op\":\"stq\",\"o\":${o},\"v\":${v}}\n")
+    elseif(pick EQUAL 1)
+      string(APPEND lines "{\"op\":\"bq\",\"o\":${o},\"v\":${v}}\n")
+    else()
+      string(APPEND lines
+             "{\"op\":\"budget\",\"o\":${o},\"v\":${v},\"max_node_hours\":100.0}\n")
+    endif()
+  endforeach()
+  string(APPEND lines "{\"op\":\"stats\"}\n")
+endforeach()
+file(WRITE "${session}" "${lines}")
+
+foreach(run 1 2)
+  execute_process(COMMAND "${SERVERD}" serve --artifacts "${dir}"
+                          --threads 4 --rows 300 --estimators 60
+                  INPUT_FILE "${session}"
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serve run ${run} failed: ${err}")
+  endif()
+  # Every line must be ok:true.
+  string(REGEX MATCHALL "\"ok\":false" failures "${out}")
+  if(failures)
+    message(FATAL_ERROR "run ${run} had failed responses: ${out}")
+  endif()
+  string(REGEX MATCHALL "\"ok\":true" oks "${out}")
+  list(LENGTH oks n_ok)
+  if(NOT n_ok EQUAL 120)
+    message(FATAL_ERROR "run ${run}: expected 120 ok responses, got ${n_ok}")
+  endif()
+  # Answers only: stats lines carry timing measurements, and cache_hit
+  # depends on request interleaving — both are observability, not answers.
+  string(REGEX REPLACE "[^\n]*\"op\":\"stats\"[^\n]*\n" "" answers "${out}")
+  string(REGEX REPLACE "\"cache_hit\":(true|false)" "" answers "${answers}")
+  set(answers_${run} "${answers}")
+  # The session repeats each problem size 12x: the cache must be hitting.
+  if(NOT out MATCHES "\"cache_hits\":[1-9]")
+    message(FATAL_ERROR "run ${run}: no sweep-cache hits reported")
+  endif()
+endforeach()
+
+if(NOT answers_1 STREQUAL answers_2)
+  message(FATAL_ERROR "serving is not deterministic across runs")
+endif()
+
+# The artifact must have been loaded, never retrained, during serving.
+execute_process(COMMAND "${SERVERD}" serve --artifacts "${dir}"
+                        --serial 1
+                INPUT_FILE "${session}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serial serve failed: ${err}")
+endif()
+if(NOT out MATCHES "\"models_trained\":0")
+  message(FATAL_ERROR "server retrained despite a published artifact: ${out}")
+endif()
+
+file(REMOVE_RECURSE "${dir}")
+file(REMOVE "${session}")
+message(STATUS "serverd session OK")
