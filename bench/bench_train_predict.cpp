@@ -1,0 +1,153 @@
+/// Tree-ensemble engine bench: histogram training vs the exact reference,
+/// and compiled SoA batch inference vs the per-row tree walk.
+///
+/// Trains GB and RF on the paper's Aurora campaign both ways and times a
+/// sweep-shaped batch prediction through both inference paths, asserting
+/// the compiled path is bit-identical to the walk. Emits the measurements
+/// to BENCH_tree_engine.json next to the binary's working directory.
+///
+/// Gates (exit nonzero on failure):
+///   - GB fit: histogram >= 3x faster than exact
+///   - RF fit: histogram >= 3x faster than exact
+///   - batch predict: compiled >= 5x faster than walk, bit-identical
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ccpred/common/stopwatch.hpp"
+#include "ccpred/common/table.hpp"
+#include "ccpred/common/thread_pool.hpp"
+#include "ccpred/core/gradient_boosting.hpp"
+#include "ccpred/core/random_forest.hpp"
+
+namespace {
+
+/// Best-of-`reps` wall time for one call of `fn` (first call may include
+/// cold caches; the minimum is the stable figure).
+template <typename Fn>
+double best_time_s(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    ccpred::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.elapsed_s());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccpred;
+
+  const bool fast = bench::fast_mode();
+  const auto data = bench::load_paper_data("aurora");
+  const linalg::Matrix x = data.full.features();
+  const std::vector<double>& y = data.full.targets();
+  const std::size_t n = x.rows();
+  const std::size_t threads = ThreadPool::global().size();
+
+  const int gb_stages = fast ? 60 : 200;
+  const int rf_trees = fast ? 40 : 100;
+  ml::TreeOptions exact_opt;
+  exact_opt.max_depth = 10;
+  ml::TreeOptions hist_opt = exact_opt;
+  hist_opt.split_mode = ml::SplitMode::kHistogram;
+  hist_opt.max_bins = 255;
+
+  std::printf("== Tree-ensemble engine (aurora campaign, n=%zu, %zu threads%s) ==\n\n",
+              n, threads, fast ? ", fast mode" : "");
+
+  // ---- training: exact reference vs histogram + parallel paths ----
+  ml::GradientBoostingRegressor gb_exact(gb_stages, 0.1, exact_opt);
+  const double gb_exact_s = best_time_s(1, [&] { gb_exact.fit(x, y); });
+  ml::GradientBoostingRegressor gb_hist(gb_stages, 0.1, hist_opt);
+  const double gb_hist_s = best_time_s(1, [&] { gb_hist.fit(x, y); });
+  const double gb_fit_speedup = gb_exact_s / gb_hist_s;
+
+  ml::RandomForestRegressor rf_exact(rf_trees, exact_opt);
+  const double rf_exact_s = best_time_s(1, [&] { rf_exact.fit(x, y); });
+  ml::RandomForestRegressor rf_hist(rf_trees, hist_opt);
+  const double rf_hist_s = best_time_s(1, [&] { rf_hist.fit(x, y); });
+  const double rf_fit_speedup = rf_exact_s / rf_hist_s;
+
+  // ---- inference: compiled SoA batch vs per-row tree walk ----
+  // A sweep-shaped query batch: every campaign row is a (O, V, nodes, tile)
+  // point, just like the advisor's enumerate-and-predict sweep.
+  const int predict_reps = fast ? 5 : 10;
+  const double walk_s = best_time_s(predict_reps, [&] { gb_hist.predict_walk(x); });
+  const double compiled_s = best_time_s(predict_reps, [&] { gb_hist.predict(x); });
+  const double predict_speedup = walk_s / compiled_s;
+
+  const auto walk_out = gb_hist.predict_walk(x);
+  const auto compiled_out = gb_hist.predict(x);
+  bool bit_identical = walk_out.size() == compiled_out.size();
+  for (std::size_t i = 0; bit_identical && i < walk_out.size(); ++i) {
+    bit_identical = walk_out[i] == compiled_out[i];
+  }
+
+  const double rf_walk_s = best_time_s(predict_reps, [&] { rf_hist.predict_walk(x); });
+  const double rf_compiled_s = best_time_s(predict_reps, [&] { rf_hist.predict(x); });
+  const double rf_predict_speedup = rf_walk_s / rf_compiled_s;
+
+  TextTable table({"model", "path", "seconds", "speedup"},
+                  "Histogram training and compiled inference");
+  table.add_row({"GB fit", "exact", TextTable::cell(gb_exact_s, 3), "1.0x"});
+  table.add_row({"GB fit", "histogram", TextTable::cell(gb_hist_s, 3),
+                 TextTable::cell(gb_fit_speedup, 1) + "x"});
+  table.add_row({"RF fit", "exact", TextTable::cell(rf_exact_s, 3), "1.0x"});
+  table.add_row({"RF fit", "histogram", TextTable::cell(rf_hist_s, 3),
+                 TextTable::cell(rf_fit_speedup, 1) + "x"});
+  table.add_row({"GB predict", "walk", TextTable::cell(walk_s, 4), "1.0x"});
+  table.add_row({"GB predict", "compiled", TextTable::cell(compiled_s, 4),
+                 TextTable::cell(predict_speedup, 1) + "x"});
+  table.add_row({"RF predict", "walk", TextTable::cell(rf_walk_s, 4), "1.0x"});
+  table.add_row({"RF predict", "compiled", TextTable::cell(rf_compiled_s, 4),
+                 TextTable::cell(rf_predict_speedup, 1) + "x"});
+  table.print();
+
+  const bool gb_fit_ok = gb_fit_speedup >= 3.0;
+  const bool rf_fit_ok = rf_fit_speedup >= 3.0;
+  const bool predict_ok = predict_speedup >= 5.0;
+  std::printf(
+      "\nbit-identical compiled vs walk: %s\n"
+      "GB fit speedup %.1fx (target >= 3x): %s\n"
+      "RF fit speedup %.1fx (target >= 3x): %s\n"
+      "GB batch-predict speedup %.1fx (target >= 5x): %s\n",
+      bit_identical ? "yes" : "NO", gb_fit_speedup,
+      gb_fit_ok ? "PASS" : "FAIL", rf_fit_speedup, rf_fit_ok ? "PASS" : "FAIL",
+      predict_speedup, predict_ok ? "PASS" : "FAIL");
+
+  std::FILE* json = std::fopen("BENCH_tree_engine.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"machine\": \"aurora\",\n"
+        "  \"fast_mode\": %s,\n"
+        "  \"threads\": %zu,\n"
+        "  \"n_rows\": %zu,\n"
+        "  \"gb\": {\"stages\": %d, \"exact_fit_s\": %.6f, "
+        "\"hist_fit_s\": %.6f, \"fit_speedup\": %.3f},\n"
+        "  \"rf\": {\"trees\": %d, \"exact_fit_s\": %.6f, "
+        "\"hist_fit_s\": %.6f, \"fit_speedup\": %.3f},\n"
+        "  \"predict\": {\"rows\": %zu, \"gb_walk_s\": %.6f, "
+        "\"gb_compiled_s\": %.6f, \"gb_speedup\": %.3f, "
+        "\"rf_walk_s\": %.6f, \"rf_compiled_s\": %.6f, "
+        "\"rf_speedup\": %.3f, \"bit_identical\": %s},\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        fast ? "true" : "false", threads, n, gb_stages, gb_exact_s, gb_hist_s,
+        gb_fit_speedup, rf_trees, rf_exact_s, rf_hist_s, rf_fit_speedup, n,
+        walk_s, compiled_s, predict_speedup, rf_walk_s, rf_compiled_s,
+        rf_predict_speedup, bit_identical ? "true" : "false",
+        gb_fit_ok && rf_fit_ok && predict_ok && bit_identical ? "true"
+                                                              : "false");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_tree_engine.json\n");
+  }
+
+  return gb_fit_ok && rf_fit_ok && predict_ok && bit_identical ? 0 : 1;
+}

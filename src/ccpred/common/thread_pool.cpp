@@ -1,7 +1,11 @@
 #include "ccpred/common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <memory>
+#include <string>
+#include <utility>
 
 namespace ccpred {
 
@@ -25,24 +29,44 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  auto fut = packaged.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(packaged));
-  }
-  cv_.notify_one();
+  // packaged_task is move-only and std::function requires copyability, so
+  // the queue stores a shared_ptr-owning thunk.
+  auto packaged =
+      std::make_shared<std::packaged_task<void()>>(std::move(task));
+  auto fut = packaged->get_future();
+  post([packaged] { (*packaged)(); });
   return fut;
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+namespace {
+
+std::size_t global_pool_size_from_env() {
+  const char* v = std::getenv("CCPRED_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed <= 0) return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(global_pool_size_from_env());
   return pool;
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -50,7 +74,41 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions are captured in the packaged_task's future
+    task();  // post()'s contract: the enqueued thunk does not throw
+  }
+}
+
+TaskGroup::TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.post([this, task = std::move(task)] {
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (err && !error_) error_ = err;
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr err = std::exchange(error_, nullptr);
+    std::rethrow_exception(err);
   }
 }
 
@@ -73,27 +131,18 @@ void parallel_for(std::size_t begin, std::size_t end,
   }
 
   const std::size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers);
+  TaskGroup group(*pool);
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t lo = begin + w * chunk;
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
-    futures.push_back(pool->submit([lo, hi, &body] {
+    group.run([lo, hi, &body] {
       in_parallel_region = true;
       for (std::size_t i = lo; i < hi; ++i) body(i);
       in_parallel_region = false;
-    }));
+    });
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  group.wait();  // rethrows the first chunk exception, if any
 }
 
 }  // namespace ccpred

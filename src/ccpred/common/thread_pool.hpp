@@ -1,13 +1,15 @@
 #pragma once
 
 /// \file thread_pool.hpp
-/// A fixed-size worker pool plus a deterministic parallel_for.
+/// A fixed-size worker pool, a deterministic parallel_for and a TaskGroup
+/// batch waiter.
 ///
 /// ccpred parallelizes embarrassingly parallel loops: forest/committee
-/// member training, cross-validation folds, hyper-parameter candidates and
-/// dataset generation. Work is partitioned statically by index so results
-/// are bitwise identical regardless of worker count or scheduling, as long
-/// as each index derives its randomness from its own Rng stream.
+/// member training, gradient-boosting residual updates, cross-validation
+/// folds, hyper-parameter candidates and dataset generation. Work is
+/// partitioned statically by index so results are bitwise identical
+/// regardless of worker count or scheduling, as long as each index derives
+/// its randomness from its own Rng stream.
 
 #include <condition_variable>
 #include <cstddef>
@@ -38,17 +40,57 @@ class ThreadPool {
   /// propagate through the future).
   std::future<void> submit(std::function<void()> task);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// Fire-and-forget enqueue: no future is allocated, so there is nobody to
+  /// receive an exception — the task must not throw. Waiters that need
+  /// exception propagation without per-task futures use TaskGroup, whose
+  /// run() wraps the task accordingly.
+  void post(std::function<void()> task);
+
+  /// Process-wide shared pool (lazily constructed). Its size honors the
+  /// CCPRED_THREADS environment variable when set to a positive integer,
+  /// otherwise hardware concurrency.
   static ThreadPool& global();
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+};
+
+/// Submits a batch of tasks to a pool and waits for them as one unit.
+/// Unlike raw post(), a task exception is not lost: the first one is
+/// captured as a std::exception_ptr and rethrown from wait(), so the waiter
+/// observes failures exactly as it would with per-task futures but without
+/// a future allocation per task.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool = ThreadPool::global());
+
+  /// Waits for outstanding tasks; a still-pending exception is dropped
+  /// (destructors must not throw) — call wait() to observe it.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one task on the pool as part of this group.
+  void run(std::function<void()> task);
+
+  /// Blocks until every task run() so far has finished, then rethrows the
+  /// first captured task exception (if any). The group is reusable after
+  /// wait() returns or throws.
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr error_;
 };
 
 /// Runs body(i) for i in [begin, end) across the pool, blocking until all

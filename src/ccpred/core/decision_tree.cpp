@@ -15,7 +15,79 @@ DecisionTreeRegressor::DecisionTreeRegressor(TreeOptions options)
                    "min_samples_split must be >= 2");
   CCPRED_CHECK_MSG(options_.min_samples_leaf >= 1,
                    "min_samples_leaf must be >= 1");
+  CCPRED_CHECK_MSG(options_.max_bins >= 2 && options_.max_bins <= 60000,
+                   "max_bins must be in [2, 60000]");
 }
+
+// ---------------------------------------------------------------------------
+// Quantile binning (histogram mode)
+// ---------------------------------------------------------------------------
+
+FeatureBins FeatureBins::build(const linalg::Matrix& x, int max_bins) {
+  CCPRED_CHECK_MSG(max_bins >= 2 && max_bins <= 60000,
+                   "max_bins must be in [2, 60000]");
+  CCPRED_CHECK_MSG(x.rows() > 0, "cannot bin an empty matrix");
+  FeatureBins fb;
+  fb.n_ = x.rows();
+  fb.d_ = x.cols();
+  fb.edges_.resize(fb.d_);
+  fb.offsets_.assign(fb.d_ + 1, 0);
+
+  std::vector<double> col(fb.n_);
+  std::vector<double> distinct;
+  for (std::size_t f = 0; f < fb.d_; ++f) {
+    for (std::size_t r = 0; r < fb.n_; ++r) col[r] = x(r, f);
+    std::sort(col.begin(), col.end());
+    distinct.clear();
+    for (double v : col) {
+      if (distinct.empty() || v != distinct.back()) distinct.push_back(v);
+    }
+    auto& edges = fb.edges_[f];
+    edges.clear();
+    const std::size_t m = distinct.size();
+    if (m <= static_cast<std::size_t>(max_bins)) {
+      // One bin per distinct value: the candidate-threshold set is exactly
+      // the exact-mode midpoints, so histogram splits lose nothing.
+      for (std::size_t i = 0; i + 1 < m; ++i) {
+        edges.push_back(0.5 * (distinct[i] + distinct[i + 1]));
+      }
+    } else {
+      // Quantile cuts over the sorted values (duplicates keep their mass),
+      // snapped to the midpoint below the cut value so every edge separates
+      // two distinct data values.
+      for (int b = 1; b < max_bins; ++b) {
+        const std::size_t rank =
+            static_cast<std::size_t>(b) * fb.n_ / static_cast<std::size_t>(max_bins);
+        const double v = col[rank];
+        const auto it = std::lower_bound(distinct.begin(), distinct.end(), v);
+        const std::size_t idx =
+            static_cast<std::size_t>(it - distinct.begin());
+        if (idx == 0) continue;
+        const double edge = 0.5 * (distinct[idx - 1] + distinct[idx]);
+        if (edges.empty() || edge > edges.back()) edges.push_back(edge);
+      }
+    }
+    fb.offsets_[f + 1] =
+        fb.offsets_[f] + static_cast<int>(edges.size()) + 1;
+  }
+
+  fb.codes_.resize(fb.n_ * fb.d_);
+  for (std::size_t r = 0; r < fb.n_; ++r) {
+    for (std::size_t f = 0; f < fb.d_; ++f) {
+      const auto& edges = fb.edges_[f];
+      // First edge >= x: code(r, f) <= b  ⇔  x(r, f) <= edges[b].
+      const auto it =
+          std::lower_bound(edges.begin(), edges.end(), x(r, f));
+      fb.codes_[r * fb.d_ + f] =
+          static_cast<std::uint16_t>(it - edges.begin());
+    }
+  }
+  return fb;
+}
+
+// ---------------------------------------------------------------------------
+// Exact split finding (reference path)
+// ---------------------------------------------------------------------------
 
 struct DecisionTreeRegressor::BuildContext {
   const linalg::Matrix* x = nullptr;
@@ -74,6 +146,18 @@ SplitCandidate best_split_on_feature(
   return best;
 }
 
+/// Candidate features for one node: all, or a random subset for forests.
+std::vector<std::size_t> candidate_features(std::size_t d, int max_features,
+                                            Rng& rng) {
+  if (max_features > 0 && static_cast<std::size_t>(max_features) < d) {
+    return rng.sample_without_replacement(
+        d, static_cast<std::size_t>(max_features));
+  }
+  std::vector<std::size_t> features(d);
+  for (std::size_t f = 0; f < d; ++f) features[f] = f;
+  return features;
+}
+
 }  // namespace
 
 int DecisionTreeRegressor::build(BuildContext& ctx,
@@ -94,16 +178,8 @@ int DecisionTreeRegressor::build(BuildContext& ctx,
     return node_index;
   }
 
-  // Candidate features (all, or a random subset for forests).
-  const std::size_t d = x.cols();
-  std::vector<std::size_t> features;
-  if (ctx.max_features > 0 && static_cast<std::size_t>(ctx.max_features) < d) {
-    features = ctx.rng.sample_without_replacement(
-        d, static_cast<std::size_t>(ctx.max_features));
-  } else {
-    features.resize(d);
-    for (std::size_t f = 0; f < d; ++f) features[f] = f;
-  }
+  const std::vector<std::size_t> features =
+      candidate_features(x.cols(), ctx.max_features, ctx.rng);
 
   SplitCandidate best;
   std::size_t best_feature = 0;
@@ -143,6 +219,168 @@ int DecisionTreeRegressor::build(BuildContext& ctx,
   return node_index;
 }
 
+// ---------------------------------------------------------------------------
+// Histogram split finding
+// ---------------------------------------------------------------------------
+
+/// Per-node gradient histogram: (count, target-sum) per bin, flattened over
+/// all features via FeatureBins offsets.
+struct DecisionTreeRegressor::Histogram {
+  std::vector<double> sum;
+  std::vector<std::uint32_t> count;
+
+  explicit Histogram(int total_bins)
+      : sum(static_cast<std::size_t>(total_bins), 0.0),
+        count(static_cast<std::size_t>(total_bins), 0) {}
+
+  void accumulate(const FeatureBins& bins, const std::vector<double>& y,
+                  const std::vector<std::size_t>& rows) {
+    const std::size_t d = bins.cols();
+    for (auto r : rows) {
+      const std::uint16_t* codes = bins.row_codes(r);
+      const double target = y[r];
+      for (std::size_t f = 0; f < d; ++f) {
+        const auto idx =
+            static_cast<std::size_t>(bins.offset(f)) + codes[f];
+        sum[idx] += target;
+        ++count[idx];
+      }
+    }
+  }
+
+  /// In-place subtraction (sibling-histogram trick): this -= other.
+  void subtract(const Histogram& other) {
+    for (std::size_t i = 0; i < sum.size(); ++i) {
+      sum[i] -= other.sum[i];
+      count[i] -= other.count[i];
+    }
+  }
+};
+
+struct DecisionTreeRegressor::HistContext {
+  const FeatureBins* bins = nullptr;
+  const std::vector<double>* y = nullptr;
+  std::vector<double> importance;
+  int effective_max_depth = 64;
+  int max_features = 0;
+  Rng rng{1};
+};
+
+int DecisionTreeRegressor::build_hist(HistContext& ctx,
+                                      std::vector<std::size_t>& rows,
+                                      Histogram& hist, int depth) {
+  const FeatureBins& bins = *ctx.bins;
+  const auto& y = *ctx.y;
+  const std::size_t n = rows.size();
+
+  double sum = 0.0;
+  for (auto r : rows) sum += y[r];
+  const double mean = sum / static_cast<double>(n);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(TreeNode{.value = mean});
+
+  if (depth >= ctx.effective_max_depth ||
+      n < static_cast<std::size_t>(options_.min_samples_split)) {
+    return node_index;
+  }
+
+  const std::vector<std::size_t> features =
+      candidate_features(bins.cols(), ctx.max_features, ctx.rng);
+
+  // Scan each candidate feature's bins left to right; a boundary after bin
+  // b corresponds to the exact split x <= upper_edge(f, b).
+  double best_gain = -1.0;
+  std::size_t best_feature = 0;
+  int best_bin = -1;
+  const auto min_leaf = static_cast<std::size_t>(options_.min_samples_leaf);
+  for (auto f : features) {
+    const int off = bins.offset(f);
+    const int bc = bins.bin_count(f);
+    double left_sum = 0.0;
+    std::size_t left_count = 0;
+    for (int b = 0; b + 1 < bc; ++b) {
+      const auto idx = static_cast<std::size_t>(off + b);
+      left_sum += hist.sum[idx];
+      left_count += hist.count[idx];
+      if (hist.count[idx] == 0) continue;  // same partition as previous bin
+      const std::size_t nl = left_count;
+      const std::size_t nr = n - left_count;
+      if (nl < min_leaf || nr < min_leaf || nr == 0) continue;
+      const double right_sum = sum - left_sum;
+      const double gain = left_sum * left_sum / static_cast<double>(nl) +
+                          right_sum * right_sum / static_cast<double>(nr) -
+                          sum * sum / static_cast<double>(n);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_bin = b;
+      }
+    }
+  }
+  if (best_bin < 0 || best_gain <= 1e-12) return node_index;
+  ctx.importance[best_feature] += best_gain;
+  const double threshold = bins.upper_edge(best_feature, best_bin);
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (auto r : rows) {
+    (bins.code(r, best_feature) <= best_bin ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return node_index;
+
+  rows.clear();
+  rows.shrink_to_fit();
+
+  // Sibling-subtraction trick: scan only the smaller child's rows; the
+  // larger child's histogram is parent - smaller, reusing parent storage.
+  const bool left_is_small = left_rows.size() <= right_rows.size();
+  Histogram small(bins.total_bins());
+  small.accumulate(bins, y, left_is_small ? left_rows : right_rows);
+  hist.subtract(small);
+  Histogram& left_hist = left_is_small ? small : hist;
+  Histogram& right_hist = left_is_small ? hist : small;
+
+  const int left = build_hist(ctx, left_rows, left_hist, depth + 1);
+  const int right = build_hist(ctx, right_rows, right_hist, depth + 1);
+  nodes_[node_index].feature = static_cast<int>(best_feature);
+  nodes_[node_index].threshold = threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+void DecisionTreeRegressor::fit_binned(const FeatureBins& bins,
+                                       const std::vector<double>& y,
+                                       const std::vector<std::size_t>& rows) {
+  CCPRED_CHECK_MSG(bins.rows() == y.size(), "bins/y row mismatch");
+  CCPRED_CHECK_MSG(!rows.empty(), "cannot fit tree on zero rows");
+  for (auto r : rows) {
+    CCPRED_CHECK_MSG(r < bins.rows(), "row index out of range");
+  }
+
+  nodes_.clear();
+  HistContext ctx;
+  ctx.bins = &bins;
+  ctx.y = &y;
+  ctx.importance.assign(bins.cols(), 0.0);
+  ctx.effective_max_depth =
+      options_.max_depth == 0 ? 64 : options_.max_depth;
+  ctx.max_features = options_.max_features;
+  ctx.rng = Rng(options_.seed);
+
+  std::vector<std::size_t> root_rows = rows;
+  Histogram root(bins.total_bins());
+  root.accumulate(bins, y, root_rows);
+  build_hist(ctx, root_rows, root, 0);
+  importance_ = std::move(ctx.importance);
+}
+
+// ---------------------------------------------------------------------------
+// Shared entry points
+// ---------------------------------------------------------------------------
+
 void DecisionTreeRegressor::fit(const linalg::Matrix& x,
                                 const std::vector<double>& y) {
   std::vector<std::size_t> rows(x.rows());
@@ -156,6 +394,14 @@ void DecisionTreeRegressor::fit_rows(const linalg::Matrix& x,
   CCPRED_CHECK_MSG(x.rows() == y.size(), "X/y row mismatch");
   CCPRED_CHECK_MSG(!rows.empty(), "cannot fit tree on zero rows");
   for (auto r : rows) CCPRED_CHECK_MSG(r < x.rows(), "row index out of range");
+
+  if (options_.split_mode == SplitMode::kHistogram) {
+    // Standalone histogram fit: bin here. Ensembles bin once and call
+    // fit_binned directly.
+    const FeatureBins bins = FeatureBins::build(x, options_.max_bins);
+    fit_binned(bins, y, rows);
+    return;
+  }
 
   nodes_.clear();
   BuildContext ctx;
@@ -259,6 +505,14 @@ void DecisionTreeRegressor::set_params(const ParamMap& params) {
     } else if (key == "max_features") {
       CCPRED_CHECK_MSG(iv >= 0, "max_features must be >= 0");
       options_.max_features = iv;
+    } else if (key == "split_mode") {
+      CCPRED_CHECK_MSG(iv == 0 || iv == 1,
+                       "split_mode must be 0 (exact) or 1 (histogram)");
+      options_.split_mode = iv == 0 ? SplitMode::kExact : SplitMode::kHistogram;
+    } else if (key == "max_bins") {
+      CCPRED_CHECK_MSG(iv >= 2 && iv <= 60000,
+                       "max_bins must be in [2, 60000]");
+      options_.max_bins = iv;
     } else {
       throw Error("DecisionTreeRegressor: unknown parameter '" + key + "'");
     }

@@ -2,8 +2,20 @@
 
 /// \file decision_tree.hpp
 /// CART regression tree (paper §3.1 "DT"): axis-aligned variance-reduction
-/// splits found by exact sorted scans. The shared base learner of the
-/// random-forest, gradient-boosting and AdaBoost ensembles.
+/// splits. The shared base learner of the random-forest, gradient-boosting
+/// and AdaBoost ensembles.
+///
+/// Two split-finding modes (TreeOptions::split_mode):
+///  - kExact (default/reference): per-node sorted scans over the raw
+///    feature values; every midpoint between adjacent distinct values is a
+///    candidate threshold.
+///  - kHistogram: features are quantile-binned once per fit (FeatureBins),
+///    each node accumulates per-bin (count, sum) gradient histograms and
+///    scans bin boundaries; the sibling histogram is derived by subtracting
+///    the scanned child from the parent ("histogram subtraction" trick), so
+///    each level costs one pass over the smaller halves only. Thresholds
+///    are real feature values, so the fitted tree predicts through the same
+///    TreeNode structure and serializes identically to exact mode.
 
 #include <cstdint>
 #include <memory>
@@ -15,6 +27,12 @@
 
 namespace ccpred::ml {
 
+/// Split-finding strategy for tree training.
+enum class SplitMode {
+  kExact = 0,      ///< exact sorted scans (reference)
+  kHistogram = 1,  ///< quantile-binned histogram splits (fast)
+};
+
 /// Hyper-parameters of a CART regression tree.
 struct TreeOptions {
   int max_depth = 10;          ///< 0 means unlimited (capped at 64)
@@ -22,6 +40,8 @@ struct TreeOptions {
   int min_samples_leaf = 1;    ///< each child must keep at least this many
   int max_features = 0;        ///< features tried per split; 0 = all
   std::uint64_t seed = 1;      ///< feature-subsampling stream
+  SplitMode split_mode = SplitMode::kExact;
+  int max_bins = 255;          ///< histogram mode: max quantile bins/feature
 };
 
 /// Flattened tree node; children referenced by index into the node array.
@@ -35,8 +55,59 @@ struct TreeNode {
   bool is_leaf() const { return feature < 0; }
 };
 
+/// Quantile-binned view of a feature matrix, computed once per ensemble fit
+/// and shared by every member tree (the expensive part of histogram
+/// training — one sort per feature — is paid once, not per tree).
+///
+/// Bin semantics: feature f has bin_count(f) bins separated by
+/// bin_count(f) - 1 ascending edges; code(r, f) <= b  ⇔  x(r, f) <=
+/// upper_edge(f, b), so a histogram split "code <= b" is exactly the raw
+/// threshold upper_edge(f, b). Edges are midpoints between distinct data
+/// values, so when a feature has at most max_bins distinct values (the
+/// menu-structured paper features always do) the candidate-threshold set
+/// equals exact mode's.
+class FeatureBins {
+ public:
+  /// Bins every column of `x` into at most `max_bins` quantile bins.
+  static FeatureBins build(const linalg::Matrix& x, int max_bins);
+
+  std::size_t rows() const { return n_; }
+  std::size_t cols() const { return d_; }
+
+  int bin_count(std::size_t f) const {
+    return offsets_[f + 1] - offsets_[f];
+  }
+  /// Start of feature f's bin range in a flattened histogram.
+  int offset(std::size_t f) const { return offsets_[f]; }
+  /// Total bins across all features (flattened histogram length).
+  int total_bins() const { return offsets_.back(); }
+
+  /// Bin index of x(r, f), in [0, bin_count(f)).
+  std::uint16_t code(std::size_t r, std::size_t f) const {
+    return codes_[r * d_ + f];
+  }
+  /// Pointer to row r's codes (d consecutive values).
+  const std::uint16_t* row_codes(std::size_t r) const {
+    return codes_.data() + r * d_;
+  }
+
+  /// Raw-value threshold of the split "code(., f) <= bin";
+  /// requires bin in [0, bin_count(f) - 1).
+  double upper_edge(std::size_t f, int bin) const {
+    return edges_[f][static_cast<std::size_t>(bin)];
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t d_ = 0;
+  std::vector<int> offsets_;                ///< d + 1 prefix sums
+  std::vector<std::vector<double>> edges_;  ///< per feature, bin_count - 1
+  std::vector<std::uint16_t> codes_;        ///< n * d, row-major
+};
+
 /// CART regressor. Parameters: "max_depth", "min_samples_split",
-/// "min_samples_leaf", "max_features".
+/// "min_samples_leaf", "max_features", "split_mode" (0 exact /
+/// 1 histogram), "max_bins".
 class DecisionTreeRegressor : public Regressor {
  public:
   explicit DecisionTreeRegressor(TreeOptions options = {});
@@ -44,9 +115,15 @@ class DecisionTreeRegressor : public Regressor {
   void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
 
   /// Fits on a subset of rows (used by the ensembles to avoid copying the
-  /// feature matrix for every bootstrap resample).
+  /// feature matrix for every bootstrap resample). Dispatches on
+  /// options().split_mode; histogram mode bins `x` first.
   void fit_rows(const linalg::Matrix& x, const std::vector<double>& y,
                 const std::vector<std::size_t>& rows);
+
+  /// Histogram-mode fit on a pre-binned matrix (the ensembles bin once and
+  /// share the FeatureBins across members/stages). Ignores split_mode.
+  void fit_binned(const FeatureBins& bins, const std::vector<double>& y,
+                  const std::vector<std::size_t>& rows);
 
   std::vector<double> predict(const linalg::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
@@ -65,7 +142,8 @@ class DecisionTreeRegressor : public Regressor {
   /// a single-leaf tree). Requires fit().
   std::vector<double> feature_importances() const;
 
-  /// Fitted tree structure (flattened nodes) — used by serialization.
+  /// Fitted tree structure (flattened nodes) — used by serialization and
+  /// the compiled-ensemble flattener.
   const std::vector<TreeNode>& nodes() const { return nodes_; }
 
   /// Reconstructs a fitted tree from its parts (serialization loader).
@@ -83,6 +161,11 @@ class DecisionTreeRegressor : public Regressor {
  private:
   struct BuildContext;
   int build(BuildContext& ctx, std::vector<std::size_t>& rows, int depth);
+
+  struct Histogram;
+  struct HistContext;
+  int build_hist(HistContext& ctx, std::vector<std::size_t>& rows,
+                 Histogram& hist, int depth);
 
   TreeOptions options_;
   std::vector<TreeNode> nodes_;

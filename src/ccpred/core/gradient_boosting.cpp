@@ -4,6 +4,8 @@
 
 #include "ccpred/common/error.hpp"
 #include "ccpred/common/rng.hpp"
+#include "ccpred/common/thread_pool.hpp"
+#include "ccpred/core/compiled_ensemble.hpp"
 
 namespace ccpred::ml {
 
@@ -37,7 +39,16 @@ void GradientBoostingRegressor::fit(const linalg::Matrix& x,
   std::vector<double> residual(n);
   for (std::size_t i = 0; i < n; ++i) residual[i] = y[i] - base_prediction_;
 
+  // Histogram mode: quantile-bin the features once; every stage trains on
+  // the shared binned view (the residual targets change per stage, the
+  // binning does not).
+  const bool histogram = tree_options_.split_mode == SplitMode::kHistogram;
+  FeatureBins bins;
+  if (histogram) bins = FeatureBins::build(x, tree_options_.max_bins);
+
   trees_.clear();
+  compiled_.reset();
+  fitted_ = false;
   trees_.reserve(static_cast<std::size_t>(n_estimators_));
   Rng rng(seed_);
   std::vector<std::size_t> all_rows(n);
@@ -47,23 +58,43 @@ void GradientBoostingRegressor::fit(const linalg::Matrix& x,
     TreeOptions opt = tree_options_;
     opt.seed = rng.next();
     DecisionTreeRegressor tree(opt);
-    if (subsample_ < 1.0) {
-      const auto k = std::max<std::size_t>(
-          1, static_cast<std::size_t>(subsample_ * static_cast<double>(n)));
-      tree.fit_rows(x, residual, rng.sample_without_replacement(n, k));
+    const std::vector<std::size_t>& rows =
+        subsample_ < 1.0
+            ? rng.sample_without_replacement(
+                  n, std::max<std::size_t>(
+                         1, static_cast<std::size_t>(
+                                subsample_ * static_cast<double>(n))))
+            : all_rows;
+    if (histogram) {
+      tree.fit_binned(bins, residual, rows);
     } else {
-      tree.fit_rows(x, residual, all_rows);
+      tree.fit_rows(x, residual, rows);
     }
-    // Update residuals with the shrunken stage prediction.
-    for (std::size_t i = 0; i < n; ++i) {
+    // Update residuals with the shrunken stage prediction, chunked over the
+    // pool (each index is independent, so the result is deterministic).
+    parallel_for(0, n, [&](std::size_t i) {
       residual[i] -= learning_rate_ * tree.predict_row(x.row_ptr(i));
-    }
+    });
     trees_.push_back(std::move(tree));
   }
   fitted_ = true;
+  compiled_ =
+      std::make_shared<const CompiledEnsemble>(CompiledEnsemble::compile(*this));
+}
+
+const CompiledEnsemble& GradientBoostingRegressor::compiled() const {
+  CCPRED_CHECK_MSG(fitted_ && compiled_ != nullptr,
+                   "GradientBoostingRegressor::compiled before fit");
+  return *compiled_;
 }
 
 std::vector<double> GradientBoostingRegressor::predict(
+    const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(fitted_, "GradientBoostingRegressor::predict before fit");
+  return compiled_->predict_batch(x);
+}
+
+std::vector<double> GradientBoostingRegressor::predict_walk(
     const linalg::Matrix& x) const {
   return predict_staged(x, trees_.size());
 }
@@ -91,6 +122,8 @@ GradientBoostingRegressor GradientBoostingRegressor::from_parts(
   model.base_prediction_ = base_prediction;
   model.trees_ = std::move(stages);
   model.fitted_ = true;
+  model.compiled_ =
+      std::make_shared<const CompiledEnsemble>(CompiledEnsemble::compile(model));
   return model;
 }
 
@@ -135,7 +168,8 @@ void GradientBoostingRegressor::set_params(const ParamMap& params) {
                        "subsample must be in (0, 1]");
       subsample_ = value;
     } else if (key == "max_depth" || key == "min_samples_split" ||
-               key == "min_samples_leaf" || key == "max_features") {
+               key == "min_samples_leaf" || key == "max_features" ||
+               key == "split_mode" || key == "max_bins") {
       DecisionTreeRegressor probe(tree_options_);
       probe.set_params({{key, value}});
       tree_options_ = probe.options();

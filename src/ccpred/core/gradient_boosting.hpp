@@ -5,6 +5,13 @@
 /// each stage fits a CART tree to the current residuals and is shrunk by a
 /// learning rate. The paper's winning model — its tuned configuration
 /// (750 estimators, depth 10, defaults otherwise) is the library default.
+///
+/// Hot paths: with TreeOptions::split_mode == kHistogram the features are
+/// quantile-binned once per fit and every stage trains on the shared
+/// FeatureBins; residual updates run chunked over the shared thread pool.
+/// fit() also compiles the fitted stages into a CompiledEnsemble, so
+/// predict() serves flattened SoA batch inference (bit-identical to the
+/// reference tree walk, see predict_walk).
 
 #include <memory>
 #include <string>
@@ -15,8 +22,11 @@
 
 namespace ccpred::ml {
 
+class CompiledEnsemble;
+
 /// Parameters: "n_estimators", "learning_rate", "max_depth",
-/// "min_samples_split", "min_samples_leaf", "subsample" (stochastic GB).
+/// "min_samples_split", "min_samples_leaf", "subsample" (stochastic GB),
+/// "split_mode" (0 exact / 1 histogram), "max_bins".
 class GradientBoostingRegressor : public Regressor {
  public:
   explicit GradientBoostingRegressor(int n_estimators = 750,
@@ -26,7 +36,15 @@ class GradientBoostingRegressor : public Regressor {
                                      std::uint64_t seed = 42);
 
   void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
+
+  /// Compiled batch inference (CompiledEnsemble); bit-identical to
+  /// predict_walk.
   std::vector<double> predict(const linalg::Matrix& x) const override;
+
+  /// Reference tree-walk prediction path — kept as the verification
+  /// baseline for the compiled engine (tests assert bitwise equality).
+  std::vector<double> predict_walk(const linalg::Matrix& x) const;
+
   std::unique_ptr<Regressor> clone() const override;
   const std::string& name() const override;
   void set_params(const ParamMap& params) override;
@@ -48,6 +66,9 @@ class GradientBoostingRegressor : public Regressor {
   const std::vector<DecisionTreeRegressor>& stages() const { return trees_; }
   double base_prediction() const { return base_prediction_; }
 
+  /// The flattened inference engine (built on fit/load). Requires fit().
+  const CompiledEnsemble& compiled() const;
+
   /// Reconstructs a fitted model from its parts (serialization loader).
   static GradientBoostingRegressor from_parts(
       double learning_rate, double base_prediction,
@@ -63,6 +84,10 @@ class GradientBoostingRegressor : public Regressor {
   bool fitted_ = false;
   double base_prediction_ = 0.0;
   std::vector<DecisionTreeRegressor> trees_;
+  /// Built eagerly whenever trees_ changes (fit / from_parts), so the
+  /// serving registry compiles exactly once per loaded artifact and
+  /// concurrent predict() needs no synchronization. Immutable once set.
+  std::shared_ptr<const CompiledEnsemble> compiled_;
 };
 
 }  // namespace ccpred::ml

@@ -4,12 +4,17 @@
 
 #include "ccpred/common/error.hpp"
 #include "ccpred/common/stopwatch.hpp"
+#include "ccpred/common/thread_pool.hpp"
 
 namespace ccpred::ml {
 namespace detail {
 
-/// Shared by grid/random search: evaluate a candidate list sequentially
-/// (each CV already parallelizes folds), pick the best, optionally refit.
+/// Shared by grid/random search: evaluate the candidate list in parallel
+/// over the thread pool (inner CV runs serially inside a worker — the
+/// nesting guard prevents pool deadlock), pick the best, optionally refit.
+/// Each candidate seeds its own fold RNG from options.seed, so trials and
+/// the winner are identical to a sequential evaluation, tie-broken toward
+/// the earlier candidate.
 SearchResult evaluate_candidates(const Regressor& prototype,
                                  const std::vector<ParamMap>& candidates,
                                  const linalg::Matrix& x,
@@ -18,19 +23,24 @@ SearchResult evaluate_candidates(const Regressor& prototype,
   CCPRED_CHECK_MSG(!candidates.empty(), "no candidates to search");
   Stopwatch watch;
   SearchResult result;
-  double best = -std::numeric_limits<double>::infinity();
-  for (const auto& params : candidates) {
+  result.trials.resize(candidates.size());
+  parallel_for(0, candidates.size(), [&](std::size_t c) {
+    const auto& params = candidates[c];
     auto model = prototype.clone();
     model->set_params(params);
     Rng cv_rng(options.seed);  // same folds for every candidate
     const CvResult cv = cross_validate(*model, x, y, options.cv_folds, cv_rng);
-    const double value = scoring_value(cv.mean, options.scoring);
-    result.trials.push_back(
-        SearchTrial{.params = params, .cv_scores = cv.mean, .value = value});
-    if (value > best) {
-      best = value;
-      result.best_params = params;
-      result.best_cv_scores = cv.mean;
+    result.trials[c] =
+        SearchTrial{.params = params,
+                    .cv_scores = cv.mean,
+                    .value = scoring_value(cv.mean, options.scoring)};
+  });
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& trial : result.trials) {
+    if (trial.value > best) {
+      best = trial.value;
+      result.best_params = trial.params;
+      result.best_cv_scores = trial.cv_scores;
     }
   }
   if (options.refit) {

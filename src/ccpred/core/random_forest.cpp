@@ -4,6 +4,7 @@
 
 #include "ccpred/common/error.hpp"
 #include "ccpred/common/thread_pool.hpp"
+#include "ccpred/core/compiled_ensemble.hpp"
 
 namespace ccpred::ml {
 
@@ -24,6 +25,7 @@ void RandomForestRegressor::fit(const linalg::Matrix& x,
   CCPRED_CHECK_MSG(x.rows() > 0, "cannot fit on empty data");
 
   trees_.clear();
+  compiled_.reset();
   const auto n = static_cast<std::size_t>(n_estimators_);
   trees_.reserve(n);
   // Pre-derive per-tree seeds so parallel training is deterministic.
@@ -36,17 +38,47 @@ void RandomForestRegressor::fit(const linalg::Matrix& x,
     opt.seed = tree_seeds[t] ^ 0x5bf03635ULL;
     trees_.emplace_back(opt);
   }
+
+  // Histogram mode: bin the features once, shared read-only by all members.
+  const bool histogram = tree_options_.split_mode == SplitMode::kHistogram;
+  FeatureBins bins;
+  std::vector<std::size_t> all_rows;
+  if (histogram) {
+    bins = FeatureBins::build(x, tree_options_.max_bins);
+    if (!bootstrap_) {
+      all_rows.resize(x.rows());
+      for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+    }
+  }
+
   parallel_for(0, n, [&](std::size_t t) {
     Rng rng(tree_seeds[t]);
-    if (bootstrap_) {
+    if (histogram) {
+      trees_[t].fit_binned(
+          bins, y, bootstrap_ ? rng.bootstrap_indices(x.rows()) : all_rows);
+    } else if (bootstrap_) {
       trees_[t].fit_rows(x, y, rng.bootstrap_indices(x.rows()));
     } else {
       trees_[t].fit(x, y);
     }
   });
+  compiled_ =
+      std::make_shared<const CompiledEnsemble>(CompiledEnsemble::compile(*this));
+}
+
+const CompiledEnsemble& RandomForestRegressor::compiled() const {
+  CCPRED_CHECK_MSG(is_fitted() && compiled_ != nullptr,
+                   "RandomForestRegressor::compiled before fit");
+  return *compiled_;
 }
 
 std::vector<double> RandomForestRegressor::predict(
+    const linalg::Matrix& x) const {
+  CCPRED_CHECK_MSG(is_fitted(), "RandomForestRegressor::predict before fit");
+  return compiled_->predict_batch(x);
+}
+
+std::vector<double> RandomForestRegressor::predict_walk(
     const linalg::Matrix& x) const {
   CCPRED_CHECK_MSG(is_fitted(), "RandomForestRegressor::predict before fit");
   std::vector<double> out(x.rows(), 0.0);
@@ -80,6 +112,8 @@ RandomForestRegressor RandomForestRegressor::from_parts(
   CCPRED_CHECK_MSG(!trees.empty(), "from_parts needs at least one tree");
   RandomForestRegressor forest(static_cast<int>(trees.size()));
   forest.trees_ = std::move(trees);
+  forest.compiled_ = std::make_shared<const CompiledEnsemble>(
+      CompiledEnsemble::compile(forest));
   return forest;
 }
 
@@ -102,7 +136,8 @@ void RandomForestRegressor::set_params(const ParamMap& params) {
     } else if (key == "bootstrap") {
       bootstrap_ = value != 0.0;
     } else if (key == "max_depth" || key == "min_samples_split" ||
-               key == "min_samples_leaf" || key == "max_features") {
+               key == "min_samples_leaf" || key == "max_features" ||
+               key == "split_mode" || key == "max_bins") {
       DecisionTreeRegressor probe(tree_options_);
       probe.set_params({{key, value}});
       tree_options_ = probe.options();

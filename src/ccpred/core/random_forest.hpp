@@ -5,6 +5,12 @@
 /// optional per-split feature subsampling; members train in parallel on
 /// the thread pool with per-tree RNG streams, so results are independent
 /// of scheduling.
+///
+/// With TreeOptions::split_mode == kHistogram the features are
+/// quantile-binned once per fit and every member trains on the shared
+/// FeatureBins. fit() also compiles the forest into a CompiledEnsemble, so
+/// predict() serves flattened SoA batch inference (bit-identical to the
+/// reference tree walk, see predict_walk).
 
 #include <memory>
 #include <string>
@@ -16,8 +22,11 @@
 
 namespace ccpred::ml {
 
+class CompiledEnsemble;
+
 /// Parameters: "n_estimators", "max_depth", "min_samples_split",
-/// "min_samples_leaf", "max_features" (0 = all), "bootstrap" (0/1).
+/// "min_samples_leaf", "max_features" (0 = all), "bootstrap" (0/1),
+/// "split_mode" (0 exact / 1 histogram), "max_bins".
 class RandomForestRegressor : public Regressor {
  public:
   explicit RandomForestRegressor(int n_estimators = 100,
@@ -26,7 +35,15 @@ class RandomForestRegressor : public Regressor {
                                  std::uint64_t seed = 42);
 
   void fit(const linalg::Matrix& x, const std::vector<double>& y) override;
+
+  /// Compiled batch inference (CompiledEnsemble); bit-identical to
+  /// predict_walk.
   std::vector<double> predict(const linalg::Matrix& x) const override;
+
+  /// Reference tree-walk prediction path — kept as the verification
+  /// baseline for the compiled engine (tests assert bitwise equality).
+  std::vector<double> predict_walk(const linalg::Matrix& x) const;
+
   std::unique_ptr<Regressor> clone() const override;
   const std::string& name() const override;
   void set_params(const ParamMap& params) override;
@@ -38,6 +55,10 @@ class RandomForestRegressor : public Regressor {
   /// normalized to sum to 1.
   std::vector<double> feature_importances() const;
   const DecisionTreeRegressor& tree(std::size_t i) const { return trees_[i]; }
+  const std::vector<DecisionTreeRegressor>& trees() const { return trees_; }
+
+  /// The flattened inference engine (built on fit/load). Requires fit().
+  const CompiledEnsemble& compiled() const;
 
   /// Reconstructs a fitted forest from its member trees (serialization
   /// loader); the result predicts bit-identically to the original.
@@ -50,6 +71,10 @@ class RandomForestRegressor : public Regressor {
   bool bootstrap_;
   std::uint64_t seed_;
   std::vector<DecisionTreeRegressor> trees_;
+  /// Built eagerly whenever trees_ changes (fit / from_parts), so the
+  /// serving registry compiles exactly once per loaded artifact and
+  /// concurrent predict() needs no synchronization. Immutable once set.
+  std::shared_ptr<const CompiledEnsemble> compiled_;
 };
 
 }  // namespace ccpred::ml

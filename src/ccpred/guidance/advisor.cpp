@@ -1,11 +1,33 @@
 #include "ccpred/guidance/advisor.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "ccpred/common/error.hpp"
 
 namespace ccpred::guide {
+
+namespace {
+
+/// A NaN/Inf prediction would silently win or lose every comparison below,
+/// turning one bad model output into a confidently wrong recommendation —
+/// reject the sweep instead and name the offending configuration.
+void check_sweep_finite(const std::vector<SweepPoint>& sweep) {
+  for (const auto& pt : sweep) {
+    CCPRED_CHECK_MSG(std::isfinite(pt.predicted_time_s) &&
+                         std::isfinite(pt.predicted_node_hours),
+                     "non-finite prediction (time="
+                         << pt.predicted_time_s
+                         << ", node_hours=" << pt.predicted_node_hours
+                         << ") for O=" << pt.config.o << " V=" << pt.config.v
+                         << " nodes=" << pt.config.nodes
+                         << " tile=" << pt.config.tile
+                         << "; refusing to recommend from a corrupt sweep");
+  }
+}
+
+}  // namespace
 
 std::vector<SweepPoint> pareto_front(const std::vector<SweepPoint>& sweep) {
   std::vector<SweepPoint> sorted = sweep;
@@ -73,6 +95,7 @@ Recommendation Advisor::recommend(int o, int v, Objective objective) const {
 Recommendation Advisor::from_sweep(std::vector<SweepPoint> sweep,
                                    Objective objective) {
   CCPRED_CHECK_MSG(!sweep.empty(), "cannot recommend from an empty sweep");
+  check_sweep_finite(sweep);
   Recommendation rec;
   rec.objective = objective;
   rec.sweep = std::move(sweep);
@@ -103,6 +126,7 @@ Recommendation Advisor::fastest_within_budget(int o, int v,
 Recommendation Advisor::fastest_within_budget(const Recommendation& base,
                                               double max_node_hours) {
   CCPRED_CHECK_MSG(max_node_hours > 0.0, "budget must be positive");
+  check_sweep_finite(base.sweep);
   Recommendation rec = base;
   rec.objective = Objective::kShortestTime;
   bool found = false;

@@ -71,13 +71,15 @@ class Advisor {
   /// Same question answered from an already-computed sweep (any objective):
   /// no model predictions are re-run, so callers holding a cached
   /// Recommendation (e.g. the serving layer) answer budget queries for
-  /// free. Throws ccpred::Error if nothing fits the budget.
+  /// free. Throws ccpred::Error if nothing fits the budget or if the sweep
+  /// carries non-finite predictions.
   static Recommendation fastest_within_budget(const Recommendation& base,
                                               double max_node_hours);
 
   /// Re-derives the argmin for `objective` from an existing sweep without
   /// re-predicting — the sweep is objective-independent, only the winner
-  /// changes. Throws ccpred::Error on an empty sweep.
+  /// changes. Throws ccpred::Error on an empty sweep or on any non-finite
+  /// (NaN/Inf) predicted time or cost.
   static Recommendation from_sweep(std::vector<SweepPoint> sweep,
                                    Objective objective);
 

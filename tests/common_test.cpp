@@ -348,6 +348,66 @@ TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }
 
+TEST(ThreadPoolTest, PostRunsFireAndForgetTask) {
+  ThreadPool pool(2);
+  std::promise<int> done;
+  pool.post([&] { done.set_value(7); });
+  EXPECT_EQ(done.get_future().get(), 7);
+}
+
+TEST(TaskGroupTest, WaitBlocksUntilAllTasksFinish) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    group.run([&] { counter++; });
+  }
+  group.wait();
+  EXPECT_EQ(counter, 64);
+}
+
+TEST(TaskGroupTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([i] {
+      if (i == 3) throw Error("task failure");
+    });
+  }
+  EXPECT_THROW(group.wait(), Error);
+}
+
+TEST(TaskGroupTest, RemainingTasksStillRunAfterOneThrows) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    group.run([&ran, i] {
+      ran++;
+      if (i == 0) throw Error("early failure");
+    });
+  }
+  EXPECT_THROW(group.wait(), Error);
+  EXPECT_EQ(ran, 16);
+}
+
+TEST(TaskGroupTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  group.run([&] { counter++; });
+  group.wait();
+  group.run([&] { counter++; });
+  group.wait();
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(TaskGroupTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  group.wait();  // must not hang or throw
+}
+
 // ---------- stopwatch & table ----------
 
 TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {

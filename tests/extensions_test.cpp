@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "ccpred/core/gradient_boosting.hpp"
@@ -347,6 +348,35 @@ TEST_F(BudgetAdvisorTest, ImpossibleBudgetThrows) {
   const guide::Advisor advisor(*model_, simulator_);
   EXPECT_THROW(advisor.fastest_within_budget(134, 951, 1e-9), Error);
   EXPECT_THROW(advisor.fastest_within_budget(134, 951, -1.0), Error);
+}
+
+// A NaN/Inf prediction must fail loudly instead of silently winning or
+// losing the argmin (regression tests for the advisor's sweep validation).
+TEST(SweepValidationTest, FromSweepRejectsNaNPredictedTime) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(guide::Advisor::from_sweep({make_point(10, 5), make_point(nan, 3)},
+                                          guide::Objective::kShortestTime),
+               Error);
+}
+
+TEST(SweepValidationTest, FromSweepRejectsInfiniteNodeHours) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(guide::Advisor::from_sweep({make_point(10, inf)},
+                                          guide::Objective::kNodeHours),
+               Error);
+}
+
+TEST(SweepValidationTest, FromSweepAcceptsFiniteSweep) {
+  const auto rec = guide::Advisor::from_sweep(
+      {make_point(10, 5), make_point(20, 3)}, guide::Objective::kNodeHours);
+  EXPECT_DOUBLE_EQ(rec.predicted_node_hours, 3.0);
+}
+
+TEST(SweepValidationTest, FastestWithinBudgetRejectsNonFiniteSweep) {
+  guide::Recommendation base;
+  base.sweep = {make_point(10, 5),
+                make_point(std::numeric_limits<double>::quiet_NaN(), 2)};
+  EXPECT_THROW(guide::Advisor::fastest_within_budget(base, 100.0), Error);
 }
 
 TEST_F(BudgetAdvisorTest, ParetoFrontContainsBothExtremes) {

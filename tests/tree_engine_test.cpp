@@ -1,0 +1,317 @@
+// Property tests for the fast tree-ensemble engine: FeatureBins binning
+// invariants, histogram-mode training accuracy vs the exact reference, and
+// bit-identity of CompiledEnsemble batch inference against the tree walk.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "ccpred/core/compiled_ensemble.hpp"
+#include "ccpred/core/decision_tree.hpp"
+#include "ccpred/core/gradient_boosting.hpp"
+#include "ccpred/core/grid_search.hpp"
+#include "ccpred/core/metrics.hpp"
+#include "ccpred/core/random_forest.hpp"
+#include "ccpred/core/serialize.hpp"
+#include "test_util.hpp"
+
+namespace ccpred {
+namespace {
+
+using ml::CompiledEnsemble;
+using ml::DecisionTreeRegressor;
+using ml::FeatureBins;
+using ml::GradientBoostingRegressor;
+using ml::RandomForestRegressor;
+using ml::SplitMode;
+using ml::TreeOptions;
+
+// Menu-structured matrix like the paper's features: every column draws from
+// a small discrete set of values.
+linalg::Matrix make_menu_matrix(std::size_t n, std::size_t d,
+                                std::size_t menu_size, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix x(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < d; ++c) {
+      x(i, c) = static_cast<double>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(menu_size) - 1)) *
+                    1.5 -
+                3.0;
+    }
+  }
+  return x;
+}
+
+// ---------- FeatureBins ----------
+
+class FeatureBinsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeatureBinsProperty, CodeEdgeEquivalenceHolds) {
+  const auto s = test::make_nonlinear(160, 0.1, GetParam());
+  const int max_bins = 32;
+  const auto bins = FeatureBins::build(s.x, max_bins);
+  ASSERT_EQ(bins.rows(), s.x.rows());
+  ASSERT_EQ(bins.cols(), s.x.cols());
+  for (std::size_t f = 0; f < bins.cols(); ++f) {
+    ASSERT_GE(bins.bin_count(f), 1);
+    ASSERT_LE(bins.bin_count(f), max_bins);
+    for (std::size_t r = 0; r < bins.rows(); ++r) {
+      const int code = bins.code(r, f);
+      ASSERT_LT(code, bins.bin_count(f));
+      // The defining invariant: code(x) <= b  ⇔  x <= upper_edge(f, b).
+      for (int b = 0; b + 1 < bins.bin_count(f); ++b) {
+        EXPECT_EQ(code <= b, s.x(r, f) <= bins.upper_edge(f, b))
+            << "row " << r << " feature " << f << " bin " << b;
+      }
+    }
+  }
+}
+
+TEST_P(FeatureBinsProperty, MenuFeaturesGetOneBinPerDistinctValue) {
+  const auto x = make_menu_matrix(300, 4, 7, GetParam());
+  const auto bins = FeatureBins::build(x, 255);
+  for (std::size_t f = 0; f < bins.cols(); ++f) {
+    std::set<double> distinct;
+    for (std::size_t r = 0; r < x.rows(); ++r) distinct.insert(x(r, f));
+    EXPECT_EQ(bins.bin_count(f), static_cast<int>(distinct.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeatureBinsProperty,
+                         ::testing::Values(11u, 22u, 33u));
+
+TEST(FeatureBinsTest, ConstantColumnGetsSingleBin) {
+  linalg::Matrix x(50, 2);
+  Rng rng(5);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = 4.25;
+    x(i, 1) = rng.uniform(0.0, 1.0);
+  }
+  const auto bins = FeatureBins::build(x, 16);
+  EXPECT_EQ(bins.bin_count(0), 1);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(bins.code(i, 0), 0);
+}
+
+TEST(FeatureBinsTest, ManyDistinctValuesRespectMaxBins) {
+  const auto s = test::make_nonlinear(2000, 0.0, 17);
+  const auto bins = FeatureBins::build(s.x, 24);
+  for (std::size_t f = 0; f < bins.cols(); ++f) {
+    EXPECT_LE(bins.bin_count(f), 24);
+    EXPECT_GE(bins.bin_count(f), 20);  // quantile bins should be used
+  }
+}
+
+// ---------- histogram training accuracy ----------
+
+TreeOptions hist_options(int max_bins = 64) {
+  TreeOptions opt;
+  opt.split_mode = SplitMode::kHistogram;
+  opt.max_bins = max_bins;
+  return opt;
+}
+
+class HistogramAccuracy : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramAccuracy, TreeMatchesExactOnMenuFeatures) {
+  // With <= max_bins distinct values per feature the candidate-threshold
+  // set is identical to exact mode's, so the fitted trees agree.
+  const auto x = make_menu_matrix(400, 3, 9, GetParam());
+  std::vector<double> y(x.rows());
+  Rng rng(GetParam() ^ 0x9e);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    y[i] = 2.0 * x(i, 0) - x(i, 1) * x(i, 2) + rng.normal(0.0, 0.05);
+  }
+  TreeOptions exact_opt;
+  exact_opt.max_depth = 6;
+  DecisionTreeRegressor exact(exact_opt);
+  exact.fit(x, y);
+  TreeOptions h = hist_options(255);
+  h.max_depth = 6;
+  DecisionTreeRegressor hist(h);
+  hist.fit(x, y);
+  const auto pe = exact.predict(x);
+  const auto ph = hist.predict(x);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_NEAR(pe[i], ph[i], 1e-9) << "row " << i;
+  }
+}
+
+TEST_P(HistogramAccuracy, GbHistogramWithinToleranceOfExact) {
+  const auto train = test::make_nonlinear(1200, 0.1, GetParam());
+  const auto test_set = test::make_nonlinear(400, 0.1, GetParam() ^ 0xf00d);
+  TreeOptions exact_opt;
+  exact_opt.max_depth = 4;
+  GradientBoostingRegressor gb_exact(120, 0.1, exact_opt);
+  gb_exact.fit(train.x, train.y);
+  TreeOptions h = hist_options(64);
+  h.max_depth = 4;
+  GradientBoostingRegressor gb_hist(120, 0.1, h);
+  gb_hist.fit(train.x, train.y);
+
+  const auto se = ml::score_all(test_set.y, gb_exact.predict(test_set.x));
+  const auto sh = ml::score_all(test_set.y, gb_hist.predict(test_set.x));
+  EXPECT_GT(se.r2, 0.9);  // sanity: the reference itself fits well
+  EXPECT_GT(sh.r2, se.r2 - 0.03);
+  EXPECT_LT(sh.mae, se.mae * 1.35 + 1e-3);
+}
+
+TEST_P(HistogramAccuracy, RfHistogramWithinToleranceOfExact) {
+  const auto train = test::make_nonlinear(900, 0.1, GetParam());
+  const auto test_set = test::make_nonlinear(300, 0.1, GetParam() ^ 0xbeef);
+  TreeOptions exact_opt;
+  exact_opt.max_depth = 8;
+  RandomForestRegressor rf_exact(40, exact_opt, true, 9);
+  rf_exact.fit(train.x, train.y);
+  TreeOptions h = hist_options(64);
+  h.max_depth = 8;
+  RandomForestRegressor rf_hist(40, h, true, 9);
+  rf_hist.fit(train.x, train.y);
+
+  const auto se = ml::score_all(test_set.y, rf_exact.predict(test_set.x));
+  const auto sh = ml::score_all(test_set.y, rf_hist.predict(test_set.x));
+  EXPECT_GT(se.r2, 0.85);
+  EXPECT_GT(sh.r2, se.r2 - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramAccuracy,
+                         ::testing::Values(101u, 202u, 303u));
+
+// ---------- compiled inference bit-identity ----------
+
+struct EngineCase {
+  std::uint64_t seed;
+  SplitMode mode;
+};
+
+class CompiledBitIdentity : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(CompiledBitIdentity, GbPredictIsBitIdenticalToWalk) {
+  const auto p = GetParam();
+  const auto train = test::make_nonlinear(500, 0.1, p.seed);
+  const auto query = test::make_nonlinear(700, 0.1, p.seed ^ 0x51);
+  TreeOptions opt;
+  opt.max_depth = 5;
+  opt.split_mode = p.mode;
+  opt.max_bins = 48;
+  GradientBoostingRegressor gb(60, 0.1, opt, 0.8, p.seed);
+  gb.fit(train.x, train.y);
+
+  const auto compiled = gb.predict(query.x);
+  const auto walk = gb.predict_walk(query.x);
+  ASSERT_EQ(compiled.size(), walk.size());
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    EXPECT_EQ(compiled[i], walk[i]) << "row " << i;  // bitwise, not NEAR
+  }
+  // Single-row entry point agrees with the batch kernel.
+  for (std::size_t i = 0; i < query.x.rows(); i += 97) {
+    EXPECT_EQ(gb.compiled().predict_row(query.x.row_ptr(i)), compiled[i]);
+  }
+}
+
+TEST_P(CompiledBitIdentity, RfPredictIsBitIdenticalToWalk) {
+  const auto p = GetParam();
+  const auto train = test::make_nonlinear(400, 0.1, p.seed);
+  const auto query = test::make_nonlinear(600, 0.1, p.seed ^ 0x52);
+  TreeOptions opt;
+  opt.max_depth = 7;
+  opt.max_features = 2;
+  opt.split_mode = p.mode;
+  opt.max_bins = 48;
+  RandomForestRegressor rf(30, opt, true, p.seed);
+  rf.fit(train.x, train.y);
+
+  const auto compiled = rf.predict(query.x);
+  const auto walk = rf.predict_walk(query.x);
+  ASSERT_EQ(compiled.size(), walk.size());
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    EXPECT_EQ(compiled[i], walk[i]) << "row " << i;
+  }
+  for (std::size_t i = 0; i < query.x.rows(); i += 89) {
+    EXPECT_EQ(rf.compiled().predict_row(query.x.row_ptr(i)), compiled[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CompiledBitIdentity,
+    ::testing::Values(EngineCase{7u, SplitMode::kExact},
+                      EngineCase{7u, SplitMode::kHistogram},
+                      EngineCase{19u, SplitMode::kExact},
+                      EngineCase{19u, SplitMode::kHistogram},
+                      EngineCase{31u, SplitMode::kExact}));
+
+TEST(CompiledEnsembleTest, SerializationRoundTripStaysBitIdentical) {
+  // The serving registry loads via from_parts; the reloaded model must
+  // compile eagerly and predict exactly like the original.
+  const auto train = test::make_nonlinear(300, 0.1, 77);
+  const auto query = test::make_nonlinear(300, 0.1, 78);
+  GradientBoostingRegressor gb(40, 0.1, hist_options(32));
+  gb.fit(train.x, train.y);
+  const auto loaded = ml::deserialize_gb(ml::serialize_gb(gb));
+  const auto a = gb.predict(query.x);
+  const auto b = loaded.predict(query.x);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  RandomForestRegressor rf(20, {});
+  rf.fit(train.x, train.y);
+  const auto rf_loaded = ml::deserialize_rf(ml::serialize_rf(rf));
+  const auto ra = rf.predict(query.x);
+  const auto rb = rf_loaded.predict(query.x);
+  for (std::size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i], rb[i]);
+}
+
+TEST(CompiledEnsembleTest, BlockBoundarySizesAllAgree) {
+  // Exercise batch sizes straddling the internal row-block length.
+  const auto train = test::make_nonlinear(300, 0.1, 55);
+  GradientBoostingRegressor gb(25, 0.1, {});
+  gb.fit(train.x, train.y);
+  for (const std::size_t n : {1u, 255u, 256u, 257u, 513u}) {
+    const auto query = test::make_nonlinear(n, 0.1, 91);
+    const auto compiled = gb.predict(query.x);
+    const auto walk = gb.predict_walk(query.x);
+    ASSERT_EQ(compiled.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(compiled[i], walk[i]);
+  }
+}
+
+TEST(CompiledEnsembleTest, CountsMatchSourceModel) {
+  const auto train = test::make_nonlinear(200, 0.1, 66);
+  GradientBoostingRegressor gb(15, 0.1, {});
+  gb.fit(train.x, train.y);
+  std::size_t nodes = 0;
+  for (const auto& t : gb.stages()) nodes += t.node_count();
+  EXPECT_EQ(gb.compiled().tree_count(), gb.stage_count());
+  EXPECT_EQ(gb.compiled().node_count(), nodes);
+}
+
+// ---------- parallel search determinism ----------
+
+TEST(ParallelSearchTest, GridSearchIsDeterministicAcrossRuns) {
+  const auto s = test::make_nonlinear(240, 0.1, 13);
+  GradientBoostingRegressor proto(20, 0.1, {});
+  ml::ParamGrid grid;
+  grid["max_depth"] = {2.0, 3.0, 4.0};
+  grid["learning_rate"] = {0.05, 0.1};
+  ml::SearchOptions opt;
+  opt.cv_folds = 3;
+  opt.refit = false;
+  const auto a = ml::grid_search(proto, grid, s.x, s.y, opt);
+  const auto b = ml::grid_search(proto, grid, s.x, s.y, opt);
+  ASSERT_EQ(a.trials.size(), 6u);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].value, b.trials[i].value);
+    EXPECT_EQ(a.trials[i].params, b.trials[i].params);
+  }
+  EXPECT_EQ(a.best_params, b.best_params);
+  // The winner is the best-valued trial, earliest on ties.
+  double best = a.trials[0].value;
+  for (const auto& t : a.trials) best = std::max(best, t.value);
+  EXPECT_EQ(ml::scoring_value(a.best_cv_scores, opt.scoring), best);
+}
+
+}  // namespace
+}  // namespace ccpred
