@@ -1,0 +1,216 @@
+/// Kernel-model engine bench: the fast GP path (cached squared distances,
+/// blocked Cholesky, batched variances, incremental refits) against the
+/// scalar reference engine, on the paper's Aurora campaign.
+///
+/// Three timed sections:
+///   - GP fit with the (gamma, noise) grid search (Fig. 3 hyper-parameter
+///     optimization), fast vs reference engine
+///   - pool-sized batch predict_with_std, fast vs reference
+///   - one uncertainty-sampling active-learning arm (Fig. 3 US config),
+///     fast engine + incremental refits vs reference engine + from-scratch
+///     refits, compared per round
+///
+/// Gates (exit nonzero on failure):
+///   - GP grid fit: fast >= 3x faster than reference
+///   - batch predict_with_std: fast >= 4x faster than reference
+///   - per-AL-round: fast >= 2x faster than reference
+///   - fast and reference predictions agree to 1e-9 relative
+///
+/// Emits the measurements to BENCH_kernel_engine.json.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ccpred/active/loop.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/active/uncertainty_sampling.hpp"
+#include "ccpred/common/stopwatch.hpp"
+#include "ccpred/common/table.hpp"
+#include "ccpred/common/thread_pool.hpp"
+#include "ccpred/core/gaussian_process.hpp"
+
+namespace {
+
+/// Best-of-`reps` wall time for one call of `fn`.
+template <typename Fn>
+double best_time_s(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    ccpred::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.elapsed_s());
+  }
+  return best;
+}
+
+double max_rel_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::abs(a[i]), std::abs(b[i]), 1e-12});
+    worst = std::max(worst, std::abs(a[i] - b[i]) / scale);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccpred;
+
+  const bool fast_mode = bench::fast_mode();
+  const auto data = bench::load_paper_data("aurora");
+  const std::size_t threads = ThreadPool::global().size();
+
+  // The fit/predict sections use a fixed-size campaign in both modes: the
+  // engine's algorithmic advantage is an asymptotic property, so shrinking
+  // the matrices (as fast mode does for the AL section) would just measure
+  // fixed overheads. ~1s of reference factorization is still smoke-sized.
+  data::GeneratorOptions gen_opt;
+  gen_opt.seed = 2025;
+  gen_opt.target_total = 1800;
+  const auto campaign = data::generate_dataset(
+      data.simulator, data::problems_for(data.simulator.machine().name),
+      gen_opt);
+  const std::size_t n_fit = std::min<std::size_t>(1100, campaign.size());
+  std::vector<std::size_t> fit_rows(n_fit);
+  std::iota(fit_rows.begin(), fit_rows.end(), std::size_t{0});
+  const auto fit_set = campaign.select(fit_rows);
+  const linalg::Matrix x_fit = fit_set.features();
+  const std::vector<double> y_fit = fit_set.targets();
+
+  // Query batch: the whole campaign, the advisor's sweep shape.
+  const linalg::Matrix x_pool = campaign.features();
+
+  std::printf(
+      "== Kernel-model engine (aurora campaign, n_fit=%zu, pool=%zu, "
+      "%zu threads%s) ==\n\n",
+      n_fit, x_pool.rows(), threads, fast_mode ? ", fast mode" : "");
+
+  // ---- GP fit with the (gamma, noise) grid (Fig. 3 US model) ----
+  ml::GaussianProcessRegression gp_fast(0.5, 1e-4, true, true);
+  ml::GaussianProcessRegression gp_ref(0.5, 1e-4, true, true);
+  gp_ref.set_params({{"engine", 1.0}});
+
+  const int fit_reps = fast_mode ? 1 : 2;
+  const double fit_fast_s =
+      best_time_s(fit_reps, [&] { gp_fast.fit(x_fit, y_fit); });
+  const double fit_ref_s =
+      best_time_s(fit_reps, [&] { gp_ref.fit(x_fit, y_fit); });
+  const double fit_speedup = fit_ref_s / fit_fast_s;
+
+  // ---- pool-sized batch predict_with_std ----
+  const int predict_reps = fast_mode ? 5 : 3;
+  std::vector<double> mean_fast, std_fast, mean_ref, std_ref;
+  const double predict_fast_s = best_time_s(
+      predict_reps, [&] { gp_fast.predict_with_std(x_pool, mean_fast, std_fast); });
+  const double predict_ref_s = best_time_s(
+      predict_reps, [&] { gp_ref.predict_with_std(x_pool, mean_ref, std_ref); });
+  const double predict_speedup = predict_ref_s / predict_fast_s;
+
+  const double mean_rel = max_rel_diff(mean_fast, mean_ref);
+  double std_rel = 0.0;  // variances on the mean's scale (cancellation)
+  for (std::size_t i = 0; i < std_fast.size(); ++i) {
+    const double scale = std::max(std::abs(mean_fast[i]), 1e-12);
+    std_rel = std::max(std_rel, std::abs(std_fast[i] - std_ref[i]) / scale);
+  }
+
+  // ---- active learning, Fig. 3 US arm ----
+  al::ActiveLearningOptions al_ref_opt;
+  al_ref_opt.n_initial = 50;
+  al_ref_opt.query_size = 50;
+  al_ref_opt.n_queries = fast_mode ? 6 : 10;
+  al::ActiveLearningOptions al_fast_opt = al_ref_opt;
+  al_fast_opt.incremental_refit = true;
+  al_fast_opt.refit_cadence = 5;
+
+  ml::GaussianProcessRegression al_proto_fast(0.5, 1e-4, true, true);
+  ml::GaussianProcessRegression al_proto_ref(0.5, 1e-4, true, true);
+  al_proto_ref.set_params({{"engine", 1.0}});
+
+  al::UncertaintySampling us_fast, us_ref;
+  std::size_t al_rounds = 0;
+  Stopwatch al_fast_watch;
+  const auto al_fast_result = al::run_active_learning(
+      data.split.train, data.split.test, al_proto_fast, us_fast, al_fast_opt);
+  const double al_fast_s = al_fast_watch.elapsed_s();
+  Stopwatch al_ref_watch;
+  const auto al_ref_result = al::run_active_learning(
+      data.split.train, data.split.test, al_proto_ref, us_ref, al_ref_opt);
+  const double al_ref_s = al_ref_watch.elapsed_s();
+  al_rounds = al_fast_result.rounds.size();
+  const double al_fast_round_s = al_fast_s / static_cast<double>(al_rounds);
+  const double al_ref_round_s =
+      al_ref_s / static_cast<double>(al_ref_result.rounds.size());
+  const double al_speedup = al_ref_round_s / al_fast_round_s;
+  const double al_r2_gap =
+      std::abs(al_fast_result.rounds.back().train_scores.r2 -
+               al_ref_result.rounds.back().train_scores.r2);
+
+  TextTable table({"section", "path", "seconds", "speedup"},
+                  "Kernel-model engine vs reference");
+  table.add_row({"GP grid fit", "reference", TextTable::cell(fit_ref_s, 3),
+                 "1.0x"});
+  table.add_row({"GP grid fit", "fast", TextTable::cell(fit_fast_s, 3),
+                 TextTable::cell(fit_speedup, 1) + "x"});
+  table.add_row({"predict_with_std", "reference",
+                 TextTable::cell(predict_ref_s, 4), "1.0x"});
+  table.add_row({"predict_with_std", "fast",
+                 TextTable::cell(predict_fast_s, 4),
+                 TextTable::cell(predict_speedup, 1) + "x"});
+  table.add_row({"AL round (US)", "reference",
+                 TextTable::cell(al_ref_round_s, 3), "1.0x"});
+  table.add_row({"AL round (US)", "fast+incremental",
+                 TextTable::cell(al_fast_round_s, 3),
+                 TextTable::cell(al_speedup, 1) + "x"});
+  table.print();
+
+  const bool agree_ok = mean_rel <= 1e-9 && std_rel <= 1e-9;
+  const bool fit_ok = fit_speedup >= 3.0;
+  const bool predict_ok = predict_speedup >= 4.0;
+  const bool al_ok = al_speedup >= 2.0;
+  std::printf(
+      "\nfast vs reference agreement: mean %.2e, std %.2e (target <= 1e-9): "
+      "%s\n"
+      "GP grid-fit speedup %.1fx (target >= 3x): %s\n"
+      "batch predict_with_std speedup %.1fx (target >= 4x): %s\n"
+      "per-AL-round speedup %.1fx (target >= 2x): %s\n"
+      "final-round train R^2 gap (incremental vs scratch): %.4f\n",
+      mean_rel, std_rel, agree_ok ? "PASS" : "FAIL", fit_speedup,
+      fit_ok ? "PASS" : "FAIL", predict_speedup, predict_ok ? "PASS" : "FAIL",
+      al_speedup, al_ok ? "PASS" : "FAIL", al_r2_gap);
+
+  const bool pass = agree_ok && fit_ok && predict_ok && al_ok;
+  std::FILE* json = std::fopen("BENCH_kernel_engine.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"machine\": \"aurora\",\n"
+        "  \"fast_mode\": %s,\n"
+        "  \"threads\": %zu,\n"
+        "  \"fit\": {\"n\": %zu, \"reference_s\": %.6f, \"fast_s\": %.6f, "
+        "\"speedup\": %.3f},\n"
+        "  \"predict_with_std\": {\"batch\": %zu, \"reference_s\": %.6f, "
+        "\"fast_s\": %.6f, \"speedup\": %.3f, \"mean_rel_diff\": %.3e, "
+        "\"std_rel_diff\": %.3e},\n"
+        "  \"active_learning\": {\"rounds\": %zu, \"reference_round_s\": "
+        "%.6f, \"fast_round_s\": %.6f, \"speedup\": %.3f, "
+        "\"final_r2_gap\": %.6f},\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        fast_mode ? "true" : "false", threads, n_fit, fit_ref_s, fit_fast_s,
+        fit_speedup, x_pool.rows(), predict_ref_s, predict_fast_s,
+        predict_speedup, mean_rel, std_rel, al_rounds, al_ref_round_s,
+        al_fast_round_s, al_speedup, al_r2_gap, pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_kernel_engine.json\n");
+  }
+
+  return pass ? 0 : 1;
+}

@@ -26,9 +26,18 @@ GaussianProcessRegression::GaussianProcessRegression(double gamma,
 
 void GaussianProcessRegression::fit_with_gamma(double gamma) {
   kernel_.gamma = gamma;
-  linalg::Matrix k = kernel_.gram_symmetric(x_train_);
+  linalg::Matrix k = (engine_ == Engine::kFast && !dist2_.empty())
+                         ? rbf_from_squared_distances_symmetric(dist2_, gamma)
+                         : kernel_.gram_symmetric(x_train_);
+  factor_and_score(std::move(k));
+}
+
+void GaussianProcessRegression::factor_and_score(linalg::Matrix k) {
   k.add_diagonal(noise_ + 1e-10);
-  chol_ = std::make_unique<linalg::Cholesky>(k);
+  chol_ = std::make_unique<linalg::Cholesky>(
+      std::move(k), engine_ == Engine::kFast
+                        ? linalg::Cholesky::Method::kBlocked
+                        : linalg::Cholesky::Method::kReference);
   alpha_ = chol_->solve(yz_);
   // log p(y | X) = -1/2 y^T K^{-1} y - 1/2 log|K| - n/2 log(2 pi)
   const double n = static_cast<double>(yz_.size());
@@ -66,6 +75,12 @@ void GaussianProcessRegression::fit(const linalg::Matrix& x,
     yz_ = y_scaler_.fit_transform(y);
   }
 
+  // The fast engine computes the pairwise squared distances once: every
+  // grid candidate's Gram matrix is then an elementwise exp(-gamma * D)
+  // (noise only touches the diagonal) instead of a full recomputation.
+  dist2_ = engine_ == Engine::kFast ? squared_distances(x_train_)
+                                    : linalg::Matrix();
+
   if (!optimize_) {
     fit_with_gamma(kernel_.gamma);
     return;
@@ -78,19 +93,48 @@ void GaussianProcessRegression::fit(const linalg::Matrix& x,
   double best_gamma = kernel_.gamma;
   double best_noise = noise_;
   double best_lml = -std::numeric_limits<double>::infinity();
-  for (double nz : noise_candidates) {
-    noise_ = nz;
+  if (engine_ == Engine::kFast) {
+    // Gamma-major order: one exp map serves all noise levels of a gamma.
+    // The winning candidate's factorization is kept, so the final fit is a
+    // restore instead of a 16th O(n^3) factorization (the factorization is
+    // deterministic, so this is bitwise identical to recomputing it).
+    std::unique_ptr<linalg::Cholesky> best_chol;
+    std::vector<double> best_alpha;
     for (double g : gamma_candidates) {
-      fit_with_gamma(g);
-      if (lml_ > best_lml) {
-        best_lml = lml_;
-        best_gamma = g;
-        best_noise = nz;
+      const linalg::Matrix kg = rbf_from_squared_distances_symmetric(dist2_, g);
+      kernel_.gamma = g;
+      for (double nz : noise_candidates) {
+        noise_ = nz;
+        factor_and_score(kg);
+        if (lml_ > best_lml) {
+          best_lml = lml_;
+          best_gamma = g;
+          best_noise = nz;
+          best_chol = std::move(chol_);
+          best_alpha = std::move(alpha_);
+        }
       }
     }
+    kernel_.gamma = best_gamma;
+    noise_ = best_noise;
+    chol_ = std::move(best_chol);
+    alpha_ = std::move(best_alpha);
+    lml_ = best_lml;
+  } else {
+    for (double nz : noise_candidates) {
+      noise_ = nz;
+      for (double g : gamma_candidates) {
+        fit_with_gamma(g);
+        if (lml_ > best_lml) {
+          best_lml = lml_;
+          best_gamma = g;
+          best_noise = nz;
+        }
+      }
+    }
+    noise_ = best_noise;
+    fit_with_gamma(best_gamma);
   }
-  noise_ = best_noise;
-  fit_with_gamma(best_gamma);
 }
 
 std::vector<double> GaussianProcessRegression::predict(
@@ -111,16 +155,34 @@ void GaussianProcessRegression::predict_with_std(const linalg::Matrix& x,
                                                  std::vector<double>& std) const {
   CCPRED_CHECK_MSG(is_fitted(), "GP predict_with_std before fit");
   const linalg::Matrix z = scaler_.transform(maybe_log(x));
-  const linalg::Matrix ks = kernel_.gram(z, x_train_);
-  mean = linalg::gemv(ks, alpha_);
-  std.assign(x.rows(), 0.0);
+  const std::size_t m = x.rows();
+  std.assign(m, 0.0);
   // var(x*) = k(x*,x*) - k*^T K^{-1} k*; k(x,x) = 1 for RBF.
-  for (std::size_t i = 0; i < x.rows(); ++i) {
-    const auto v = chol_->solve_lower(ks.row(i));
-    double quad = 0.0;
-    for (double w : v) quad += w * w;
-    const double var = std::max(0.0, 1.0 + noise_ - quad);
-    std[i] = std::sqrt(var) * y_scaler_.stddev();
+  if (engine_ == Engine::kFast) {
+    // All variances from ONE multi-RHS triangular solve of K*^T plus
+    // column squared-norms, instead of a serial per-row solve_lower loop.
+    const linalg::Matrix ks_t = kernel_.gram(x_train_, z);  // n x m
+    mean = linalg::gemv_transposed(ks_t, alpha_);
+    const linalg::Matrix v = chol_->solve_lower(ks_t);
+    for (std::size_t r = 0; r < v.rows(); ++r) {
+      const double* vr = v.row_ptr(r);
+      for (std::size_t j = 0; j < m; ++j) std[j] += vr[j] * vr[j];
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      std[j] = std::max(0.0, 1.0 + noise_ - std[j]);
+    }
+  } else {
+    const linalg::Matrix ks = kernel_.gram(z, x_train_);
+    mean = linalg::gemv(ks, alpha_);
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto v = chol_->solve_lower(ks.row(i));
+      double quad = 0.0;
+      for (double w : v) quad += w * w;
+      std[i] = std::max(0.0, 1.0 + noise_ - quad);
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    std[i] = std::sqrt(std[i]) * y_scaler_.stddev();
     mean[i] = y_scaler_.inverse_one(mean[i]);
     if (log_target_) {
       // Delta method back to seconds: y = exp(f), std_y ~ exp(mu) std_f.
@@ -130,9 +192,69 @@ void GaussianProcessRegression::predict_with_std(const linalg::Matrix& x,
   }
 }
 
+void GaussianProcessRegression::update(const linalg::Matrix& x_new,
+                                       const std::vector<double>& y_new) {
+  CCPRED_CHECK_MSG(is_fitted(), "GaussianProcessRegression::update before fit");
+  CCPRED_CHECK_MSG(x_new.rows() == y_new.size(), "X/y row mismatch");
+  CCPRED_CHECK_MSG(x_new.rows() > 0, "update needs at least one new row");
+  // Frozen scalers: the standardization learned at the last full fit keeps
+  // the cached distances and factor valid. The drift it ignores is absorbed
+  // by the active-learning loop's cadence of full refits.
+  const linalg::Matrix z = scaler_.transform(maybe_log(x_new));
+  std::vector<double> yz_new;
+  if (log_target_) {
+    std::vector<double> logged(y_new.size());
+    for (std::size_t i = 0; i < y_new.size(); ++i) {
+      CCPRED_CHECK_MSG(y_new[i] > 0.0, "log_target GP needs positive targets");
+      logged[i] = std::log(y_new[i]);
+    }
+    yz_new = y_scaler_.transform(logged);
+  } else {
+    yz_new = y_scaler_.transform(y_new);
+  }
+
+  const linalg::Matrix cross_d = squared_distances(z, x_train_);
+  const linalg::Matrix self_d = squared_distances(z);
+  const linalg::Matrix k21 = rbf_from_squared_distances(cross_d, kernel_.gamma);
+  linalg::Matrix k22 =
+      rbf_from_squared_distances_symmetric(self_d, kernel_.gamma);
+  k22.add_diagonal(noise_ + 1e-10);
+  // O(n^2 q) rank-q append instead of an O(n^3) refactorization.
+  chol_->extend(k21, k22);
+
+  if (!dist2_.empty()) {
+    // Keep the cached distance matrix in sync with the grown factor.
+    const std::size_t n = dist2_.rows();
+    const std::size_t q = z.rows();
+    linalg::Matrix d2(n + q, n + q);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* src = dist2_.row_ptr(i);
+      std::copy(src, src + n, d2.row_ptr(i));
+    }
+    for (std::size_t r = 0; r < q; ++r) {
+      const double* cr = cross_d.row_ptr(r);
+      double* dr = d2.row_ptr(n + r);
+      for (std::size_t j = 0; j < n; ++j) {
+        dr[j] = cr[j];
+        d2(j, n + r) = cr[j];
+      }
+      for (std::size_t c = 0; c < q; ++c) dr[n + c] = self_d(r, c);
+    }
+    dist2_ = std::move(d2);
+  }
+  x_train_.append_rows(z);
+  yz_.insert(yz_.end(), yz_new.begin(), yz_new.end());
+  alpha_ = chol_->solve(yz_);
+  const double n_total = static_cast<double>(yz_.size());
+  lml_ = -0.5 * linalg::dot(yz_, alpha_) - 0.5 * chol_->log_determinant() -
+         0.5 * n_total * std::log(2.0 * std::numbers::pi);
+}
+
 std::unique_ptr<Regressor> GaussianProcessRegression::clone() const {
-  return std::make_unique<GaussianProcessRegression>(
+  auto copy = std::make_unique<GaussianProcessRegression>(
       kernel_.gamma, noise_, optimize_, log_target_, log_features_);
+  copy->engine_ = engine_;
+  return copy;
 }
 
 const std::string& GaussianProcessRegression::name() const {
@@ -154,6 +276,10 @@ void GaussianProcessRegression::set_params(const ParamMap& params) {
       log_target_ = value != 0.0;
     } else if (key == "log_features") {
       log_features_ = value != 0.0;
+    } else if (key == "engine") {
+      CCPRED_CHECK_MSG(value == 0.0 || value == 1.0,
+                       "engine must be 0 (fast) or 1 (reference)");
+      engine_ = value == 0.0 ? Engine::kFast : Engine::kReference;
     } else {
       throw Error("GaussianProcessRegression: unknown parameter '" + key +
                   "'");

@@ -12,6 +12,7 @@
 #include "ccpred/core/kernels.hpp"
 #include "ccpred/core/regressor.hpp"
 #include "ccpred/data/scaler.hpp"
+#include "ccpred/linalg/cholesky.hpp"
 
 namespace ccpred::ml {
 
@@ -30,6 +31,11 @@ class KernelRidgeRegression : public Regressor {
 
   const Kernel& kernel() const { return kernel_; }
 
+  /// The Cholesky factor of (K + alpha I) kept from the last fit — repeated
+  /// set_params + refit during grid search rebuilds the Gram matrix from
+  /// the cached squared-distance matrix instead of recomputing it.
+  const linalg::Cholesky* factorization() const { return chol_.get(); }
+
  private:
   Kernel kernel_;
   double alpha_;
@@ -37,7 +43,9 @@ class KernelRidgeRegression : public Regressor {
   data::StandardScaler scaler_;
   data::TargetScaler y_scaler_;
   linalg::Matrix x_train_;      // standardized training features
+  linalg::Matrix dist2_;        // cached squared distances (RBF refits)
   std::vector<double> dual_;    // dual coefficients
+  std::unique_ptr<linalg::Cholesky> chol_;  // factor of K + alpha I
 };
 
 }  // namespace ccpred::ml

@@ -48,15 +48,27 @@ linalg::Matrix Kernel::gram(const linalg::Matrix& a,
 }
 
 linalg::Matrix Kernel::gram_symmetric(const linalg::Matrix& a) const {
-  linalg::Matrix k(a.rows(), a.rows());
+  const std::size_t n = a.rows();
+  linalg::Matrix k(n, n);
   const std::size_t d = a.cols();
-  parallel_for(0, a.rows(), [&](std::size_t i) {
-    const double* ai = a.row_ptr(i);
-    for (std::size_t j = i; j < a.rows(); ++j) {
-      k(i, j) = (*this)(ai, a.row_ptr(j), d);
+  // Upper-triangle row i holds n - i entries, so a flat split over rows
+  // gives the worker owning row 0 n entries and the one owning row n-1 a
+  // single one. Pairing row p with its mirror n-1-p makes every index
+  // carry ~n+1 entries, so the static chunking stays balanced.
+  const std::size_t half = (n + 1) / 2;
+  parallel_for(0, half, [&](std::size_t p) {
+    const double* ap = a.row_ptr(p);
+    for (std::size_t j = p; j < n; ++j) {
+      k(p, j) = (*this)(ap, a.row_ptr(j), d);
+    }
+    const std::size_t q = n - 1 - p;
+    if (q == p) return;
+    const double* aq = a.row_ptr(q);
+    for (std::size_t j = q; j < n; ++j) {
+      k(q, j) = (*this)(aq, a.row_ptr(j), d);
     }
   });
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) k(i, j) = k(j, i);
   }
   return k;
@@ -72,6 +84,93 @@ std::string Kernel::name() const {
       return "linear";
   }
   return "unknown";
+}
+
+namespace {
+
+double row_sq_dist(const double* x, const double* z, std::size_t d) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    const double diff = x[i] - z[i];
+    s += diff * diff;
+  }
+  return s;
+}
+
+}  // namespace
+
+linalg::Matrix squared_distances(const linalg::Matrix& a) {
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  linalg::Matrix k(n, n);
+  // Mirror-paired rows, same balancing as Kernel::gram_symmetric.
+  const std::size_t half = (n + 1) / 2;
+  parallel_for(0, half, [&](std::size_t p) {
+    const double* ap = a.row_ptr(p);
+    for (std::size_t j = p; j < n; ++j) {
+      k(p, j) = row_sq_dist(ap, a.row_ptr(j), d);
+    }
+    const std::size_t q = n - 1 - p;
+    if (q == p) return;
+    const double* aq = a.row_ptr(q);
+    for (std::size_t j = q; j < n; ++j) {
+      k(q, j) = row_sq_dist(aq, a.row_ptr(j), d);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) k(i, j) = k(j, i);
+  }
+  return k;
+}
+
+linalg::Matrix squared_distances(const linalg::Matrix& a,
+                                 const linalg::Matrix& b) {
+  CCPRED_CHECK_MSG(a.cols() == b.cols(), "kernel feature dims differ");
+  const std::size_t d = a.cols();
+  linalg::Matrix k(a.rows(), b.rows());
+  parallel_for(0, a.rows(), [&](std::size_t i) {
+    const double* ai = a.row_ptr(i);
+    double* ki = k.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      ki[j] = row_sq_dist(ai, b.row_ptr(j), d);
+    }
+  });
+  return k;
+}
+
+linalg::Matrix rbf_from_squared_distances(const linalg::Matrix& d2,
+                                          double gamma) {
+  linalg::Matrix k(d2.rows(), d2.cols());
+  const double* src = d2.data();
+  double* dst = k.data();
+  const std::size_t total = d2.size();
+  for (std::size_t i = 0; i < total; ++i) dst[i] = std::exp(-gamma * src[i]);
+  return k;
+}
+
+linalg::Matrix rbf_from_squared_distances_symmetric(const linalg::Matrix& d2,
+                                                    double gamma) {
+  CCPRED_CHECK_MSG(d2.rows() == d2.cols(),
+                   "symmetric RBF map needs a square distance matrix");
+  const std::size_t n = d2.rows();
+  linalg::Matrix k(n, n);
+  // exp() only the upper triangle and mirror: half the transcendental
+  // cost of the dense map. Mirror-paired rows keep the split balanced.
+  const std::size_t half = (n + 1) / 2;
+  parallel_for(0, half, [&](std::size_t p) {
+    const double* dp = d2.row_ptr(p);
+    double* kp = k.row_ptr(p);
+    for (std::size_t j = p; j < n; ++j) kp[j] = std::exp(-gamma * dp[j]);
+    const std::size_t q = n - 1 - p;
+    if (q == p) return;
+    const double* dq = d2.row_ptr(q);
+    double* kq = k.row_ptr(q);
+    for (std::size_t j = q; j < n; ++j) kq[j] = std::exp(-gamma * dq[j]);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) k(i, j) = k(j, i);
+  }
+  return k;
 }
 
 KernelType kernel_type_from_name(const std::string& name) {

@@ -41,4 +41,25 @@ struct Kernel {
 /// Parses "rbf" / "poly" / "linear".
 KernelType kernel_type_from_name(const std::string& name);
 
+/// Pairwise squared Euclidean distances ||a_i - a_j||^2 (symmetric,
+/// zero diagonal). Entries use the same summation order as the RBF kernel,
+/// so exp(-gamma * d) reproduces Kernel::gram_symmetric bit for bit — the
+/// kernel-model engine computes this once per fit and derives the Gram
+/// matrix of every (gamma, noise) grid candidate from it elementwise.
+linalg::Matrix squared_distances(const linalg::Matrix& a);
+
+/// Rectangular squared distances ||a_i - b_j||^2 (rows of a vs rows of b).
+linalg::Matrix squared_distances(const linalg::Matrix& a,
+                                 const linalg::Matrix& b);
+
+/// K = exp(-gamma * d2) elementwise: the RBF Gram matrix from a cached
+/// squared-distance matrix.
+linalg::Matrix rbf_from_squared_distances(const linalg::Matrix& d2,
+                                          double gamma);
+
+/// Same map for a symmetric d2 (pairwise distances of one row set):
+/// exponentiates one triangle and mirrors, halving the exp() cost.
+linalg::Matrix rbf_from_squared_distances_symmetric(const linalg::Matrix& d2,
+                                                    double gamma);
+
 }  // namespace ccpred::ml

@@ -68,6 +68,19 @@ Matrix Matrix::select_rows(const std::vector<std::size_t>& indices) const {
   return out;
 }
 
+void Matrix::append_rows(const Matrix& other) {
+  if (other.rows_ == 0) return;
+  if (rows_ == 0) {
+    *this = other;
+    return;
+  }
+  CCPRED_CHECK_MSG(other.cols_ == cols_,
+                   "append_rows column mismatch: " << cols_ << " vs "
+                                                   << other.cols_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
 Matrix& Matrix::operator+=(const Matrix& other) {
   CCPRED_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];

@@ -70,6 +70,12 @@ class Matrix {
   /// Extracts the sub-matrix of the given rows (in order).
   Matrix select_rows(const std::vector<std::size_t>& indices) const;
 
+  /// Appends the rows of `other` below this matrix (column counts must
+  /// match; appending to an empty matrix adopts other's width). Row-major
+  /// storage makes this a single contiguous insert — used by the
+  /// incremental GP update to grow the training set in place.
+  void append_rows(const Matrix& other);
+
   /// Element-wise operations (dimension-checked).
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);

@@ -1,0 +1,282 @@
+// Tests for the fast kernel-model engine: GP fast-vs-reference agreement,
+// cached-Gram KRR refits, incremental GP updates and the incremental
+// active-learning loop.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ccpred/active/loop.hpp"
+#include "ccpred/active/random_sampling.hpp"
+#include "ccpred/active/uncertainty_sampling.hpp"
+#include "ccpred/core/decision_tree.hpp"
+#include "ccpred/core/gaussian_process.hpp"
+#include "ccpred/core/kernel_ridge.hpp"
+#include "ccpred/core/kernels.hpp"
+#include "test_util.hpp"
+
+namespace ccpred::ml {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+void expect_close_rel(const std::vector<double>& a,
+                      const std::vector<double>& b, double rel,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::abs(a[i]), std::abs(b[i]), 1e-12});
+    EXPECT_LT(std::abs(a[i] - b[i]) / scale, rel)
+        << what << " diverged at index " << i << ": " << a[i] << " vs "
+        << b[i];
+  }
+}
+
+// ---------- distance helpers ----------
+
+TEST(SquaredDistancesTest, MatchesKernelGram) {
+  Rng rng(31);
+  linalg::Matrix x(130, 4);  // spans the mirror-pairing boundary
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t c = 0; c < x.cols(); ++c) x(i, c) = rng.uniform(-2, 2);
+  }
+  Kernel rbf;
+  rbf.type = KernelType::kRbf;
+  rbf.gamma = 0.7;
+  const linalg::Matrix d2 = squared_distances(x);
+  const linalg::Matrix k = rbf_from_squared_distances(d2, rbf.gamma);
+  const linalg::Matrix k_ref = rbf.gram_symmetric(x);
+  // Same summation order as the kernel: entries are bit-for-bit equal.
+  EXPECT_DOUBLE_EQ(k.max_abs_diff(k_ref), 0.0);
+  const linalg::Matrix k_sym = rbf_from_squared_distances_symmetric(d2, rbf.gamma);
+  EXPECT_DOUBLE_EQ(k_sym.max_abs_diff(k_ref), 0.0);
+}
+
+TEST(SquaredDistancesTest, RectangularMatchesSymmetric) {
+  Rng rng(32);
+  linalg::Matrix x(20, 3);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t c = 0; c < x.cols(); ++c) x(i, c) = rng.uniform(-1, 1);
+  }
+  const linalg::Matrix sym = squared_distances(x);
+  const linalg::Matrix rect = squared_distances(x, x);
+  EXPECT_DOUBLE_EQ(sym.max_abs_diff(rect), 0.0);
+}
+
+// ---------- GP fast vs reference ----------
+
+class GpEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tt_ = test::small_campaign(350); }
+  std::optional<data::TrainTest> tt_;
+};
+
+TEST_F(GpEngineTest, FastMatchesReferenceWithOptimization) {
+  // The Fig. 3 US configuration: optimized hyper-parameters, log target.
+  GaussianProcessRegression fast(0.5, 1e-4, true, true);
+  GaussianProcessRegression ref(0.5, 1e-4, true, true);
+  ref.set_params({{"engine", 1.0}});
+  fast.fit(tt_->train.features(), tt_->train.targets());
+  ref.fit(tt_->train.features(), tt_->train.targets());
+
+  const auto x_test = tt_->test.features();
+  expect_close_rel(fast.predict(x_test), ref.predict(x_test), kRelTol,
+                   "predict");
+
+  std::vector<double> mean_f, std_f, mean_r, std_r;
+  fast.predict_with_std(x_test, mean_f, std_f);
+  ref.predict_with_std(x_test, mean_r, std_r);
+  expect_close_rel(mean_f, mean_r, kRelTol, "predict_with_std mean");
+  // Variances subtract near-equal quantities; compare on the mean's scale.
+  ASSERT_EQ(std_f.size(), std_r.size());
+  for (std::size_t i = 0; i < std_f.size(); ++i) {
+    const double scale = std::max(std::abs(mean_f[i]), 1e-12);
+    EXPECT_LT(std::abs(std_f[i] - std_r[i]) / scale, kRelTol)
+        << "std diverged at " << i;
+  }
+}
+
+TEST_F(GpEngineTest, FastMatchesReferenceFixedHyperparams) {
+  GaussianProcessRegression fast(0.8, 1e-3, false);
+  GaussianProcessRegression ref(0.8, 1e-3, false);
+  ref.set_params({{"engine", 1.0}});
+  fast.fit(tt_->train.features(), tt_->train.targets());
+  ref.fit(tt_->train.features(), tt_->train.targets());
+  expect_close_rel(fast.predict(tt_->test.features()),
+                   ref.predict(tt_->test.features()), kRelTol, "predict");
+}
+
+TEST(GpEngineParams, EngineParamValidatedAndCloned) {
+  GaussianProcessRegression gp(0.5, 1e-4, false);
+  EXPECT_THROW(gp.set_params({{"engine", 2.0}}), Error);
+  gp.set_params({{"engine", 1.0}});
+  EXPECT_EQ(gp.engine(), GaussianProcessRegression::Engine::kReference);
+  const auto copy = gp.clone();
+  auto* gp_copy = dynamic_cast<GaussianProcessRegression*>(copy.get());
+  ASSERT_NE(gp_copy, nullptr);
+  EXPECT_EQ(gp_copy->engine(), GaussianProcessRegression::Engine::kReference);
+}
+
+// ---------- GP incremental update ----------
+
+TEST(GpUpdateTest, InterpolatesOldAndNewPointsAfterUpdate) {
+  // With near-zero noise a GP interpolates its training data; a broken
+  // factor extension or stale alpha would destroy this immediately.
+  const auto s = test::make_nonlinear(120, 0.0, 7);
+  linalg::Matrix x0(80, s.x.cols()), x1(40, s.x.cols());
+  std::vector<double> y0(80), y1(40);
+  for (std::size_t i = 0; i < 120; ++i) {
+    auto& dst_x = i < 80 ? x0 : x1;
+    auto& dst_y = i < 80 ? y0 : y1;
+    const std::size_t r = i < 80 ? i : i - 80;
+    for (std::size_t c = 0; c < s.x.cols(); ++c) dst_x(r, c) = s.x(i, c);
+    dst_y[r] = s.y[i];
+  }
+  GaussianProcessRegression gp(1.0, 1e-8, false);
+  gp.fit(x0, y0);
+  EXPECT_TRUE(gp.supports_incremental_update());
+  gp.update(x1, y1);
+  const auto pred0 = gp.predict(x0);
+  const auto pred1 = gp.predict(x1);
+  for (std::size_t i = 0; i < y0.size(); ++i)
+    EXPECT_NEAR(pred0[i], y0[i], 1e-4);
+  for (std::size_t i = 0; i < y1.size(); ++i)
+    EXPECT_NEAR(pred1[i], y1[i], 1e-4);
+}
+
+TEST(GpUpdateTest, UpdateBeforeFitThrows) {
+  GaussianProcessRegression gp(0.5, 1e-4, false);
+  EXPECT_THROW(gp.update(linalg::Matrix(1, 2), {1.0}), Error);
+}
+
+TEST(GpUpdateTest, BaseRegressorRejectsUpdate) {
+  DecisionTreeRegressor dt;
+  EXPECT_FALSE(dt.supports_incremental_update());
+  EXPECT_THROW(dt.update(linalg::Matrix(1, 2), {1.0}), Error);
+}
+
+// ---------- KRR cached refits ----------
+
+TEST(KernelRidgeCacheTest, RefitOnSameDataMatchesFreshFit) {
+  const auto s = test::make_nonlinear(150, 0.05, 9);
+  const auto probe = test::make_nonlinear(40, 0.0, 10);
+
+  // Grid-search usage: set_params + fit over and over on the same rows.
+  KernelRidgeRegression warm;
+  warm.fit(s.x, s.y);
+  warm.set_params({{"alpha", 0.01}, {"gamma", 0.3}});
+  warm.fit(s.x, s.y);  // second fit reuses the cached distance matrix
+
+  Kernel k;
+  k.type = KernelType::kRbf;
+  k.gamma = 0.3;
+  KernelRidgeRegression fresh(k, 0.01);
+  fresh.fit(s.x, s.y);
+
+  expect_close_rel(warm.predict(probe.x), fresh.predict(probe.x), 1e-12,
+                   "KRR cached refit");
+  ASSERT_NE(warm.factorization(), nullptr);
+  EXPECT_EQ(warm.factorization()->order(), s.x.rows());
+}
+
+TEST(KernelRidgeCacheTest, RefitOnDifferentDataInvalidatesCache) {
+  const auto a = test::make_nonlinear(100, 0.05, 11);
+  const auto b = test::make_nonlinear(120, 0.05, 12);
+  const auto probe = test::make_nonlinear(30, 0.0, 13);
+  KernelRidgeRegression warm;
+  warm.fit(a.x, a.y);
+  warm.fit(b.x, b.y);  // different rows: cache must not leak through
+  KernelRidgeRegression fresh;
+  fresh.fit(b.x, b.y);
+  expect_close_rel(warm.predict(probe.x), fresh.predict(probe.x), 1e-12,
+                   "KRR refit on new data");
+}
+
+}  // namespace
+}  // namespace ccpred::ml
+
+// ---------- incremental active learning ----------
+
+namespace ccpred::al {
+namespace {
+
+class IncrementalLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tt_ = test::small_campaign(400); }
+  std::optional<data::TrainTest> tt_;
+};
+
+TEST_F(IncrementalLoopTest, CurvesTrackFromScratchRefits) {
+  // Random sampling keeps the labeled trajectory identical between the two
+  // runs, and fixed hyper-parameters isolate the one intended difference:
+  // incremental rounds keep the scalers frozen at the last full fit.
+  const ml::GaussianProcessRegression proto(0.5, 1e-4, false, true);
+  ActiveLearningOptions base;
+  base.n_initial = 40;
+  base.query_size = 40;
+  base.n_queries = 7;
+
+  RandomSampling rs_a;
+  const auto scratch =
+      run_active_learning(tt_->train, tt_->test, proto, rs_a, base);
+
+  ActiveLearningOptions inc = base;
+  inc.incremental_refit = true;
+  inc.refit_cadence = 3;
+  RandomSampling rs_b;
+  const auto fast =
+      run_active_learning(tt_->train, tt_->test, proto, rs_b, inc);
+
+  ASSERT_EQ(fast.rounds.size(), scratch.rounds.size());
+  for (std::size_t r = 0; r < fast.rounds.size(); ++r) {
+    EXPECT_EQ(fast.rounds[r].labeled_count, scratch.rounds[r].labeled_count);
+    if (r % 3 == 0) {
+      // Cadence rounds refit from scratch on identical labeled sets.
+      EXPECT_DOUBLE_EQ(fast.rounds[r].train_scores.r2,
+                       scratch.rounds[r].train_scores.r2);
+    } else {
+      // Incremental rounds keep the scalers frozen; the curves must stay
+      // within a tight band of the from-scratch run.
+      EXPECT_NEAR(fast.rounds[r].train_scores.r2,
+                  scratch.rounds[r].train_scores.r2, 0.05);
+    }
+  }
+}
+
+TEST_F(IncrementalLoopTest, WorksWithUncertaintySampling) {
+  const ml::GaussianProcessRegression proto(0.5, 1e-4, true, true);
+  ActiveLearningOptions opt;
+  opt.n_initial = 40;
+  opt.query_size = 40;
+  opt.n_queries = 5;
+  opt.incremental_refit = true;
+  opt.refit_cadence = 3;
+  UncertaintySampling us;
+  const auto result =
+      run_active_learning(tt_->train, tt_->test, proto, us, opt);
+  ASSERT_EQ(result.rounds.size(), 5u);
+  // The model keeps learning across incremental rounds.
+  EXPECT_GT(result.rounds.back().train_scores.r2,
+            result.rounds.front().train_scores.r2 - 0.05);
+}
+
+TEST_F(IncrementalLoopTest, FallsBackForModelsWithoutUpdate) {
+  const ml::DecisionTreeRegressor proto(ml::TreeOptions{.max_depth = 6});
+  ActiveLearningOptions plain;
+  plain.n_initial = 30;
+  plain.query_size = 30;
+  plain.n_queries = 4;
+  ActiveLearningOptions inc = plain;
+  inc.incremental_refit = true;
+  RandomSampling rs_a, rs_b;
+  const auto a = run_active_learning(tt_->train, tt_->test, proto, rs_a, plain);
+  const auto b = run_active_learning(tt_->train, tt_->test, proto, rs_b, inc);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t r = 0; r < a.rounds.size(); ++r) {
+    EXPECT_DOUBLE_EQ(a.rounds[r].train_scores.r2, b.rounds[r].train_scores.r2);
+  }
+}
+
+}  // namespace
+}  // namespace ccpred::al

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "ccpred/common/rng.hpp"
 #include "ccpred/linalg/blas.hpp"
@@ -268,6 +269,92 @@ TEST(CholeskyTest, TriangularSolvesCompose) {
   const auto via_parts = chol.solve_upper(chol.solve_lower(b));
   const auto direct = chol.solve(b);
   for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(via_parts[i], direct[i], 1e-12);
+}
+
+// Blocked (default) factorization must agree with the scalar left-looking
+// reference across sizes spanning the panel boundary (kPanel = 64).
+class CholeskyBlockedSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyBlockedSizes, MatchesReference) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(100 + n));
+  const Matrix a = random_spd(static_cast<std::size_t>(n), rng);
+  const Cholesky fast(a, Cholesky::Method::kBlocked);
+  const Cholesky ref(a, Cholesky::Method::kReference);
+  double scale = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) scale = std::max(scale, a(i, i));
+  EXPECT_LT(fast.factor().max_abs_diff(ref.factor()), 1e-9 * scale)
+      << "blocked factor diverged from reference at n = " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyBlockedSizes,
+                         ::testing::Values(1, 2, 63, 64, 65, 130, 200));
+
+TEST(CholeskyTest, BlockedPreservesPositiveDefiniteMessage) {
+  Matrix m = {{1, 0}, {0, -1}};
+  for (auto method :
+       {Cholesky::Method::kBlocked, Cholesky::Method::kReference}) {
+    try {
+      const Cholesky chol(m, method);
+      FAIL() << "expected indefinite matrix to throw";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("not positive definite"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(CholeskyTest, MultiRhsTriangularSolvesMatchVectorSolves) {
+  Rng rng(42);
+  const Matrix a = random_spd(150, rng);  // spans a column stripe boundary
+  const Matrix b = random_matrix(150, 7, rng);
+  const Cholesky chol(a);
+  const Matrix lo = chol.solve_lower(b);
+  const Matrix up = chol.solve_upper(b);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const auto lo_c = chol.solve_lower(b.col(c));
+    const auto up_c = chol.solve_upper(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) {
+      EXPECT_NEAR(lo(r, c), lo_c[r], 1e-12);
+      EXPECT_NEAR(up(r, c), up_c[r], 1e-12);
+    }
+  }
+}
+
+TEST(CholeskyTest, ExtendMatchesFullRefactorization) {
+  Rng rng(43);
+  const std::size_t n = 90, q = 12;
+  const Matrix full = random_spd(n + q, rng);
+  Matrix a11(n, n), a21(q, n), a22(q, q);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a11(i, j) = full(i, j);
+  for (std::size_t i = 0; i < q; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a21(i, j) = full(n + i, j);
+    for (std::size_t j = 0; j < q; ++j) a22(i, j) = full(n + i, n + j);
+  }
+  Cholesky grown(a11);
+  grown.extend(a21, a22);
+  const Cholesky direct(full);
+  EXPECT_EQ(grown.order(), n + q);
+  EXPECT_LT(grown.factor().max_abs_diff(direct.factor()), 1e-9);
+}
+
+TEST(CholeskyTest, ExtendDimensionMismatchThrows) {
+  Rng rng(44);
+  Cholesky chol(random_spd(5, rng));
+  EXPECT_THROW(chol.extend(Matrix(2, 4), Matrix(2, 2)), Error);
+  EXPECT_THROW(chol.extend(Matrix(2, 5), Matrix(3, 3)), Error);
+}
+
+TEST(MatrixTest, AppendRows) {
+  Matrix m = {{1, 2}, {3, 4}};
+  m.append_rows(Matrix{{5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  Matrix empty;
+  empty.append_rows(m);
+  EXPECT_EQ(empty.rows(), 3u);
+  EXPECT_THROW(m.append_rows(Matrix(1, 3)), Error);
 }
 
 // ---------- QR ----------
