@@ -46,6 +46,21 @@ void ThreadPool::post(std::function<void()> task) {
   cv_.notify_one();
 }
 
+bool ThreadPool::try_post(std::function<void()> task, std::size_t max_queue) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.size() >= max_queue) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queue_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 namespace {
 
 std::size_t global_pool_size_from_env() {

@@ -46,6 +46,16 @@ class ThreadPool {
   /// run() wraps the task accordingly.
   void post(std::function<void()> task);
 
+  /// Bounded-admission post: enqueues only if fewer than `max_queue` tasks
+  /// are waiting (tasks already running do not count), otherwise rejects
+  /// and returns false without consuming resources. This is the load-
+  /// shedding primitive for callers that must not build an unbounded
+  /// backlog (the serving layer's admission control).
+  bool try_post(std::function<void()> task, std::size_t max_queue);
+
+  /// Tasks enqueued but not yet picked up by a worker.
+  std::size_t queue_size() const;
+
   /// Process-wide shared pool (lazily constructed). Its size honors the
   /// CCPRED_THREADS environment variable when set to a positive integer,
   /// otherwise hardware concurrency.
@@ -56,7 +66,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -57,6 +57,9 @@ std::string ModelRegistry::artifact_path(const std::string& machine,
 ModelHandle ModelRegistry::load_locked(const std::string& machine,
                                        const std::string& kind,
                                        const std::string& path) {
+  if (fault_ != nullptr && fault_->fire(FaultPoint::kArtifactRead)) {
+    throw Error("injected fault: artifact read failure for " + path);
+  }
   ModelHandle handle;
   if (kind == "gb") {
     handle.model = std::make_shared<const ml::GradientBoostingRegressor>(
@@ -112,19 +115,42 @@ ModelHandle ModelRegistry::get(const std::string& machine,
       if (!options_.hot_reload) return it->second.handle;
       const std::int64_t now_ns = mtime_ns(path);
       if (now_ns != 0 && now_ns == it->second.mtime_ns) {
+        // Disk matches what we serve; a reappeared artifact clears stale.
+        it->second.handle.stale = false;
         return it->second.handle;
       }
-      // Artifact changed (or vanished — fall through to reload/retrain).
-      if (now_ns != 0) {
+      if (now_ns == 0) {
+        // Artifact vanished: degrade to the last-good model rather than
+        // retraining mid-serve; a republished file triggers a reload.
+        it->second.handle.stale = true;
+        return it->second.handle;
+      }
+      if (now_ns == it->second.failed_mtime_ns) {
+        // This publish already failed to load; wait for the next one.
+        return it->second.handle;
+      }
+      try {
         Entry entry{load_locked(machine, kind, path), now_ns};
         it->second = entry;
         return entry.handle;
+      } catch (const std::exception&) {
+        // Unreadable/corrupt publish: keep serving the last-good model,
+        // marked stale, and retry only when the artifact changes again.
+        ++reload_failures_;
+        it->second.failed_mtime_ns = now_ns;
+        it->second.handle.stale = true;
+        return it->second.handle;
       }
-      entries_.erase(it);
     } else if (fs::exists(path)) {
-      Entry entry{load_locked(machine, kind, path), mtime_ns(path)};
-      entries_[key] = entry;
-      return entry.handle;
+      try {
+        Entry entry{load_locked(machine, kind, path), mtime_ns(path)};
+        entries_[key] = entry;
+        return entry.handle;
+      } catch (const std::exception&) {
+        // First load failed — there is no last-good model to degrade to.
+        ++reload_failures_;
+        throw;
+      }
     }
   }
   // Missing artifact: train-and-cache outside the lock (training is the
@@ -134,9 +160,14 @@ ModelHandle ModelRegistry::get(const std::string& machine,
   // Another thread may have loaded while we trained; reuse its entry.
   const auto it = entries_.find(key);
   if (it != entries_.end()) return it->second.handle;
-  Entry entry{load_locked(machine, kind, path), mtime_ns(path)};
-  entries_[key] = entry;
-  return entry.handle;
+  try {
+    Entry entry{load_locked(machine, kind, path), mtime_ns(path)};
+    entries_[key] = entry;
+    return entry.handle;
+  } catch (const std::exception&) {
+    ++reload_failures_;
+    throw;
+  }
 }
 
 std::uint64_t ModelRegistry::loads() const {
@@ -147,6 +178,11 @@ std::uint64_t ModelRegistry::loads() const {
 std::uint64_t ModelRegistry::trainings() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return trainings_;
+}
+
+std::uint64_t ModelRegistry::reload_failures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return reload_failures_;
 }
 
 }  // namespace ccpred::serve

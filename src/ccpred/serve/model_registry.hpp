@@ -7,6 +7,13 @@
 /// hot-reloads when the artifact's mtime changes (a newer campaign was
 /// published) and falls back to train-and-cache when an artifact is
 /// missing, so a fresh deployment bootstraps itself.
+///
+/// Degraded mode (stale-while-revalidate): when a hot reload fails — the
+/// new artifact is unreadable, corrupt, or has vanished — the registry
+/// keeps serving the last successfully loaded model with `stale` set on
+/// the handle instead of erroring, and counts the failure. A failed
+/// publish is retried only when the artifact's mtime changes again, so a
+/// corrupt file costs one load attempt per publish, not one per request.
 
 #include <cstdint>
 #include <map>
@@ -15,6 +22,7 @@
 #include <string>
 
 #include "ccpred/core/regressor.hpp"
+#include "ccpred/serve/fault_injector.hpp"
 #include "ccpred/sim/ccsd_simulator.hpp"
 
 namespace ccpred::serve {
@@ -44,6 +52,7 @@ struct ModelHandle {
   std::string machine;
   std::string kind;  ///< "gb" | "rf"
   std::string path;  ///< artifact the model came from
+  bool stale = false;  ///< last-good model served after a failed reload
 };
 
 /// Thread-safe registry of serialized models in one artifact directory.
@@ -75,11 +84,20 @@ class ModelRegistry {
   std::uint64_t loads() const;
   /// Total train-and-cache fallbacks taken since construction.
   std::uint64_t trainings() const;
+  /// Total failed artifact load attempts (corrupt/unreadable/injected).
+  std::uint64_t reload_failures() const;
+
+  /// Arms the kArtifactRead injection point: artifact loads throw with the
+  /// injected probability. The injector must outlive the registry; pass
+  /// nullptr to disarm. Not thread-safe against concurrent get() — arm
+  /// before serving starts.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
 
  private:
   struct Entry {
     ModelHandle handle;
     std::int64_t mtime_ns = 0;  ///< artifact mtime at load, for hot reload
+    std::int64_t failed_mtime_ns = 0;  ///< mtime of a publish that failed
   };
 
   /// Loads the artifact at `path` into a fresh handle (caller holds lock).
@@ -88,12 +106,14 @@ class ModelRegistry {
 
   std::string dir_;
   RegistryOptions options_;
+  FaultInjector* fault_ = nullptr;
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;  ///< keyed "machine/kind"
   std::uint64_t next_version_ = 1;
   std::uint64_t loads_ = 0;
   std::uint64_t trainings_ = 0;
+  std::uint64_t reload_failures_ = 0;
 };
 
 }  // namespace ccpred::serve

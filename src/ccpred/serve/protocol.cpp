@@ -200,6 +200,12 @@ Request parse_request(const std::string& line) {
   if (req.op == Op::kBudget) {
     req.max_node_hours = field_double(rec, "max_node_hours");
   }
+  if (rec.count("deadline_ms") != 0) {
+    req.deadline_ms = field_int(rec, "deadline_ms");
+    CCPRED_CHECK_MSG(req.deadline_ms >= 0,
+                     "request: deadline_ms must be >= 0, got "
+                         << req.deadline_ms);
+  }
   return req;
 }
 
@@ -217,10 +223,16 @@ std::string format_response(const Response& r) {
     os << '"';
   }
   if (!r.ok) {
+    if (!r.code.empty()) {
+      os << ",\"code\":\"";
+      json_escape(os, r.code);
+      os << '"';
+    }
     os << ",\"error\":\"";
     json_escape(os, r.error);
     os << '"';
   }
+  if (r.stale) os << ",\"stale\":true";
   if (r.has_recommendation) {
     os << ",\"nodes\":" << r.nodes << ",\"tile\":" << r.tile
        << ",\"time_s\":" << number(r.time_s)
@@ -247,6 +259,11 @@ std::string format_response(const Response& r) {
        << ",\"cache_hit_rate\":" << number(s.cache_hit_rate)
        << ",\"cache_size\":" << s.cache_size
        << ",\"queue_depth\":" << s.queue_depth
+       << ",\"deadline_exceeded\":" << s.deadline_exceeded
+       << ",\"shed\":" << s.shed
+       << ",\"stale_served\":" << s.stale_served
+       << ",\"reload_failures\":" << s.reload_failures
+       << ",\"retries\":" << s.retries
        << ",\"models_loaded\":" << s.models_loaded
        << ",\"models_trained\":" << s.models_trained
        << ",\"latency_p50_ms\":" << number(s.latency_p50_ms)
@@ -258,12 +275,13 @@ std::string format_response(const Response& r) {
 }
 
 Response error_response(const std::string& message, const std::string& op,
-                        const std::string& id) {
+                        const std::string& id, const std::string& code) {
   Response r;
   r.ok = false;
   r.op = op;
   r.id = id;
   r.error = message;
+  r.code = code;
   return r;
 }
 

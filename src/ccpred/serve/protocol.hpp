@@ -13,8 +13,16 @@
 ///   {"op":"job","machine":"aurora","o":134,"v":951,"nodes":110,"tile":90}
 ///   {"op":"stats"}
 ///
+/// Any request may carry "deadline_ms": the server answers
+/// {"ok":false,"code":"deadline",...} if it cannot finish in time (the
+/// underlying sweep still completes and warms the cache).
+///
 /// Responses echo "op" (and "id" when given) and carry either the answer
-/// fields or {"ok":false,"error":"..."}.
+/// fields or {"ok":false,"code":"...","error":"..."} — `code` is a stable
+/// machine-readable failure class ("deadline", "overloaded",
+/// "bad_request", "internal") while `error` stays human-readable. An ok
+/// answer computed from a last-good model after a failed hot reload
+/// additionally carries "stale":true.
 
 #include <map>
 #include <string>
@@ -47,6 +55,7 @@ struct Request {
   int nodes = 0;              ///< job op only
   int tile = 0;               ///< job op only
   double max_node_hours = 0.0;  ///< budget op only
+  int deadline_ms = 0;          ///< per-request deadline; 0 = none
 };
 
 /// One response; which optional block is populated depends on the op.
@@ -54,7 +63,9 @@ struct Response {
   bool ok = false;
   std::string op;     ///< echoed op name
   std::string id;     ///< echoed request id (may be empty)
-  std::string error;  ///< set when !ok
+  std::string error;  ///< set when !ok (human-readable)
+  std::string code;   ///< set when !ok (machine-readable failure class)
+  bool stale = false;  ///< answer came from a last-good model (degraded)
 
   // Recommendation block (stq / bq / budget).
   bool has_recommendation = false;
@@ -91,7 +102,10 @@ Request parse_request(const std::string& line);
 std::string format_response(const Response& response);
 
 /// Convenience: an ok=false response echoing whatever could be salvaged.
+/// `code` defaults to "bad_request", the class of every parse-boundary
+/// failure; dispatch-time failures pass their own class.
 Response error_response(const std::string& message, const std::string& op = "",
-                        const std::string& id = "");
+                        const std::string& id = "",
+                        const std::string& code = "bad_request");
 
 }  // namespace ccpred::serve

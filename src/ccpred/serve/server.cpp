@@ -7,12 +7,27 @@
 #include "ccpred/sim/solver.hpp"
 
 namespace ccpred::serve {
+namespace {
+
+/// Decrements a gauge on every exit path (exception-safe queue_depth
+/// accounting: a faulted or deadline-exceeded request must still return
+/// the depth to zero).
+struct GaugeGuard {
+  std::atomic<std::size_t>& gauge;
+  ~GaugeGuard() { gauge.fetch_sub(1, std::memory_order_relaxed); }
+};
+
+}  // namespace
 
 Server::Server(ModelRegistry& registry, ServeOptions options)
     : registry_(registry),
       options_(std::move(options)),
+      fault_(options_.fault_injector),
       cache_(options_.cache_capacity, options_.cache_shards),
-      pool_(options_.threads) {}
+      pool_(options_.threads),
+      sweep_pool_(options_.threads) {
+  cache_.set_fault_injector(fault_);
+}
 
 const sim::CcsdSimulator& Server::simulator(const std::string& machine) {
   const std::lock_guard<std::mutex> lock(simulators_mutex_);
@@ -24,10 +39,13 @@ const sim::CcsdSimulator& Server::simulator(const std::string& machine) {
 }
 
 SweepPtr Server::sweep_for(const std::string& machine, const std::string& kind,
-                           int o, int v, std::uint64_t* model_version,
-                           bool* cache_hit) {
+                           int o, int v, Clock::time_point deadline,
+                           std::uint64_t* model_version, bool* cache_hit,
+                           bool* stale, bool* timed_out) {
+  *timed_out = false;
   const ModelHandle handle = registry_.get(machine, kind);
   *model_version = handle.version;
+  *stale = handle.stale;
   const SweepKey key{machine, kind, handle.version, o, v};
   if (SweepPtr cached = cache_.get(key)) {
     *cache_hit = true;
@@ -35,9 +53,12 @@ SweepPtr Server::sweep_for(const std::string& machine, const std::string& kind,
   }
   *cache_hit = false;
 
-  // Single-flight: first requester becomes the leader and computes; everyone
-  // else blocks on the leader's future instead of re-running the sweep.
-  std::promise<SweepPtr> promise;
+  // Single-flight: the first requester becomes the leader and schedules
+  // ONE sweep on the sweep pool; everyone (leader included) waits on its
+  // shared future. Running the sweep off the request thread lets a
+  // deadline abandon the wait while the computation still completes and
+  // populates the cache.
+  auto promise = std::make_shared<std::promise<SweepPtr>>();
   std::shared_future<SweepPtr> future;
   bool leader = false;
   {
@@ -45,39 +66,46 @@ SweepPtr Server::sweep_for(const std::string& machine, const std::string& kind,
     const auto it = inflight_.find(key);
     if (it == inflight_.end()) {
       leader = true;
-      future = promise.get_future().share();
+      future = promise->get_future().share();
       inflight_[key] = future;
     } else {
       future = it->second;
     }
   }
-  if (!leader) {
+  if (leader) {
+    sweep_pool_.post([this, promise, handle, key] {
+      try {
+        if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kSweepCompute);
+        const guide::Advisor advisor(*handle.model, simulator(key.machine));
+        auto sweep = std::make_shared<const guide::Recommendation>(
+            advisor.recommend(key.o, key.v, guide::Objective::kShortestTime));
+        sweeps_computed_.fetch_add(1, std::memory_order_relaxed);
+        cache_.put(key, sweep);
+        {
+          const std::lock_guard<std::mutex> lock(inflight_mutex_);
+          inflight_.erase(key);
+        }
+        promise->set_value(sweep);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(inflight_mutex_);
+          inflight_.erase(key);
+        }
+        promise->set_exception(std::current_exception());
+      }
+    });
+  } else {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
-    return future.get();
   }
-  try {
-    const guide::Advisor advisor(*handle.model, simulator(machine));
-    auto sweep = std::make_shared<const guide::Recommendation>(
-        advisor.recommend(o, v, guide::Objective::kShortestTime));
-    sweeps_computed_.fetch_add(1, std::memory_order_relaxed);
-    cache_.put(key, sweep);
-    {
-      const std::lock_guard<std::mutex> lock(inflight_mutex_);
-      inflight_.erase(key);
-    }
-    promise.set_value(sweep);
-    return sweep;
-  } catch (...) {
-    {
-      const std::lock_guard<std::mutex> lock(inflight_mutex_);
-      inflight_.erase(key);
-    }
-    promise.set_exception(std::current_exception());
-    throw;
+  if (deadline != Clock::time_point::max() &&
+      future.wait_until(deadline) == std::future_status::timeout) {
+    *timed_out = true;
+    return nullptr;
   }
+  return future.get();  // rethrows a failed sweep as an error response
 }
 
-Response Server::dispatch(const Request& req) {
+Response Server::dispatch(const Request& req, Clock::time_point deadline) {
   Response r;
   r.op = op_name(req.op);
   r.id = req.id;
@@ -111,58 +139,112 @@ Response Server::dispatch(const Request& req) {
       req.model.empty() ? options_.default_model : req.model;
   std::uint64_t version = 0;
   bool cache_hit = false;
-  const SweepPtr sweep =
-      sweep_for(machine, kind, req.o, req.v, &version, &cache_hit);
+  bool stale = false;
+  bool timed_out = false;
+  const SweepPtr sweep = sweep_for(machine, kind, req.o, req.v, deadline,
+                                   &version, &cache_hit, &stale, &timed_out);
+  if (timed_out) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    r.ok = false;
+    r.code = "deadline";
+    r.error = "deadline of " + std::to_string(req.deadline_ms) +
+              " ms exceeded; the sweep continues in the background";
+    return r;
+  }
 
-  guide::Recommendation rec;
+  // Answer through a pointer: STQ reads the cached recommendation in
+  // place (copying it would clone the whole swept grid per request).
+  guide::Recommendation computed;
+  const guide::Recommendation* rec = &computed;
   switch (req.op) {
     case Op::kStq:
-      rec = *sweep;  // the cached sweep IS the shortest-time answer
+      rec = sweep.get();  // the cached sweep IS the shortest-time answer
       break;
     case Op::kBq:
-      rec = guide::Advisor::from_sweep(sweep->sweep,
-                                       guide::Objective::kNodeHours);
+      computed = guide::Advisor::from_sweep(sweep->sweep,
+                                            guide::Objective::kNodeHours);
       break;
     case Op::kBudget:
-      rec = guide::Advisor::fastest_within_budget(*sweep, req.max_node_hours);
+      computed =
+          guide::Advisor::fastest_within_budget(*sweep, req.max_node_hours);
       break;
     default:
       throw Error("unhandled op");  // unreachable
   }
   r.ok = true;
+  r.stale = stale;
+  if (stale) stale_served_.fetch_add(1, std::memory_order_relaxed);
   r.has_recommendation = true;
-  r.nodes = rec.config.nodes;
-  r.tile = rec.config.tile;
-  r.time_s = rec.predicted_time_s;
-  r.node_hours = rec.predicted_node_hours;
+  r.nodes = rec->config.nodes;
+  r.tile = rec->config.tile;
+  r.time_s = rec->predicted_time_s;
+  r.node_hours = rec->predicted_node_hours;
   r.model_version = version;
   r.sweep_size = sweep->sweep.size();
   r.cache_hit = cache_hit;
   return r;
 }
 
-Response Server::handle(const Request& req) {
+Response Server::handle_until(const Request& req, Clock::time_point deadline) {
   const Stopwatch timer;
   requests_.fetch_add(1, std::memory_order_relaxed);
   Response r;
   try {
-    r = dispatch(req);
+    if (deadline != Clock::time_point::max() && Clock::now() >= deadline) {
+      // Expired while queued: answer without doing the work.
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      r = error_response("deadline of " + std::to_string(req.deadline_ms) +
+                             " ms exceeded before dispatch",
+                         op_name(req.op), req.id, "deadline");
+    } else {
+      r = dispatch(req, deadline);
+    }
   } catch (const std::exception& e) {
-    errors_.fetch_add(1, std::memory_order_relaxed);
-    r = error_response(e.what(), op_name(req.op), req.id);
+    r = error_response(e.what(), op_name(req.op), req.id, "internal");
   }
+  if (!r.ok) errors_.fetch_add(1, std::memory_order_relaxed);
   latency_.record(timer.elapsed_s());
   return r;
+}
+
+Response Server::handle(const Request& req) {
+  const auto deadline =
+      req.deadline_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(req.deadline_ms)
+          : Clock::time_point::max();
+  return handle_until(req, deadline);
 }
 
 std::future<Response> Server::submit(Request request) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
+  const auto deadline =
+      request.deadline_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(request.deadline_ms)
+          : Clock::time_point::max();
+  const std::string op = op_name(request.op);
+  const std::string id = request.id;
+
   queue_depth_.fetch_add(1, std::memory_order_relaxed);
-  pool_.submit([this, promise, request = std::move(request)]() {
-    promise->set_value(handle(request));  // handle() never throws
+  auto task = [this, promise, deadline, request = std::move(request)]() {
+    const GaugeGuard guard{queue_depth_};
+    if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kWorkerStall);
+    promise->set_value(handle_until(request, deadline));
+  };
+  bool admitted = true;
+  if (options_.max_queue_depth == 0) {
+    pool_.post(std::move(task));
+  } else {
+    admitted = pool_.try_post(std::move(task), options_.max_queue_depth);
+  }
+  if (!admitted) {
     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
-  });
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(error_response(
+        "server overloaded: queue depth limit " +
+            std::to_string(options_.max_queue_depth) + " reached",
+        op, id, "overloaded"));
+  }
   return future;
 }
 
@@ -179,6 +261,11 @@ ServerStats Server::stats() const {
   s.cache_hit_rate = cc.hit_rate();
   s.cache_size = cache_.size();
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.stale_served = stale_served_.load(std::memory_order_relaxed);
+  s.reload_failures = registry_.reload_failures();
+  s.retries = retries_.load(std::memory_order_relaxed);
   s.models_loaded = registry_.loads();
   s.models_trained = registry_.trainings();
   s.latency_p50_ms = latency_.quantile(0.50) * 1e3;

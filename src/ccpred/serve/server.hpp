@@ -2,7 +2,7 @@
 
 /// \file server.hpp
 /// The recommendation server: a thread-safe request handler over a model
-/// registry, a sharded sweep cache, and a worker pool. Three properties
+/// registry, a sharded sweep cache, and a worker pool. Four properties
 /// matter for a guidance service and are tested explicitly:
 ///
 ///  * determinism — any interleaving of requests produces the same answers
@@ -12,9 +12,24 @@
 ///    (machine, O, V) run ONE enumerate+predict sweep; the rest block on
 ///    its future (`coalesced` counts them);
 ///  * cheap repeats — a cached sweep answers STQ, BQ and budget questions
-///    without touching the model at all.
+///    without touching the model at all;
+///  * graceful failure — a request with `deadline_ms` gets a structured
+///    `code="deadline"` answer instead of an open-ended wait (the sweep
+///    still completes on the sweep pool and warms the cache), submit()
+///    sheds with `code="overloaded"` once `max_queue_depth` saturates,
+///    and a failed model hot-reload degrades to stale answers rather
+///    than errors.
+///
+/// Sweeps run on a dedicated sweep pool, not the request worker pool, so
+/// a request thread can abandon a slow sweep at its deadline without
+/// orphaning the computation — and waiting requests can never deadlock
+/// the workers that would run their sweep.
+///
+/// Outstanding submit() futures must be drained before the server is
+/// destroyed.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -25,6 +40,7 @@
 
 #include "ccpred/common/latency_histogram.hpp"
 #include "ccpred/common/thread_pool.hpp"
+#include "ccpred/serve/fault_injector.hpp"
 #include "ccpred/serve/model_registry.hpp"
 #include "ccpred/serve/protocol.hpp"
 #include "ccpred/serve/stats.hpp"
@@ -37,8 +53,10 @@ struct ServeOptions {
   std::size_t threads = 0;        ///< worker pool size; 0 = hardware
   std::size_t cache_capacity = 256;  ///< sweeps kept across all shards
   std::size_t cache_shards = 8;
+  std::size_t max_queue_depth = 0;  ///< submit() sheds beyond this; 0 = off
   std::string default_machine = "aurora";  ///< when a request omits it
   std::string default_model = "gb";        ///< when a request omits it
+  FaultInjector* fault_injector = nullptr;  ///< optional; must outlive server
 };
 
 /// See file comment. The registry must outlive the server.
@@ -50,31 +68,48 @@ class Server {
   /// failures come back as ok=false responses.
   Response handle(const Request& request);
 
-  /// Enqueues a request onto the worker pool.
+  /// Enqueues a request onto the worker pool. When `max_queue_depth` is
+  /// set and the pool's backlog is full, the future resolves immediately
+  /// to ok=false, code="overloaded" (load shedding). The request's
+  /// deadline clock starts here, so time spent queued counts against it.
   std::future<Response> submit(Request request);
 
   /// Point-in-time statistics snapshot.
   ServerStats stats() const;
 
+  /// Folds `n` client-side retries into the stats (the daemon's backoff
+  /// loop reports its retries here so `stats` can surface them).
+  void record_retries(std::uint64_t n) {
+    retries_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   const ServeOptions& options() const { return options_; }
   const SweepCache& cache() const { return cache_; }
 
  private:
-  Response dispatch(const Request& request);
+  using Clock = std::chrono::steady_clock;
+
+  /// handle() with an absolute deadline (Clock::time_point::max() = none).
+  Response handle_until(const Request& request, Clock::time_point deadline);
+
+  Response dispatch(const Request& request, Clock::time_point deadline);
 
   /// The sweep for (machine, kind, o, v): cache -> in-flight future ->
-  /// compute. Sets `cache_hit`; returns the model version used.
+  /// compute on the sweep pool. Sets `cache_hit` and `stale`; returns the
+  /// model version used. On deadline expiry sets `timed_out` and returns
+  /// nullptr — the sweep keeps running and populates the cache.
   SweepPtr sweep_for(const std::string& machine, const std::string& kind,
-                     int o, int v, std::uint64_t* model_version,
-                     bool* cache_hit);
+                     int o, int v, Clock::time_point deadline,
+                     std::uint64_t* model_version, bool* cache_hit,
+                     bool* stale, bool* timed_out);
 
   /// Lazily-built simulator per machine (stable address for Advisor refs).
   const sim::CcsdSimulator& simulator(const std::string& machine);
 
   ModelRegistry& registry_;
   ServeOptions options_;
+  FaultInjector* fault_;  ///< == options_.fault_injector
   SweepCache cache_;
-  ThreadPool pool_;
   LatencyHistogram latency_;
 
   std::mutex simulators_mutex_;
@@ -88,7 +123,18 @@ class Server {
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> sweeps_computed_{0};
   std::atomic<std::uint64_t> coalesced_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> stale_served_{0};
+  std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::size_t> queue_depth_{0};
+
+  // The pools are the last members so their destructors run first: they
+  // drain and join while every field their tasks touch is still alive.
+  // sweep_pool_ is last of all — request workers block on sweep futures,
+  // so sweeps must drain before the request pool joins.
+  ThreadPool pool_;
+  ThreadPool sweep_pool_;
 };
 
 }  // namespace ccpred::serve

@@ -23,6 +23,11 @@ struct ServerStats {
   double cache_hit_rate = 0.0;       ///< hits / (hits + misses), 0 if unused
   std::size_t cache_size = 0;        ///< cached sweeps right now
   std::size_t queue_depth = 0;       ///< submitted but unfinished requests
+  std::uint64_t deadline_exceeded = 0;  ///< requests answered code="deadline"
+  std::uint64_t shed = 0;               ///< requests rejected code="overloaded"
+  std::uint64_t stale_served = 0;       ///< ok answers from a stale model
+  std::uint64_t reload_failures = 0;    ///< failed artifact load attempts
+  std::uint64_t retries = 0;            ///< client retries recorded (serverd)
   std::uint64_t models_loaded = 0;   ///< registry artifact (re)loads
   std::uint64_t models_trained = 0;  ///< train-and-cache fallbacks taken
   double latency_p50_ms = 0.0;       ///< median request latency

@@ -22,6 +22,7 @@ SweepCache::Shard& SweepCache::shard_for(const SweepKey& key) {
 SweepPtr SweepCache::get(const SweepKey& key) {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kCacheShard);
   auto hit = shard.cache.get(key);
   return hit ? *hit : nullptr;
 }
@@ -29,6 +30,7 @@ SweepPtr SweepCache::get(const SweepKey& key) {
 void SweepCache::put(const SweepKey& key, SweepPtr sweep) {
   Shard& shard = shard_for(key);
   const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kCacheShard);
   shard.cache.put(key, std::move(sweep));
 }
 

@@ -15,6 +15,7 @@
 
 #include "ccpred/common/lru_cache.hpp"
 #include "ccpred/guidance/advisor.hpp"
+#include "ccpred/serve/fault_injector.hpp"
 
 namespace ccpred::serve {
 
@@ -67,6 +68,11 @@ class SweepCache {
 
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// Arms the kCacheShard injection point: get()/put() hold the shard
+  /// mutex for the injected extra time, simulating shard contention.
+  /// The injector must outlive the cache; pass nullptr to disarm.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   struct Shard {
     explicit Shard(std::size_t capacity) : cache(capacity) {}
@@ -77,6 +83,7 @@ class SweepCache {
   Shard& shard_for(const SweepKey& key);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace ccpred::serve

@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "ccpred/common/csv.hpp"
 #include "ccpred/common/error.hpp"
@@ -353,6 +356,43 @@ TEST(ThreadPoolTest, PostRunsFireAndForgetTask) {
   std::promise<int> done;
   pool.post([&] { done.set_value(7); });
   EXPECT_EQ(done.get_future().get(), 7);
+}
+
+TEST(ThreadPoolTest, TryPostBoundsTheQueue) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  pool.post([&] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();  // the lone worker is now parked on the gate
+
+  // With the worker busy, a limit of 2 admits two queued tasks and
+  // rejects the third without blocking.
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.try_post([&] { ran++; }, 2));
+  EXPECT_TRUE(pool.try_post([&] { ran++; }, 2));
+  EXPECT_EQ(pool.queue_size(), 2u);
+  EXPECT_FALSE(pool.try_post([&] { ran++; }, 2));
+  EXPECT_EQ(pool.queue_size(), 2u);
+
+  release.set_value();
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (ran.load() != 2 && std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 2);  // the rejected task never runs
+  EXPECT_EQ(pool.queue_size(), 0u);
+}
+
+TEST(ThreadPoolTest, TryPostAdmitsWhenIdle) {
+  ThreadPool pool(2);
+  std::promise<int> done;
+  EXPECT_TRUE(pool.try_post([&] { done.set_value(9); }, 1));
+  EXPECT_EQ(done.get_future().get(), 9);
 }
 
 TEST(TaskGroupTest, WaitBlocksUntilAllTasksFinish) {

@@ -1,0 +1,173 @@
+// Fuzz-style property tests for the line-JSON protocol boundary. The
+// serving daemon feeds every network line through parse_request, so the
+// parser must never crash, never throw anything but ccpred::Error, and the
+// error path must always produce a well-formed ok=false response line.
+// All inputs are generated from a seeded Rng: a failure reproduces
+// bit-for-bit from the seed printed in the assertion message.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/rng.hpp"
+#include "ccpred/serve/protocol.hpp"
+
+namespace ccpred::serve {
+namespace {
+
+/// Feeds one line through the parse boundary the way the daemon does.
+/// Returns true if it parsed; throws only ccpred::Error by contract.
+bool survives_boundary(const std::string& line) {
+  try {
+    (void)parse_request(line);
+    return true;
+  } catch (const Error&) {
+    // The daemon's error path: the message must format into a response
+    // line that parses back as a flat record with ok=false.
+    const Response err = error_response("rejected: fuzz input");
+    const auto rec = parse_record(format_response(err));
+    EXPECT_EQ(rec.at("ok"), "false");
+    return false;
+  }
+  // Anything else (std::bad_alloc aside) escapes and fails the test.
+}
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  const std::size_t len =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(max_len)));
+  std::string s(len, '\0');
+  for (char& c : s) {
+    // Full byte range except '\n' (the daemon splits on newlines before
+    // parsing, so a line never contains one).
+    c = static_cast<char>(rng.uniform_int(0, 255));
+    if (c == '\n') c = ' ';
+  }
+  return s;
+}
+
+std::string valid_request_line(Rng& rng) {
+  switch (rng.uniform_int(0, 4)) {
+    case 0: return R"({"op":"stq","o":134,"v":951})";
+    case 1: return R"({"op":"bq","o":85,"v":698,"machine":"aurora"})";
+    case 2: return R"({"op":"budget","o":44,"v":260,"max_node_hours":3.5})";
+    case 3: return R"({"op":"job","o":99,"v":718,"nodes":64,"tile":80})";
+    default: return R"({"op":"stats","id":"fz","deadline_ms":250})";
+  }
+}
+
+TEST(ProtocolFuzzTest, RandomBytesNeverEscapeTheBoundary) {
+  Rng rng(20250805);
+  for (int i = 0; i < 4000; ++i) {
+    const std::string line = random_bytes(rng, 160);
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    (void)survives_boundary(line);  // any ccpred::Error is acceptable
+  }
+}
+
+TEST(ProtocolFuzzTest, TruncationsOfValidLinesNeverEscape) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::string line = valid_request_line(rng);
+    for (std::size_t cut = 0; cut <= line.size(); ++cut) {
+      SCOPED_TRACE("iteration " + std::to_string(i) + " cut " +
+                   std::to_string(cut));
+      const bool parsed = survives_boundary(line.substr(0, cut));
+      if (cut == line.size()) EXPECT_TRUE(parsed);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, MutatedValidLinesNeverEscape) {
+  Rng rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    std::string line = valid_request_line(rng);
+    const int edits = static_cast<int>(rng.uniform_int(1, 4));
+    for (int e = 0; e < edits; ++e) {
+      if (line.empty()) line = "{";
+      const std::size_t pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(line.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:  // overwrite with a random byte
+          line[pos] = static_cast<char>(rng.uniform_int(1, 255));
+          if (line[pos] == '\n') line[pos] = '{';
+          break;
+        case 1:  // delete one byte
+          line.erase(pos, 1);
+          break;
+        default:  // duplicate one byte
+          line.insert(pos, 1, line[pos]);
+      }
+    }
+    if (line.empty()) line = "{";
+    SCOPED_TRACE("iteration " + std::to_string(i) + " line " + line);
+    (void)survives_boundary(line);
+  }
+}
+
+TEST(ProtocolFuzzTest, OversizedFieldsAreRejectedNotFatal) {
+  // Huge numbers must come back as Error (from_chars out-of-range), not
+  // wrap, crash, or parse to garbage.
+  EXPECT_THROW(parse_request(R"({"op":"stq","o":999999999999999999999,"v":2})"),
+               Error);
+  EXPECT_THROW(parse_request(R"({"op":"stq","o":1,"v":2,"deadline_ms":1e99})"),
+               Error);
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"budget","o":1,"v":2,"max_node_hours":1e999999})"),
+      Error);
+  const std::string long_digits(5000, '7');
+  EXPECT_THROW(
+      parse_request(R"({"op":"stq","o":)" + long_digits + R"(,"v":2})"),
+      Error);
+
+  // Oversized string fields are carried through, not truncated or fatal:
+  // unknown machines fail later, at the registry, with a clean Error.
+  const std::string big_id(1 << 16, 'x');
+  const auto req =
+      parse_request(R"({"op":"stq","o":1,"v":2,"id":")" + big_id + R"("})");
+  EXPECT_EQ(req.id.size(), big_id.size());
+
+  // Nesting is explicitly unsupported and must throw, not recurse.
+  std::string nested = R"({"a":)";
+  for (int i = 0; i < 2000; ++i) nested += '{';
+  EXPECT_THROW(parse_record(nested), Error);
+}
+
+/// Text over the protocol's representable alphabet: printable ASCII,
+/// high bytes, and the escapes parse_string round-trips (", \, \n, \t).
+/// Control bytes below 0x20 format as \uXXXX, which the flat parser
+/// rejects by design — they never appear in responses the server builds.
+std::string random_text(Rng& rng, std::size_t max_len) {
+  static const std::string palette =
+      "abz\"\\{}:,\n\t 0129.-\x7f\xc3\xa9";
+  const std::size_t len =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(max_len)));
+  std::string s(len, '\0');
+  for (char& c : s) {
+    c = palette[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(palette.size()) - 1))];
+  }
+  return s;
+}
+
+TEST(ProtocolFuzzTest, ErrorResponsesAlwaysRoundTrip) {
+  Rng rng(1234);
+  for (int i = 0; i < 1000; ++i) {
+    // Error messages frequently embed hostile input; the formatter must
+    // escape whatever ends up in them.
+    const Response err = error_response(random_text(rng, 80),
+                                        /*op=*/"stq", random_text(rng, 12),
+                                        /*code=*/"bad_request");
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    const auto rec = parse_record(format_response(err));
+    EXPECT_EQ(rec.at("ok"), "false");
+    EXPECT_EQ(rec.at("code"), "bad_request");
+    EXPECT_EQ(rec.at("error"), err.error);
+  }
+}
+
+}  // namespace
+}  // namespace ccpred::serve

@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <future>
+#include <list>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,6 +23,7 @@
 #include "ccpred/common/error.hpp"
 #include "ccpred/common/latency_histogram.hpp"
 #include "ccpred/common/lru_cache.hpp"
+#include "ccpred/common/rng.hpp"
 #include "ccpred/common/strings.hpp"
 #include "ccpred/core/gradient_boosting.hpp"
 #include "ccpred/core/serialize.hpp"
@@ -285,16 +290,18 @@ TEST(ModelRegistryTest, RejectsUnknownMachineAndKind) {
 
 // ------------------------------------------------------------------ Server
 
-/// Registry + server over one pre-published small GB artifact.
+/// Registry + server over one pre-published small GB artifact. Extra
+/// ServeOptions (fault injector, max_queue_depth, ...) ride in via `base`;
+/// tests that need their own scratch directory pass a distinct `name`.
 struct ServerFixture {
   explicit ServerFixture(std::size_t cache_capacity = 32,
-                         std::size_t threads = 4)
-      : dir(scratch_dir("server")), registry(dir) {
+                         std::size_t threads = 4, ServeOptions base = {},
+                         const std::string& name = "server")
+      : dir(scratch_dir(name)), registry(dir) {
     ml::save_gb(campaign_gb(), registry.artifact_path("aurora", "gb"));
-    ServeOptions opt;
-    opt.threads = threads;
-    opt.cache_capacity = cache_capacity;
-    server = std::make_unique<Server>(registry, opt);
+    base.threads = threads;
+    base.cache_capacity = cache_capacity;
+    server = std::make_unique<Server>(registry, base);
   }
 
   Request stq(int o, int v) {
@@ -512,6 +519,414 @@ TEST(AdvisorSweepReuseTest, BudgetOverloadMatchesFullSweep) {
   EXPECT_THROW(guide::Advisor::fastest_within_budget(base, 1e-9), Error);
   EXPECT_THROW(guide::Advisor::from_sweep({}, guide::Objective::kNodeHours),
                Error);
+}
+
+// ----------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, DisabledInjectorNeverFires) {
+  FaultInjector off;  // all probabilities zero
+  EXPECT_FALSE(off.enabled());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(off.fire(FaultPoint::kArtifactRead));
+    EXPECT_EQ(off.maybe_delay(FaultPoint::kSweepCompute), 0.0);
+  }
+  EXPECT_EQ(off.injected(FaultPoint::kArtifactRead), 0u);
+  EXPECT_EQ(off.injected(FaultPoint::kSweepCompute), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedGivesBitIdenticalSchedule) {
+  FaultOptions opt;
+  opt.seed = 42;
+  opt.artifact_read_failure = 0.3;
+  opt.sweep_delay = 0.5;
+  opt.worker_stall = 0.25;
+  opt.cache_shard_hold = 0.7;
+  // Tiny base delays: maybe_delay sleeps for real, keep the test fast.
+  opt.sweep_delay_ms = 0.01;
+  opt.worker_stall_ms = 0.01;
+  opt.cache_shard_hold_ms = 0.01;
+
+  FaultInjector a(opt);
+  FaultInjector b(opt);
+  const FaultPoint points[] = {FaultPoint::kArtifactRead,
+                               FaultPoint::kSweepCompute,
+                               FaultPoint::kWorkerStall,
+                               FaultPoint::kCacheShard};
+  for (const FaultPoint p : points) {
+    bool fired_any = false;
+    bool spared_any = false;
+    for (std::uint64_t n = 0; n < 200; ++n) {
+      // The Nth arrival draws the same verdict in both injectors, and the
+      // static schedule oracle predicts it without consuming arrivals.
+      const bool fa = a.fire(p);
+      EXPECT_EQ(fa, b.fire(p)) << fault_point_name(p) << " arrival " << n;
+      EXPECT_EQ(fa, FaultInjector::unit_draw(opt.seed, p, n) <
+                        a.probability(p))
+          << fault_point_name(p) << " arrival " << n;
+      fired_any |= fa;
+      spared_any |= !fa;
+    }
+    EXPECT_TRUE(fired_any) << fault_point_name(p);
+    EXPECT_TRUE(spared_any) << fault_point_name(p);
+    EXPECT_EQ(a.arrivals(p), 200u);
+    EXPECT_EQ(a.injected(p), b.injected(p));
+  }
+
+  // maybe_delay's actual sleep matches the pure schedule function.
+  FaultInjector c(opt);
+  for (std::uint64_t n = 0; n < 32; ++n) {
+    const double expect =
+        FaultInjector::delay_for(opt, FaultPoint::kSweepCompute, n);
+    EXPECT_EQ(c.maybe_delay(FaultPoint::kSweepCompute), expect);
+  }
+
+  // A different seed produces a different schedule somewhere.
+  FaultOptions other = opt;
+  other.seed = 43;
+  int diffs = 0;
+  for (std::uint64_t n = 0; n < 200; ++n) {
+    diffs += FaultInjector::delay_for(opt, FaultPoint::kSweepCompute, n) !=
+             FaultInjector::delay_for(other, FaultPoint::kSweepCompute, n);
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(FaultInjectorTest, ProtocolCarriesDeadlineCodeAndStale) {
+  const auto req = parse_request(
+      R"({"op":"stq","o":44,"v":260,"deadline_ms":250})");
+  EXPECT_EQ(req.deadline_ms, 250);
+  EXPECT_THROW(
+      parse_request(R"({"op":"stq","o":1,"v":2,"deadline_ms":-5})"), Error);
+
+  const Response err = error_response("too slow", "stq", "q9", "deadline");
+  const auto rec = parse_record(format_response(err));
+  EXPECT_EQ(rec.at("ok"), "false");
+  EXPECT_EQ(rec.at("code"), "deadline");
+  EXPECT_EQ(rec.at("error"), "too slow");
+
+  Response stale;
+  stale.ok = true;
+  stale.stale = true;
+  EXPECT_EQ(parse_record(format_response(stale)).at("stale"), "true");
+}
+
+// ------------------------------------------------- cache property tests
+
+/// Randomised op sequences against an exact reference model: the LruCache
+/// must track a textbook LRU list (size, presence, values, counters).
+TEST(LruCachePropertyTest, RandomOpsMatchReferenceModel) {
+  constexpr std::size_t kCapacity = 5;
+  LruCache<int, int> cache(kCapacity);
+  std::list<std::pair<int, int>> model;  // front = most recently used
+  CacheCounters expect;
+
+  Rng rng(99);
+  for (int step = 0; step < 5000; ++step) {
+    const int key = static_cast<int>(rng.uniform_int(0, 15));
+    const auto it = std::find_if(model.begin(), model.end(),
+                                 [&](const auto& e) { return e.first == key; });
+    if (rng.bernoulli(0.5)) {
+      const auto got = cache.get(key);
+      if (it == model.end()) {
+        ++expect.misses;
+        EXPECT_FALSE(got.has_value()) << "step " << step;
+      } else {
+        ++expect.hits;
+        model.splice(model.begin(), model, it);
+        ASSERT_TRUE(got.has_value()) << "step " << step;
+        EXPECT_EQ(*got, model.front().second) << "step " << step;
+      }
+    } else {
+      cache.put(key, step);
+      if (it == model.end()) {
+        model.emplace_front(key, step);
+        if (model.size() > kCapacity) {
+          model.pop_back();
+          ++expect.evictions;
+        }
+      } else {
+        it->second = step;
+        model.splice(model.begin(), model, it);
+      }
+    }
+    ASSERT_EQ(cache.size(), model.size()) << "step " << step;
+  }
+  EXPECT_EQ(cache.counters().hits, expect.hits);
+  EXPECT_EQ(cache.counters().misses, expect.misses);
+  EXPECT_EQ(cache.counters().evictions, expect.evictions);
+  // Every resident key maps to the model's value (gets mirror recency).
+  const auto resident = model;  // snapshot: gets below reorder both equally
+  for (const auto& [key, value] : resident) {
+    const auto got = cache.get(key);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, value);
+  }
+}
+
+/// Same property one level up: the sharded SweepCache must behave as
+/// independent per-shard LRUs with hash-distributed keys.
+TEST(SweepCachePropertyTest, RandomOpsMatchShardedReferenceModel) {
+  constexpr std::size_t kCapacity = 12;
+  constexpr std::size_t kShards = 4;
+  SweepCache cache(kCapacity, kShards);
+  const std::size_t per_shard = (kCapacity + kShards - 1) / kShards;
+
+  struct RefShard {
+    std::list<std::pair<SweepKey, SweepPtr>> items;  // front = MRU
+    CacheCounters counters;
+  };
+  std::vector<RefShard> ref(kShards);
+  const auto shard_of = [&](const SweepKey& k) {
+    return SweepKeyHash()(k) % kShards;
+  };
+
+  Rng rng(123);
+  const auto random_key = [&] {
+    SweepKey k;
+    k.machine = rng.bernoulli(0.5) ? "aurora" : "frontier";
+    k.kind = "gb";
+    k.model_version = static_cast<std::uint64_t>(rng.uniform_int(1, 2));
+    k.o = static_cast<int>(rng.uniform_int(1, 6)) * 10;
+    k.v = k.o * 5;
+    return k;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const SweepKey key = random_key();
+    RefShard& shard = ref[shard_of(key)];
+    const auto it =
+        std::find_if(shard.items.begin(), shard.items.end(),
+                     [&](const auto& e) { return e.first == key; });
+    if (rng.bernoulli(0.5)) {
+      const SweepPtr got = cache.get(key);
+      if (it == shard.items.end()) {
+        ++shard.counters.misses;
+        EXPECT_EQ(got, nullptr) << "step " << step;
+      } else {
+        ++shard.counters.hits;
+        shard.items.splice(shard.items.begin(), shard.items, it);
+        EXPECT_EQ(got, shard.items.front().second) << "step " << step;
+      }
+    } else {
+      const auto value = std::make_shared<const guide::Recommendation>();
+      cache.put(key, value);
+      if (it == shard.items.end()) {
+        shard.items.emplace_front(key, value);
+        if (shard.items.size() > per_shard) {
+          shard.items.pop_back();
+          ++shard.counters.evictions;
+        }
+      } else {
+        it->second = value;
+        shard.items.splice(shard.items.begin(), shard.items, it);
+      }
+    }
+  }
+
+  CacheCounters expect;
+  std::size_t expect_size = 0;
+  for (const RefShard& shard : ref) {
+    expect += shard.counters;
+    expect_size += shard.items.size();
+  }
+  EXPECT_EQ(cache.size(), expect_size);
+  EXPECT_EQ(cache.counters().hits, expect.hits);
+  EXPECT_EQ(cache.counters().misses, expect.misses);
+  EXPECT_EQ(cache.counters().evictions, expect.evictions);
+  for (const RefShard& shard : ref) {
+    for (const auto& [key, value] : shard.items) {
+      EXPECT_EQ(cache.get(key), value);  // exact pointer identity
+    }
+  }
+}
+
+// ------------------------------------------------- robustness: deadlines
+
+TEST(ServerRobustnessTest, DeadlineReturnsStructuredErrorAndWarmsCache) {
+  FaultOptions fopt;
+  fopt.seed = 7;
+  fopt.sweep_delay = 1.0;  // every sweep sleeps 150..450 ms
+  fopt.sweep_delay_ms = 300.0;
+  FaultInjector fault(fopt);
+  ServeOptions base;
+  base.fault_injector = &fault;
+  ServerFixture f(32, 2, base, "deadline");
+
+  Request req = f.stq(44, 260);
+  req.deadline_ms = 20;
+  const auto timed_out = f.server->handle(req);
+  EXPECT_FALSE(timed_out.ok);
+  EXPECT_EQ(timed_out.code, "deadline");
+  EXPECT_NE(timed_out.error.find("deadline"), std::string::npos);
+
+  // The abandoned sweep still completes on the sweep pool and warms the
+  // cache: asking again (no deadline) coalesces or hits, never recomputes.
+  req.deadline_ms = 0;
+  const auto answered = f.server->handle(req);
+  ASSERT_TRUE(answered.ok) << answered.error;
+  const auto stats = f.server->stats();
+  EXPECT_EQ(stats.sweeps_computed, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(fault.injected(FaultPoint::kSweepCompute), 1u);
+
+  // Fault delays never change answers, only timing.
+  ServerFixture clean(32, 1, ServeOptions{}, "deadline_clean");
+  const auto expect = clean.server->handle(clean.stq(44, 260));
+  ASSERT_TRUE(expect.ok);
+  EXPECT_EQ(answered.nodes, expect.nodes);
+  EXPECT_EQ(answered.tile, expect.tile);
+  EXPECT_EQ(answered.time_s, expect.time_s);
+  EXPECT_EQ(answered.node_hours, expect.node_hours);
+}
+
+// -------------------------------------------- robustness: load shedding
+
+TEST(ServerRobustnessTest, ShedsLoadBeyondMaxQueueDepth) {
+  FaultOptions fopt;
+  fopt.seed = 3;
+  fopt.worker_stall = 1.0;  // the lone worker stalls 100..300 ms per task
+  fopt.worker_stall_ms = 200.0;
+  FaultInjector fault(fopt);
+  ServeOptions base;
+  base.fault_injector = &fault;
+  base.max_queue_depth = 2;
+  ServerFixture f(32, 1, base, "shed");
+
+  Request req;
+  req.op = Op::kStats;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(f.server->submit(req));
+
+  int shed = 0;
+  int answered = 0;
+  for (auto& fut : futures) {
+    const auto r = fut.get();
+    if (r.ok) {
+      ++answered;
+    } else {
+      EXPECT_EQ(r.code, "overloaded");
+      EXPECT_NE(r.error.find("overloaded"), std::string::npos);
+      ++shed;
+    }
+  }
+  // The worker is stalled on the first task while the burst arrives, so
+  // at most 1 running + 2 queued are admitted; the rest shed immediately.
+  EXPECT_GE(shed, 7);
+  EXPECT_EQ(shed + answered, 10);
+  const auto stats = f.server->stats();
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(answered));
+  EXPECT_GE(fault.injected(FaultPoint::kWorkerStall), 1u);
+}
+
+// -------------------------------------- robustness: stale-while-revalidate
+
+TEST(ServerRobustnessTest, FailedReloadServesStaleAnswers) {
+  ServerFixture f(32, 1, ServeOptions{}, "stale");
+  const auto fresh = f.server->handle(f.stq(85, 698));
+  ASSERT_TRUE(fresh.ok) << fresh.error;
+  EXPECT_FALSE(fresh.stale);
+
+  // Corrupt the artifact and bump its mtime: the reload fails, and the
+  // server degrades to the last-good model instead of erroring.
+  const auto path = f.registry.artifact_path("aurora", "gb");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "garbage, not a model\n";
+  }
+  fs::last_write_time(path,
+                      fs::last_write_time(path) + std::chrono::seconds(2));
+  const auto stale = f.server->handle(f.stq(85, 698));
+  ASSERT_TRUE(stale.ok) << stale.error;
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(stale.model_version, fresh.model_version);
+  EXPECT_EQ(stale.nodes, fresh.nodes);
+  EXPECT_EQ(stale.time_s, fresh.time_s);
+  EXPECT_EQ(stale.node_hours, fresh.node_hours);
+
+  // The failed mtime is memoised: further requests serve stale without
+  // re-attempting the load on every call.
+  EXPECT_TRUE(f.server->handle(f.stq(85, 698)).stale);
+  auto stats = f.server->stats();
+  EXPECT_EQ(stats.reload_failures, 1u);
+  EXPECT_EQ(stats.stale_served, 2u);
+
+  // Republishing a good artifact recovers to a fresh (non-stale) version.
+  ml::save_gb(campaign_gb(20), path);
+  fs::last_write_time(path,
+                      fs::last_write_time(path) + std::chrono::seconds(4));
+  const auto recovered = f.server->handle(f.stq(85, 698));
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_FALSE(recovered.stale);
+  EXPECT_EQ(recovered.model_version, fresh.model_version + 1);
+
+  // The degraded-mode counters surface through the stats protocol verb.
+  Request sreq;
+  sreq.op = Op::kStats;
+  const auto sresp = f.server->handle(sreq);
+  ASSERT_TRUE(sresp.has_stats);
+  const auto rec = parse_record(format_response(sresp));
+  EXPECT_EQ(rec.at("reload_failures"), "1");
+  EXPECT_EQ(rec.at("stale_served"), "2");
+  EXPECT_EQ(rec.at("deadline_exceeded"), "0");
+  EXPECT_EQ(rec.at("shed"), "0");
+  EXPECT_EQ(rec.at("retries"), "0");
+}
+
+// -------------------------------------- robustness: queue depth accounting
+
+TEST(ServerRobustnessTest, QueueDepthReturnsToZeroAfterMixedBurst) {
+  FaultOptions fopt;
+  fopt.seed = 11;
+  fopt.worker_stall = 0.4;
+  fopt.worker_stall_ms = 5.0;
+  fopt.sweep_delay = 0.4;
+  fopt.sweep_delay_ms = 10.0;
+  fopt.cache_shard_hold = 0.4;
+  fopt.cache_shard_hold_ms = 1.0;
+  FaultInjector fault(fopt);
+  ServeOptions base;
+  base.fault_injector = &fault;
+  base.max_queue_depth = 4;
+  ServerFixture f(8, 2, base, "depth");
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 30; ++i) {
+    Request r;
+    switch (i % 4) {
+      case 0: r = f.stq(44, 260); break;
+      case 1: r = f.stq(-3, 100); break;  // invalid: fails inside the sweep
+      case 2:
+        r = f.stq(85, 698);
+        r.deadline_ms = 1;  // expires in the queue or mid-sweep
+        break;
+      default: r.op = Op::kStats;
+    }
+    futures.push_back(f.server->submit(std::move(r)));
+  }
+  int answered = 0;
+  int shed = 0;
+  for (auto& fut : futures) {
+    const auto r = fut.get();  // every request resolves exactly once
+    ++answered;
+    if (!r.ok && r.code == "overloaded") ++shed;
+  }
+  EXPECT_EQ(answered, 30);
+
+  // The gauge must return to zero even though the burst mixed faulted,
+  // deadline-exceeded and shed requests (exception-safe decrement). The
+  // decrement runs just after the future resolves, so poll briefly.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (f.server->stats().queue_depth != 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto stats = f.server->stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.requests + stats.shed, 30u);
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
 }
 
 }  // namespace

@@ -7,6 +7,9 @@
 ///       publish the artifact as DIR/<machine>-<model>.model.
 ///   serve --artifacts DIR [--default-machine M] [--default-model gb|rf]
 ///         [--threads N] [--cache N] [--port P] [--serial]
+///         [--max-queue N] [--fault-seed S] [--fault-artifact P]
+///         [--fault-sweep P] [--fault-sweep-ms MS] [--fault-stall P]
+///         [--fault-stall-ms MS] [--fault-cache P] [--fault-cache-ms MS]
 ///       Serve line-protocol requests (see serve/protocol.hpp) from stdin,
 ///       one response line per request line, in request order. Requests are
 ///       pipelined through the worker pool unless --serial is given. With
@@ -14,15 +17,25 @@
 ///       speaks the same protocol. EOF on stdin shuts the server down and
 ///       prints a final stats line to stderr.
 ///
+///       --max-queue bounds the worker backlog: beyond it, requests are
+///       answered immediately with code="overloaded" (TCP connections
+///       retry a few times with jittered backoff before passing the
+///       rejection through). The --fault-* flags arm the deterministic
+///       FaultInjector for chaos drills; see serve/fault_injector.hpp.
+///
 /// Missing artifacts are trained on first use (train-and-cache), so
 /// `serve` works on an empty directory — pre-train with `train` to make
 /// startup instant and answers reproducible across deployments.
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,7 +45,9 @@
 #include <unistd.h>
 
 #include "ccpred/common/error.hpp"
+#include "ccpred/common/rng.hpp"
 #include "ccpred/common/strings.hpp"
+#include "ccpred/serve/fault_injector.hpp"
 #include "ccpred/serve/model_registry.hpp"
 #include "ccpred/serve/server.hpp"
 
@@ -104,8 +119,40 @@ std::string answer_line(serve::Server& server, const std::string& line) {
   }
 }
 
+/// Sleeps for a jittered exponential backoff: base 2^attempt ms, scaled by
+/// a uniform factor in [0.5, 1.5) so retry storms decorrelate.
+void backoff_sleep(Rng& rng, int attempt, double base_ms = 1.0) {
+  const double ms =
+      base_ms * static_cast<double>(1u << attempt) * rng.uniform(0.5, 1.5);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Answers one TCP request line through the bounded queue, retrying shed
+/// requests a few times with jittered backoff before passing the
+/// overloaded response through to the client.
+std::string answer_line_with_retry(serve::Server& server,
+                                   const std::string& line, Rng& rng) {
+  serve::Request req;
+  try {
+    req = serve::parse_request(line);
+  } catch (const std::exception& e) {
+    return serve::format_response(serve::error_response(e.what()));
+  }
+  constexpr int kMaxRetries = 4;
+  serve::Response response;
+  for (int attempt = 0;; ++attempt) {
+    response = server.submit(req).get();
+    if (response.code != "overloaded" || attempt >= kMaxRetries) break;
+    server.record_retries(1);
+    backoff_sleep(rng, attempt);
+  }
+  return serve::format_response(response);
+}
+
 /// Serves one accepted TCP connection until the peer closes it.
-void serve_connection(serve::Server& server, int fd) {
+void serve_connection(serve::Server& server, int fd, std::uint64_t conn_id) {
+  // Per-connection backoff stream: deterministic given the connection id.
+  Rng rng(0x5e4d5ecull ^ conn_id);
   std::string buffer;
   char chunk[4096];
   ssize_t got = 0;
@@ -116,7 +163,7 @@ void serve_connection(serve::Server& server, int fd) {
       const std::string line = buffer.substr(0, nl);
       buffer.erase(0, nl + 1);
       if (trim(line).empty()) continue;
-      const std::string out = answer_line(server, line) + "\n";
+      const std::string out = answer_line_with_retry(server, line, rng) + "\n";
       std::size_t sent = 0;
       while (sent < out.size()) {
         const ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
@@ -163,11 +210,27 @@ class TcpListener {
 
  private:
   void accept_loop() {
+    Rng backoff_rng(0xacce97ull);
+    int failures = 0;
+    std::uint64_t conn_id = 0;
     while (true) {
       const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) return;  // listener closed: shut down
+      if (fd < 0) {
+        // Transient accept failures (fd exhaustion, aborted handshakes,
+        // signals) back off and retry instead of killing the listener; a
+        // closed listening socket (shutdown) returns for good.
+        const bool transient = errno == EINTR || errno == ECONNABORTED ||
+                               errno == EMFILE || errno == ENFILE ||
+                               errno == ENOBUFS || errno == ENOMEM;
+        if (!transient || failures >= 8) return;
+        ++failures;
+        backoff_sleep(backoff_rng, failures);
+        continue;
+      }
+      failures = 0;
+      const std::uint64_t id = conn_id++;
       connections_.emplace_back(
-          [this, fd] { serve_connection(server_, fd); });
+          [this, fd, id] { serve_connection(server_, fd, id); });
     }
   }
 
@@ -177,17 +240,52 @@ class TcpListener {
   std::vector<std::thread> connections_;
 };
 
+/// Builds the injector from --fault-* flags; nullptr when none are given.
+std::unique_ptr<serve::FaultInjector> fault_injector_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  serve::FaultOptions fopt;
+  bool armed = false;
+  const auto prob = [&](const char* flag, double& target) {
+    const auto it = flags.find(flag);
+    if (it == flags.end()) return;
+    target = parse_double(it->second);
+    armed = true;
+  };
+  prob("fault-artifact", fopt.artifact_read_failure);
+  prob("fault-sweep", fopt.sweep_delay);
+  prob("fault-stall", fopt.worker_stall);
+  prob("fault-cache", fopt.cache_shard_hold);
+  fopt.seed =
+      static_cast<std::uint64_t>(parse_int(get_or(flags, "fault-seed", "2025")));
+  fopt.sweep_delay_ms = parse_double(get_or(flags, "fault-sweep-ms", "10"));
+  fopt.worker_stall_ms = parse_double(get_or(flags, "fault-stall-ms", "5"));
+  fopt.cache_shard_hold_ms =
+      parse_double(get_or(flags, "fault-cache-ms", "2"));
+  if (!armed) return nullptr;
+  return std::make_unique<serve::FaultInjector>(fopt);
+}
+
 int cmd_serve(const std::map<std::string, std::string>& flags) {
   serve::ModelRegistry registry(need(flags, "artifacts"),
                                 registry_options(flags));
+  const auto fault = fault_injector_from_flags(flags);
+  registry.set_fault_injector(fault.get());
   serve::ServeOptions opt;
   opt.threads =
       static_cast<std::size_t>(parse_int(get_or(flags, "threads", "0")));
   opt.cache_capacity =
       static_cast<std::size_t>(parse_int(get_or(flags, "cache", "256")));
+  opt.max_queue_depth =
+      static_cast<std::size_t>(parse_int(get_or(flags, "max-queue", "0")));
   opt.default_machine = get_or(flags, "default-machine", "aurora");
   opt.default_model = get_or(flags, "default-model", "gb");
+  opt.fault_injector = fault.get();
   serve::Server server(registry, opt);
+  if (fault != nullptr) {
+    std::fprintf(stderr,
+                 "ccpred_serverd FAULT INJECTION ARMED (seed %llu)\n",
+                 static_cast<unsigned long long>(fault->options().seed));
+  }
   const bool serial = flags.count("serial") != 0;
 
   std::unique_ptr<TcpListener> listener;
@@ -242,6 +340,20 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
                static_cast<unsigned long long>(final_stats.sweeps_computed),
                final_stats.cache_hit_rate, final_stats.latency_p50_ms,
                final_stats.latency_p95_ms);
+  if (final_stats.deadline_exceeded + final_stats.shed +
+          final_stats.stale_served + final_stats.reload_failures +
+          final_stats.retries >
+      0) {
+    std::fprintf(
+        stderr,
+        "degraded: %llu deadline, %llu shed, %llu stale, %llu reload "
+        "failures, %llu retries\n",
+        static_cast<unsigned long long>(final_stats.deadline_exceeded),
+        static_cast<unsigned long long>(final_stats.shed),
+        static_cast<unsigned long long>(final_stats.stale_served),
+        static_cast<unsigned long long>(final_stats.reload_failures),
+        static_cast<unsigned long long>(final_stats.retries));
+  }
   return 0;
 }
 
@@ -252,7 +364,11 @@ int usage() {
                "[--rows N] [--seed S] [--estimators N]\n"
                "  serve --artifacts DIR [--default-machine M] "
                "[--default-model gb|rf] [--threads N] [--cache N] "
-               "[--port P] [--serial 1]\n");
+               "[--port P] [--serial 1] [--max-queue N]\n"
+               "        [--fault-seed S] [--fault-artifact P] "
+               "[--fault-sweep P] [--fault-sweep-ms MS] [--fault-stall P] "
+               "[--fault-stall-ms MS] [--fault-cache P] "
+               "[--fault-cache-ms MS]\n");
   return 2;
 }
 
