@@ -1,0 +1,226 @@
+/// Simulation-engine bench: the memoized/batched/parallel SimEngine against
+/// the serial from-scratch reference, on the paper's Aurora reproduction
+/// workloads.
+///
+/// Two timed sections:
+///   - campaign generation: the figure pipeline regenerates the paper
+///     campaign once per bench binary; we time two regenerations, reference
+///     (one from-scratch simulation per row) vs fast (one shared engine
+///     whose SimCache persists across regenerations)
+///   - STQ/BQ true-optima sweeps: the paper's exhaustive ground-truth sweep
+///     over the machine menu, repeated for several evaluation rounds (the
+///     AL goal evaluation used to recompute it every round), reference vs
+///     one fast engine
+///
+/// Gates (exit nonzero on failure):
+///   - campaign generation: fast >= 4x faster than reference
+///   - STQ/BQ sweep rounds: fast >= 3x faster than reference
+///   - fast results bit-identical (operator==) to the reference results
+///
+/// Emits the measurements to BENCH_sim_engine.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ccpred/common/stopwatch.hpp"
+#include "ccpred/common/table.hpp"
+#include "ccpred/common/thread_pool.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/problems.hpp"
+#include "ccpred/guidance/optimal.hpp"
+#include "ccpred/sim/sim_engine.hpp"
+
+namespace {
+
+using namespace ccpred;
+
+/// Exact row-by-row equality (configs and targets compared with ==).
+bool datasets_identical(const data::Dataset& a, const data::Dataset& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.config(i) == b.config(i))) return false;
+    if (a.target(i) != b.target(i)) return false;
+  }
+  return true;
+}
+
+/// Exact sweep equality: every point's config and time, and the argmin.
+bool sweeps_identical(const std::vector<guide::TrueOptimaSweep>& a,
+                      const std::vector<guide::TrueOptimaSweep>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].o != b[i].o || a[i].v != b[i].v) return false;
+    if (a[i].points.size() != b[i].points.size()) return false;
+    for (std::size_t j = 0; j < a[i].points.size(); ++j) {
+      if (!(a[i].points[j].config == b[i].points[j].config)) return false;
+      if (a[i].points[j].time_s != b[i].points[j].time_s) return false;
+      if (a[i].points[j].value != b[i].points[j].value) return false;
+    }
+    if (!(a[i].best.config == b[i].best.config)) return false;
+    if (a[i].best.value != b[i].best.value) return false;
+  }
+  return true;
+}
+
+/// The k smallest problems by O*V work proxy (cheapest sweep surfaces).
+std::vector<data::Problem> smallest_problems(std::vector<data::Problem> all,
+                                             std::size_t k) {
+  std::sort(all.begin(), all.end(),
+            [](const data::Problem& a, const data::Problem& b) {
+              return static_cast<double>(a.o) * a.v <
+                     static_cast<double>(b.o) * b.v;
+            });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast_mode = bench::fast_mode();
+  const auto simulator = bench::make_simulator("aurora");
+  const auto& problems = data::problems_for("aurora");
+  const std::size_t threads = ThreadPool::global().size();
+
+  std::printf("== Simulation engine vs serial reference (aurora, %zu threads%s) ==\n\n",
+              threads, fast_mode ? ", fast mode" : "");
+
+  // ---- campaign generation: two figure-pipeline regenerations ----
+  // Fast mode shrinks the PROBLEM SET, not the row target: the fast path's
+  // advantage rides on the campaign's repeat ratio (rows per distinct
+  // config), and thinning rows across the full problem list would measure
+  // a repeat-free workload no pipeline actually runs.
+  const int regens = 2;
+  const auto campaign_problems =
+      fast_mode ? smallest_problems(problems, 6) : problems;
+  data::GeneratorOptions ref_opt;
+  ref_opt.seed = 2025;
+  ref_opt.target_total =
+      fast_mode ? data::paper_total_rows("aurora") / 4
+                : data::paper_total_rows("aurora");
+  ref_opt.engine_mode = sim::SimEngineMode::kReference;
+
+  data::Dataset ref_campaign;
+  Stopwatch campaign_ref_watch;
+  for (int r = 0; r < regens; ++r) {
+    ref_campaign = data::generate_dataset(simulator, campaign_problems, ref_opt);
+  }
+  const double campaign_ref_s = campaign_ref_watch.elapsed_s();
+
+  data::GeneratorOptions fast_opt = ref_opt;
+  fast_opt.engine_mode = sim::SimEngineMode::kFast;
+  sim::SimEngine shared_engine(simulator);
+  fast_opt.shared_engine = &shared_engine;
+
+  data::Dataset fast_campaign;
+  Stopwatch campaign_fast_watch;
+  for (int r = 0; r < regens; ++r) {
+    fast_campaign = data::generate_dataset(simulator, campaign_problems, fast_opt);
+  }
+  const double campaign_fast_s = campaign_fast_watch.elapsed_s();
+  const double campaign_speedup = campaign_ref_s / campaign_fast_s;
+  const bool campaign_identical = datasets_identical(ref_campaign, fast_campaign);
+  const auto campaign_cache = shared_engine.cache().stats();
+
+  // ---- STQ/BQ true-optima sweeps across evaluation rounds ----
+  const int rounds = 4;
+  const auto sweep_problems =
+      smallest_problems(problems, fast_mode ? 3 : 6);
+
+  sim::SimEngine ref_engine(simulator,
+                            {.mode = sim::SimEngineMode::kReference});
+  std::vector<guide::TrueOptimaSweep> ref_stq, ref_bq;
+  Stopwatch sweep_ref_watch;
+  for (int r = 0; r < rounds; ++r) {
+    ref_stq = guide::true_optima_sweeps(ref_engine, sweep_problems,
+                                        guide::Objective::kShortestTime);
+    ref_bq = guide::true_optima_sweeps(ref_engine, sweep_problems,
+                                       guide::Objective::kNodeHours);
+  }
+  const double sweep_ref_s = sweep_ref_watch.elapsed_s();
+
+  sim::SimEngine fast_engine(simulator);
+  std::vector<guide::TrueOptimaSweep> fast_stq, fast_bq;
+  Stopwatch sweep_fast_watch;
+  for (int r = 0; r < rounds; ++r) {
+    fast_stq = guide::true_optima_sweeps(fast_engine, sweep_problems,
+                                         guide::Objective::kShortestTime);
+    fast_bq = guide::true_optima_sweeps(fast_engine, sweep_problems,
+                                        guide::Objective::kNodeHours);
+  }
+  const double sweep_fast_s = sweep_fast_watch.elapsed_s();
+  const double sweep_speedup = sweep_ref_s / sweep_fast_s;
+  const bool sweep_identical =
+      sweeps_identical(ref_stq, fast_stq) && sweeps_identical(ref_bq, fast_bq);
+  std::size_t sweep_configs = 0;
+  for (const auto& sw : ref_stq) sweep_configs += sw.points.size();
+  const auto sweep_cache = fast_engine.cache().stats();
+
+  TextTable table({"section", "path", "seconds", "speedup"},
+                  "Simulation engine vs reference");
+  table.add_row({"campaign x2", "reference",
+                 TextTable::cell(campaign_ref_s, 3), "1.0x"});
+  table.add_row({"campaign x2", "fast (shared cache)",
+                 TextTable::cell(campaign_fast_s, 3),
+                 TextTable::cell(campaign_speedup, 1) + "x"});
+  table.add_row({"STQ/BQ sweep x4", "reference",
+                 TextTable::cell(sweep_ref_s, 3), "1.0x"});
+  table.add_row({"STQ/BQ sweep x4", "fast (memoized)",
+                 TextTable::cell(sweep_fast_s, 3),
+                 TextTable::cell(sweep_speedup, 1) + "x"});
+  table.print();
+
+  const bool campaign_ok = campaign_speedup >= 4.0;
+  const bool sweep_ok = sweep_speedup >= 3.0;
+  const bool identical_ok = campaign_identical && sweep_identical;
+  std::printf(
+      "\ncampaign rows %zu x%d regens; engine cache: %zu entries, %llu hits\n"
+      "sweep problems %zu, %zu configs x%d rounds x2 objectives; cache: %zu "
+      "entries, %llu hits\n"
+      "campaign generation speedup %.1fx (target >= 4x): %s\n"
+      "STQ/BQ sweep speedup %.1fx (target >= 3x): %s\n"
+      "fast vs reference bit-identity (campaign %s, sweeps %s): %s\n",
+      ref_campaign.size(), regens, campaign_cache.entries,
+      static_cast<unsigned long long>(campaign_cache.hits),
+      sweep_problems.size(), sweep_configs, rounds, sweep_cache.entries,
+      static_cast<unsigned long long>(sweep_cache.hits), campaign_speedup,
+      campaign_ok ? "PASS" : "FAIL", sweep_speedup, sweep_ok ? "PASS" : "FAIL",
+      campaign_identical ? "yes" : "NO", sweep_identical ? "yes" : "NO",
+      identical_ok ? "PASS" : "FAIL");
+
+  const bool pass = campaign_ok && sweep_ok && identical_ok;
+  std::FILE* json = std::fopen("BENCH_sim_engine.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"machine\": \"aurora\",\n"
+        "  \"fast_mode\": %s,\n"
+        "  \"threads\": %zu,\n"
+        "  \"campaign\": {\"rows\": %zu, \"regens\": %d, \"reference_s\": "
+        "%.6f, \"fast_s\": %.6f, \"speedup\": %.3f, \"identical\": %s,\n"
+        "    \"cache_entries\": %zu, \"cache_hits\": %llu},\n"
+        "  \"sweep\": {\"problems\": %zu, \"configs\": %zu, \"rounds\": %d, "
+        "\"reference_s\": %.6f, \"fast_s\": %.6f, \"speedup\": %.3f, "
+        "\"identical\": %s,\n"
+        "    \"cache_entries\": %zu, \"cache_hits\": %llu},\n"
+        "  \"pass\": %s\n"
+        "}\n",
+        fast_mode ? "true" : "false", threads, ref_campaign.size(), regens,
+        campaign_ref_s, campaign_fast_s, campaign_speedup,
+        campaign_identical ? "true" : "false", campaign_cache.entries,
+        static_cast<unsigned long long>(campaign_cache.hits),
+        sweep_problems.size(), sweep_configs, rounds, sweep_ref_s,
+        sweep_fast_s, sweep_speedup, sweep_identical ? "true" : "false",
+        sweep_cache.entries,
+        static_cast<unsigned long long>(sweep_cache.hits),
+        pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_sim_engine.json\n");
+  }
+
+  return pass ? 0 : 1;
+}

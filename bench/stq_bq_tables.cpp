@@ -19,8 +19,12 @@ int run_optimal_table(const std::string& machine, guide::Objective objective,
   // each table).
   const auto scores = ml::score_all(data.split.test.targets(), y_pred);
 
-  const auto outcomes = guide::evaluate_optima(data.split.test, y_pred,
-                                               objective);
+  // Sweep the true objective surface once and share it with the
+  // evaluation (the argmin and the loss lookup used to each recompute it).
+  const auto true_sweeps = guide::sweep_optimal_values(
+      data.split.test, data.split.test.targets(), objective);
+  const auto outcomes =
+      guide::evaluate_optima(data.split.test, y_pred, objective, true_sweeps);
   const auto table = objective == guide::Objective::kShortestTime
                          ? guide::format_stq_table(outcomes, table_name)
                          : guide::format_bq_table(outcomes, table_name);

@@ -31,6 +31,14 @@ ActiveLearningResult run_active_learning(
   linalg::Matrix pending_x;          // rows labeled since the last fit
   std::vector<double> pending_y;
 
+  // The test set's true objective sweep never changes across rounds —
+  // compute it once and reuse it in every goal evaluation.
+  std::vector<guide::ProblemSweep> true_sweeps;
+  if (options.goal) {
+    true_sweeps =
+        guide::sweep_optimal_values(test, test.targets(), *options.goal);
+  }
+
   for (int round = 0; round < options.n_queries; ++round) {
     const bool cadence_refit = options.refit_cadence > 0 &&
                                round % options.refit_cadence == 0;
@@ -57,7 +65,8 @@ ActiveLearningResult run_active_learning(
       // True-loss goal evaluation: locate predicted optima on the test set
       // and score them at their true targets (§3.4).
       const auto y_pred = model->predict(x_test);
-      const auto outcomes = guide::evaluate_optima(test, y_pred, *options.goal);
+      const auto outcomes =
+          guide::evaluate_optima(test, y_pred, *options.goal, true_sweeps);
       record.goal_losses = guide::compute_losses(outcomes);
     }
     result.rounds.push_back(record);

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "ccpred/common/error.hpp"
-#include "ccpred/common/rng.hpp"
+#include "ccpred/common/thread_pool.hpp"
 #include "ccpred/sim/contraction.hpp"
 
 namespace ccpred::data {
@@ -25,11 +25,15 @@ int max_useful_nodes(const sim::CcsdSimulator& simulator, const Problem& p) {
 }
 
 /// Work-based floor: below this node count an iteration would run for tens
-/// of minutes, which no measurement campaign pays for.
-int min_useful_nodes(const sim::CcsdSimulator& simulator, const Problem& p) {
+/// of minutes, which no measurement campaign pays for. The floor is capped
+/// at `n_max`: for very large problems the raw work floor can exceed the
+/// sweep ceiling, and an uncapped floor would invert the range into an
+/// empty grid.
+int min_useful_nodes(const sim::CcsdSimulator& simulator, const Problem& p,
+                     int n_max) {
   const double flops = sim::ccsd_iteration_flops(p.o, p.v);
   const int floor_nodes = std::max(5, static_cast<int>(flops / 1.2e16));
-  return std::max(simulator.min_nodes(p.o, p.v), floor_nodes);
+  return std::max(simulator.min_nodes(p.o, p.v), std::min(floor_nodes, n_max));
 }
 
 }  // namespace
@@ -37,7 +41,7 @@ int min_useful_nodes(const sim::CcsdSimulator& simulator, const Problem& p) {
 std::vector<int> node_grid(const sim::CcsdSimulator& simulator,
                            const Problem& p) {
   const int n_max = max_useful_nodes(simulator, p);
-  const int n_min = min_useful_nodes(simulator, p);
+  const int n_min = min_useful_nodes(simulator, p, n_max);
   std::vector<int> grid;
   for (int n : simulator.machine().node_menu()) {
     if (n >= n_min && n <= n_max) grid.push_back(n);
@@ -69,7 +73,9 @@ Dataset generate_dataset(const sim::CcsdSimulator& simulator,
                          const std::vector<Problem>& problems,
                          const GeneratorOptions& options) {
   CCPRED_CHECK_MSG(!problems.empty(), "need at least one problem");
-  Rng rng(options.seed);
+  CCPRED_CHECK_MSG(options.shared_engine == nullptr ||
+                       &options.shared_engine->simulator() == &simulator,
+                   "shared engine must wrap the campaign's simulator");
 
   // Per problem, the campaign sweeps a modest grid of node counts and tile
   // sizes (batch queues are expensive) and measures configurations
@@ -116,15 +122,76 @@ Dataset generate_dataset(const sim::CcsdSimulator& simulator,
     }
   }
 
-  // Draw measurements round-robin so repeat counts differ by at most one
-  // across a problem's configurations (the balanced campaign protocol).
+  // Label every configuration's repeat series through the engine. Each
+  // configuration draws from its own measurement stream (seeded on
+  // (campaign seed, config)), so the values do not depend on engine mode,
+  // evaluation order or thread count.
+  sim::SimEngine local_engine(simulator,
+                              sim::SimEngineOptions{.mode = options.engine_mode});
+  sim::SimEngine& engine =
+      options.shared_engine ? *options.shared_engine : local_engine;
+
+  struct Item {
+    std::size_t problem = 0;
+    std::size_t config = 0;
+    int reps = 0;
+  };
+  std::vector<Item> items;
+  std::vector<std::vector<std::vector<double>>> series(problems.size());
+  for (std::size_t pi = 0; pi < problems.size(); ++pi) {
+    const std::size_t n = per_problem[pi].size();
+    series[pi].resize(n);
+    // Round-robin repeat counts: row k of the problem goes to config k % n,
+    // so config ci gets ceil/floor(quota / n) repeats.
+    const std::size_t base = quota[pi] / n;
+    const std::size_t rem = quota[pi] % n;
+    for (std::size_t ci = 0; ci < n; ++ci) {
+      const int reps = static_cast<int>(base + (ci < rem ? 1 : 0));
+      if (reps > 0) items.push_back(Item{pi, ci, reps});
+    }
+  }
+
+  const bool fast = engine.options().mode == sim::SimEngineMode::kFast;
+  if (fast) {
+    // Warm the noise-free cache in one batch (task-graph reuse across node
+    // counts), then draw the per-config noise series in parallel.
+    std::vector<sim::RunConfig> all;
+    all.reserve(items.size());
+    for (const auto& it : items) all.push_back(per_problem[it.problem][it.config]);
+    engine.simulate_batch(all);
+    const auto label = [&](std::size_t i) {
+      const auto& it = items[i];
+      series[it.problem][it.config] = engine.measured_series(
+          per_problem[it.problem][it.config], options.seed, it.reps);
+    };
+    if (engine.options().parallel &&
+        items.size() >= engine.options().min_parallel_batch) {
+      parallel_for(0, items.size(), label);
+    } else {
+      for (std::size_t i = 0; i < items.size(); ++i) label(i);
+    }
+  } else {
+    // Reference: one from-scratch simulation per ROW (the legacy campaign
+    // cost profile), serially. Values are bit-identical to the fast path
+    // because every row draws from the same per-config stream.
+    for (const auto& it : items) {
+      auto& s = series[it.problem][it.config];
+      s.resize(static_cast<std::size_t>(it.reps));
+      for (int r = 0; r < it.reps; ++r) {
+        s[static_cast<std::size_t>(r)] = engine.measured_time(
+            per_problem[it.problem][it.config], options.seed, r);
+      }
+    }
+  }
+
+  // Emit rows round-robin so repeat counts differ by at most one across a
+  // problem's configurations (the balanced campaign protocol).
   Dataset out;
   for (std::size_t pi = 0; pi < problems.size(); ++pi) {
     const auto& configs = per_problem[pi];
-    Rng measure_rng = rng.split();
     for (std::size_t k = 0; k < quota[pi]; ++k) {
       const std::size_t ci = k % configs.size();
-      out.add(configs[ci], simulator.measured_time(configs[ci], measure_rng));
+      out.add(configs[ci], series[pi][ci][k / configs.size()]);
     }
   }
   return out;

@@ -12,6 +12,7 @@
 #include "ccpred/data/dataset.hpp"
 #include "ccpred/data/problems.hpp"
 #include "ccpred/sim/ccsd_simulator.hpp"
+#include "ccpred/sim/sim_engine.hpp"
 
 namespace ccpred::data {
 
@@ -26,6 +27,15 @@ struct GeneratorOptions {
   std::size_t max_node_values = 7;
   /// At most this many tile sizes swept per problem.
   std::size_t max_tile_values = 5;
+  /// Simulation strategy. kFast labels through the memoized parallel
+  /// engine; kReference labels serially from scratch. Both produce
+  /// bit-identical rows (each configuration draws its noise from its own
+  /// measurement stream — see sim::measurement_stream_seed).
+  sim::SimEngineMode engine_mode = sim::SimEngineMode::kFast;
+  /// Optional externally owned engine (must wrap `simulator`); lets a
+  /// figure pipeline share one SimCache across campaign regenerations and
+  /// sweeps. nullptr means "use a private engine with `engine_mode`".
+  sim::SimEngine* shared_engine = nullptr;
 };
 
 /// Node counts swept for one problem on one machine: the machine's node
@@ -35,7 +45,8 @@ std::vector<int> node_grid(const sim::CcsdSimulator& simulator,
                            const Problem& p);
 
 /// Generates the measurement campaign for `problems` on `simulator`.
-/// Rows are deterministic given options.seed.
+/// Rows are deterministic given options.seed — independent of engine mode,
+/// thread count and evaluation order.
 Dataset generate_dataset(const sim::CcsdSimulator& simulator,
                          const std::vector<Problem>& problems,
                          const GeneratorOptions& options);

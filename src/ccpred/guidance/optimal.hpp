@@ -11,6 +11,8 @@
 
 #include "ccpred/core/metrics.hpp"
 #include "ccpred/data/dataset.hpp"
+#include "ccpred/data/problems.hpp"
+#include "ccpred/sim/sim_engine.hpp"
 
 namespace ccpred::guide {
 
@@ -34,9 +36,28 @@ struct OptimalChoice {
   double value = 0.0;         ///< objective value used for the argmin
 };
 
-/// Per problem size (ascending), the row of `dataset` minimizing the
-/// objective computed from `y` (pass dataset.targets() for true optima or
-/// model predictions for predicted optima). Ties break to the lower row.
+/// Full objective sweep of one problem size: every dataset row of the
+/// problem with its objective value, plus the argmin. Callers that need
+/// both the winner and the surface (STQ/BQ tables, AL loss evaluation)
+/// take the sweep once instead of recomputing it per use.
+struct ProblemSweep {
+  int o = 0;
+  int v = 0;
+  std::vector<std::size_t> rows;   ///< dataset row indices (grouping order)
+  std::vector<double> values;      ///< objective value per row
+  OptimalChoice best;              ///< the sweep's argmin
+};
+
+/// Per problem size (ascending), the full objective sweep of `dataset`
+/// under `y` (pass dataset.targets() for true sweeps or model predictions
+/// for predicted sweeps). Problems are swept in parallel over the shared
+/// ThreadPool; results are deterministic. Ties break deterministically:
+/// lowest nodes first, then smallest tile.
+std::vector<ProblemSweep> sweep_optimal_values(const data::Dataset& dataset,
+                                               const std::vector<double>& y,
+                                               Objective objective);
+
+/// The argmins of sweep_optimal_values (same tie-break rules).
 std::vector<OptimalChoice> get_optimal_values(const data::Dataset& dataset,
                                               const std::vector<double>& y,
                                               Objective objective);
@@ -60,6 +81,39 @@ struct ProblemOutcome {
 std::vector<ProblemOutcome> evaluate_optima(const data::Dataset& dataset,
                                             const std::vector<double>& y_pred,
                                             Objective objective);
+
+/// Same, but reuses precomputed true sweeps (from sweep_optimal_values on
+/// dataset.targets()) instead of recomputing them — this is what lets the
+/// AL loop and the STQ/BQ tables sweep the truth once per dataset rather
+/// than once per evaluation round.
+std::vector<ProblemOutcome> evaluate_optima(
+    const data::Dataset& dataset, const std::vector<double>& y_pred,
+    Objective objective, const std::vector<ProblemSweep>& true_sweeps);
+
+/// One point of a model-free exhaustive sweep: a feasible configuration
+/// with its noise-free simulated time and objective value.
+struct TrueSweepPoint {
+  sim::RunConfig config;
+  double time_s = 0.0;
+  double value = 0.0;
+};
+
+/// Exhaustive true-optima sweep of one problem over the machine's full
+/// (node menu x tile menu) grid.
+struct TrueOptimaSweep {
+  int o = 0;
+  int v = 0;
+  std::vector<TrueSweepPoint> points;  ///< menu order (nodes, then tile)
+  TrueSweepPoint best;                 ///< argmin (lowest nodes, then tile)
+};
+
+/// The paper's exhaustive ground-truth sweep (§3.4): simulates every
+/// feasible menu configuration of every problem through `engine` in one
+/// batch (task-graph reuse + memoization + pool fan-out) and returns the
+/// per-problem surfaces with their true optima.
+std::vector<TrueOptimaSweep> true_optima_sweeps(
+    sim::SimEngine& engine, const std::vector<data::Problem>& problems,
+    Objective objective);
 
 /// Paper-style losses over the outcomes: R^2 / MAE / MAPE between the true
 /// optimal objective values and the realized (true-at-predicted-config)

@@ -95,57 +95,123 @@ std::vector<TileBucket> enumerate_buckets(const DimTiles& to,
 
 }  // namespace
 
-std::vector<TaskGroup> CcsdSimulator::task_groups(const Contraction& c,
-                                                  const RunConfig& cfg) const {
-  const DimTiles to = dim_tiles(cfg.o, cfg.tile);
-  const DimTiles tv = dim_tiles(cfg.v, cfg.tile);
+namespace {
 
-  const double rate =
-      machine_.gpu_tflops * 1e12 * machine_.gemm_efficiency(cfg.tile);
-
-  // One task per (output tile block, summation tile block): TAMM splits the
-  // GEMM k-dimension across tasks as well, with local accumulation into the
-  // distributed output tile.
-  const auto out_buckets = enumerate_buckets(to, tv, c.out_occ, c.out_virt);
-  const auto sum_buckets = enumerate_buckets(to, tv, c.sum_occ, c.sum_virt);
-
-  // GPU-memory footprint of one (full-tile) task: output tile plus the two
-  // streamed input slabs of one k-block.
-  const double out_vol_full = std::pow(to.full_extent, c.out_occ) *
-                              std::pow(tv.full_extent, c.out_virt);
-  const double k_full = std::pow(to.full_extent, c.sum_occ) *
-                        std::pow(tv.full_extent, c.sum_virt);
-  const double buffer_bytes =
-      8.0 * (3.0 * out_vol_full + 2.0 * std::sqrt(out_vol_full) * k_full);
-  const double spill =
-      buffer_bytes > machine_.gpu_mem_gb * 1e9 ? machine_.spill_penalty : 1.0;
-
+/// Materializes one contraction's task groups at a node count: attaches the
+/// node-dependent communication time to each bucket's compute time.
+std::vector<TaskGroup> materialize_groups(const MachineModel& machine,
+                                          const TaskGraph::ContractionTasks& ct,
+                                          int nodes) {
   std::vector<TaskGroup> groups;
-  groups.reserve(out_buckets.size() * sum_buckets.size());
-  for (const auto& ob : out_buckets) {
-    for (const auto& sb : sum_buckets) {
-      // GEMM view of one task: C(M x N) += A(M x K) B(K x N) with
-      // M*N = ob.volume and K = sb.volume.
-      const double flops =
-          2.0 * c.mult * ob.volume * sb.volume * machine_.calibration;
-      const double compute_s = spill * flops / rate;
-
-      const double mn = 2.0 * std::sqrt(ob.volume);
-      const double bytes = 8.0 * sb.volume * mn * machine_.calibration;
-      const double comm_s =
-          transfer_time_s(machine_, bytes, /*messages=*/2.0, cfg.nodes);
-
-      const double hidden = machine_.comm_overlap;
-      const double task_s = std::max(compute_s, comm_s) +
-                            (1.0 - hidden) * std::min(compute_s, comm_s) +
-                            machine_.task_overhead_s;
-
-      groups.push_back(TaskGroup{
-          .duration_s = task_s,
-          .count = static_cast<std::int64_t>(std::llround(ob.count * sb.count))});
-    }
+  groups.reserve(ct.buckets.size());
+  for (const auto& b : ct.buckets) {
+    const double comm_s =
+        transfer_time_s(machine, b.bytes, /*messages=*/2.0, nodes);
+    const double hidden = machine.comm_overlap;
+    const double task_s = std::max(b.compute_s, comm_s) +
+                          (1.0 - hidden) * std::min(b.compute_s, comm_s) +
+                          machine.task_overhead_s;
+    groups.push_back(TaskGroup{.duration_s = task_s, .count = b.count});
   }
   return groups;
+}
+
+}  // namespace
+
+TaskGraph CcsdSimulator::build_task_graph(int o, int v, int tile) const {
+  CCPRED_CHECK_MSG(o > 0 && v > 0 && tile > 0,
+                   "task graph needs positive O, V and tile");
+  const DimTiles to = dim_tiles(o, tile);
+  const DimTiles tv = dim_tiles(v, tile);
+
+  const double rate =
+      machine_.gpu_tflops * 1e12 * machine_.gemm_efficiency(tile);
+
+  TaskGraph graph;
+  graph.o = o;
+  graph.v = v;
+  graph.tile = tile;
+  graph.contractions.reserve(inventory_.size());
+  for (const auto& c : inventory_) {
+    // One task per (output tile block, summation tile block): TAMM splits
+    // the GEMM k-dimension across tasks as well, with local accumulation
+    // into the distributed output tile.
+    const auto out_buckets = enumerate_buckets(to, tv, c.out_occ, c.out_virt);
+    const auto sum_buckets = enumerate_buckets(to, tv, c.sum_occ, c.sum_virt);
+
+    // GPU-memory footprint of one (full-tile) task: output tile plus the
+    // two streamed input slabs of one k-block.
+    const double out_vol_full = ipow(to.full_extent, c.out_occ) *
+                                ipow(tv.full_extent, c.out_virt);
+    const double k_full = ipow(to.full_extent, c.sum_occ) *
+                          ipow(tv.full_extent, c.sum_virt);
+    const double buffer_bytes =
+        8.0 * (3.0 * out_vol_full + 2.0 * std::sqrt(out_vol_full) * k_full);
+    const double spill = buffer_bytes > machine_.gpu_mem_gb * 1e9
+                             ? machine_.spill_penalty
+                             : 1.0;
+
+    TaskGraph::ContractionTasks ct;
+    ct.buckets.reserve(out_buckets.size() * sum_buckets.size());
+    for (const auto& ob : out_buckets) {
+      for (const auto& sb : sum_buckets) {
+        // GEMM view of one task: C(M x N) += A(M x K) B(K x N) with
+        // M*N = ob.volume and K = sb.volume.
+        const double flops =
+            2.0 * c.mult * ob.volume * sb.volume * machine_.calibration;
+        const double mn = 2.0 * std::sqrt(ob.volume);
+        ct.buckets.push_back(TaskGraph::Bucket{
+            .compute_s = spill * flops / rate,
+            .bytes = 8.0 * sb.volume * mn * machine_.calibration,
+            .count =
+                static_cast<std::int64_t>(std::llround(ob.count * sb.count))});
+      }
+    }
+    // k-chunk partial results are accumulated into the distributed output
+    // tensor once per contraction (machine-wide reduction of the output).
+    ct.out_bytes = 8.0 * ipow(static_cast<double>(o), c.out_occ) *
+                   ipow(static_cast<double>(v), c.out_virt) *
+                   machine_.calibration;
+    graph.contractions.push_back(std::move(ct));
+  }
+  return graph;
+}
+
+std::vector<TaskGroup> CcsdSimulator::task_groups(const Contraction& c,
+                                                  const RunConfig& cfg) const {
+  const CcsdSimulator single(machine_, {c});
+  const auto graph = single.build_task_graph(cfg.o, cfg.v, cfg.tile);
+  return materialize_groups(machine_, graph.contractions.front(), cfg.nodes);
+}
+
+CostBreakdown CcsdSimulator::breakdown(const TaskGraph& graph,
+                                       int nodes) const {
+  CCPRED_CHECK_MSG(feasible({graph.o, graph.v, nodes, graph.tile}),
+                   "infeasible CCSD configuration: O=" << graph.o
+                       << " V=" << graph.v << " nodes=" << nodes
+                       << " tile=" << graph.tile << " (min nodes "
+                       << min_nodes(std::max(graph.o, 1), std::max(graph.v, 1))
+                       << ")");
+  CCPRED_CHECK_MSG(graph.contractions.size() == inventory_.size(),
+                   "task graph does not match this simulator's inventory");
+  CostBreakdown out;
+  const int workers = machine_.workers(nodes);
+  for (const auto& ct : graph.contractions) {
+    auto groups = materialize_groups(machine_, ct, nodes);
+    out.tasks += total_tasks(groups);
+    out.contraction_s += lpt_makespan(std::move(groups), workers);
+    out.collective_s += ct.out_bytes / (static_cast<double>(nodes) *
+                                        machine_.effective_bw_bytes(nodes));
+  }
+  // Per-iteration collectives: residual-norm allreduce plus the T1
+  // amplitude broadcast that every rank needs.
+  const double t1_bytes = 8.0 * static_cast<double>(graph.o) * graph.v;
+  out.collective_s += allreduce_time_s(machine_, 4096.0, nodes) +
+                      allreduce_time_s(machine_, t1_bytes, nodes);
+  const double l2 = std::log2(static_cast<double>(nodes) + 1.0);
+  out.sync_s = machine_.sync_log2sq_s * l2 * l2;
+  out.fixed_s = machine_.fixed_iteration_s;
+  return out;
 }
 
 CostBreakdown CcsdSimulator::breakdown(const RunConfig& cfg) const {
@@ -155,30 +221,7 @@ CostBreakdown CcsdSimulator::breakdown(const RunConfig& cfg) const {
                        << " tile=" << cfg.tile << " (min nodes "
                        << min_nodes(std::max(cfg.o, 1), std::max(cfg.v, 1))
                        << ")");
-  CostBreakdown out;
-  const int workers = machine_.workers(cfg.nodes);
-  for (const auto& c : inventory_) {
-    auto groups = task_groups(c, cfg);
-    out.tasks += total_tasks(groups);
-    out.contraction_s += lpt_makespan(std::move(groups), workers);
-    // k-chunk partial results are accumulated into the distributed output
-    // tensor once per contraction (machine-wide reduction of the output).
-    const double out_bytes = 8.0 *
-                             std::pow(static_cast<double>(cfg.o), c.out_occ) *
-                             std::pow(static_cast<double>(cfg.v), c.out_virt) *
-                             machine_.calibration;
-    out.collective_s += out_bytes / (static_cast<double>(cfg.nodes) *
-                                     machine_.effective_bw_bytes(cfg.nodes));
-  }
-  // Per-iteration collectives: residual-norm allreduce plus the T1
-  // amplitude broadcast that every rank needs.
-  const double t1_bytes = 8.0 * static_cast<double>(cfg.o) * cfg.v;
-  out.collective_s += allreduce_time_s(machine_, 4096.0, cfg.nodes) +
-                      allreduce_time_s(machine_, t1_bytes, cfg.nodes);
-  const double l2 = std::log2(static_cast<double>(cfg.nodes) + 1.0);
-  out.sync_s = machine_.sync_log2sq_s * l2 * l2;
-  out.fixed_s = machine_.fixed_iteration_s;
-  return out;
+  return breakdown(build_task_graph(cfg.o, cfg.v, cfg.tile), cfg.nodes);
 }
 
 double CcsdSimulator::iteration_time(const RunConfig& cfg) const {

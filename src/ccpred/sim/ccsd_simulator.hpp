@@ -48,6 +48,33 @@ struct CostBreakdown {
   }
 };
 
+/// Node-count-independent decomposition of one iteration at (o, v, tile).
+///
+/// The tiling/bucket expansion of step 2 depends only on (O, V, tile); only
+/// the communication terms, the worker count and the collectives depend on
+/// the node count. A TaskGraph captures the node-independent half so sweeps
+/// over a node menu (campaign generation, true-optima sweeps) build it once
+/// per (O, V, tile) and evaluate it per node count — bit-identical to the
+/// from-scratch path, which routes through the same graph internally.
+struct TaskGraph {
+  /// One (volume, count) bucket of tile tasks of a contraction.
+  struct Bucket {
+    double compute_s = 0.0;   ///< GEMM-view compute time of one task
+    double bytes = 0.0;       ///< communication payload of one task
+    std::int64_t count = 0;   ///< tasks with this shape
+  };
+  /// All buckets of one contraction plus its output-reduction payload.
+  struct ContractionTasks {
+    std::vector<Bucket> buckets;
+    double out_bytes = 0.0;   ///< machine-wide output-accumulation bytes
+  };
+
+  int o = 0;
+  int v = 0;
+  int tile = 0;
+  std::vector<ContractionTasks> contractions;  ///< one per inventory entry
+};
+
 /// Deterministic performance simulator for one machine.
 ///
 /// By default it models one CCSD iteration; pass a different contraction
@@ -84,6 +111,16 @@ class CcsdSimulator {
 
   /// Full cost breakdown for one iteration (noise-free).
   CostBreakdown breakdown(const RunConfig& cfg) const;
+
+  /// The node-count-independent decomposition at (o, v, tile), one
+  /// ContractionTasks per inventory entry. Reusable across every node count
+  /// sharing the same problem size and tile.
+  TaskGraph build_task_graph(int o, int v, int tile) const;
+
+  /// Breakdown of one iteration evaluated from a prebuilt graph. Identical
+  /// to breakdown({graph.o, graph.v, nodes, graph.tile}) bit-for-bit — the
+  /// from-scratch overload routes through here.
+  CostBreakdown breakdown(const TaskGraph& graph, int nodes) const;
 
   /// One simulated *measurement*: iteration_time with machine noise.
   double measured_time(const RunConfig& cfg, Rng& rng) const;

@@ -1,20 +1,18 @@
 #include "ccpred/sim/contraction.hpp"
 
-#include <cmath>
-
 #include "ccpred/common/error.hpp"
 
 namespace ccpred::sim {
 
 double Contraction::flops(int o, int v) const {
   CCPRED_CHECK_MSG(o > 0 && v > 0, "orbital counts must be positive");
-  return 2.0 * mult * std::pow(static_cast<double>(o), out_occ + sum_occ) *
-         std::pow(static_cast<double>(v), out_virt + sum_virt);
+  return 2.0 * mult * ipow(static_cast<double>(o), out_occ + sum_occ) *
+         ipow(static_cast<double>(v), out_virt + sum_virt);
 }
 
 double Contraction::sum_extent(int o, int v) const {
-  return std::pow(static_cast<double>(o), sum_occ) *
-         std::pow(static_cast<double>(v), sum_virt);
+  return ipow(static_cast<double>(o), sum_occ) *
+         ipow(static_cast<double>(v), sum_virt);
 }
 
 const std::vector<Contraction>& ccsd_contractions() {

@@ -16,6 +16,17 @@
 
 namespace ccpred::sim {
 
+/// Small-integer power by repeated multiplication. The simulator's index
+/// extents are integer-valued doubles small enough that every product is
+/// exactly representable, so this matches a correctly-rounded std::pow
+/// bit-for-bit while avoiding its transcendental cost in the hot bucket
+/// loops.
+inline double ipow(double base, int exp) {
+  double r = 1.0;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
 /// One contraction class of the CCSD iteration.
 struct Contraction {
   std::string name;

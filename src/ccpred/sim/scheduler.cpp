@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <functional>
+#include <utility>
 
 #include "ccpred/common/error.hpp"
 
@@ -22,8 +23,19 @@ double lpt_makespan(std::vector<TaskGroup> groups, int workers) {
             });
 
   const auto w = static_cast<std::size_t>(workers);
+
+  // One worker executes everything back to back.
+  if (w == 1) return total_work(groups);
+
+  // Fewer tasks than workers: every task lands on its own idle worker, so
+  // the makespan is the longest task (groups are sorted descending).
+  if (total_tasks(groups) <= workers) return groups.front().duration_s;
+
   std::vector<double> load(w, 0.0);
+  std::vector<std::int64_t> extra(w, 0);
   using Entry = std::pair<double, std::size_t>;
+  std::vector<Entry> heap;
+  heap.reserve(w);
 
   // Greedy assignment of `count` identical tasks of duration d: each task
   // goes to the currently least-loaded worker.
@@ -31,8 +43,7 @@ double lpt_makespan(std::vector<TaskGroup> groups, int workers) {
     if (count <= 0 || d == 0.0) {
       return;
     }
-    std::vector<std::int64_t> extra(w, 0);
-    if (count > static_cast<std::int64_t>(4 * w)) {
+    if (count > static_cast<std::int64_t>(w)) {
       // Water-fill bulk step: greedy raises the lowest loads toward the
       // common level T = (sum load + count*d) / w. Pre-assign the whole
       // multiples and leave the (O(w)-sized) remainder to the exact heap.
@@ -66,15 +77,18 @@ double lpt_makespan(std::vector<TaskGroup> groups, int workers) {
         load[i] += static_cast<double>(extra[i]) * d;
       }
       count -= assigned;
+      if (count == 0) return;
     }
-    // Exact greedy for the remaining tasks.
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
-    for (std::size_t i = 0; i < w; ++i) heap.emplace(load[i], i);
+    // Exact greedy for the remaining (< w) tasks, on a reused binary heap.
+    heap.clear();
+    for (std::size_t i = 0; i < w; ++i) heap.emplace_back(load[i], i);
+    std::make_heap(heap.begin(), heap.end(), std::greater<>{});
     for (std::int64_t t = 0; t < count; ++t) {
-      auto [l, i] = heap.top();
-      heap.pop();
-      load[i] = l + d;
-      heap.emplace(load[i], i);
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      auto& [l, i] = heap.back();
+      l += d;
+      load[i] = l;
+      std::push_heap(heap.begin(), heap.end(), std::greater<>{});
     }
   };
 

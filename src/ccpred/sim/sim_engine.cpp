@@ -1,0 +1,275 @@
+#include "ccpred/sim/sim_engine.hpp"
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/thread_pool.hpp"
+#include "ccpred/sim/noise.hpp"
+
+namespace ccpred::sim {
+namespace {
+
+/// splitmix64 finalizer: a strong 64-bit mix, the same one Rng's seeding
+/// uses, so stream seeds inherit its avalanche properties.
+std::uint64_t mix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+/// Cache seed of the rep-th measurement of a stream. Never 0 (0 is the
+/// noise-free key).
+std::uint64_t rep_seed(std::uint64_t stream, int rep) {
+  const std::uint64_t h =
+      mix64(stream + kGolden * (static_cast<std::uint64_t>(rep) + 1));
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
+std::uint64_t measurement_stream_seed(std::uint64_t campaign_seed,
+                                      const RunConfig& cfg) {
+  std::uint64_t h = campaign_seed ^ 0x6a09e667f3bcc909ULL;
+  h = mix64(h + kGolden * static_cast<std::uint64_t>(cfg.o));
+  h = mix64(h + kGolden * static_cast<std::uint64_t>(cfg.v));
+  h = mix64(h + kGolden * static_cast<std::uint64_t>(cfg.nodes));
+  h = mix64(h + kGolden * static_cast<std::uint64_t>(cfg.tile));
+  return h;
+}
+
+std::uint64_t SimCache::machine_tag(const std::string& name) {
+  // FNV-1a: stable across processes, unlike std::hash.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::size_t SimCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = k.machine;
+  h = mix64(h + kGolden * static_cast<std::uint64_t>(k.o));
+  h = mix64(h + kGolden * static_cast<std::uint64_t>(k.v));
+  h = mix64(h + kGolden * static_cast<std::uint64_t>(k.nodes));
+  h = mix64(h + kGolden * static_cast<std::uint64_t>(k.tile));
+  h = mix64(h + k.seed);
+  return static_cast<std::size_t>(h);
+}
+
+SimCache::Shard& SimCache::shard_for(const Key& key) const {
+  // A different mix than KeyHash so shard choice and bucket choice are
+  // uncorrelated.
+  const std::uint64_t h = mix64(KeyHash{}(key) + kGolden);
+  return shards_[h % kShards];
+}
+
+bool SimCache::lookup(const Key& key, double* value) const {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    ++s.misses;
+    return false;
+  }
+  ++s.hits;
+  *value = it->second;
+  return true;
+}
+
+void SimCache::insert(const Key& key, double value) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.map.emplace(key, value);
+}
+
+SimCache::Stats SimCache::stats() const {
+  Stats st;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    st.hits += s.hits;
+    st.misses += s.misses;
+    st.entries += s.map.size();
+  }
+  return st;
+}
+
+void SimCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.map.clear();
+    s.hits = 0;
+    s.misses = 0;
+  }
+}
+
+SimEngine::SimEngine(const CcsdSimulator& simulator, SimEngineOptions options)
+    : simulator_(&simulator),
+      options_(options),
+      machine_tag_(SimCache::machine_tag(simulator.machine().name)) {}
+
+SimCache::Key SimEngine::key_for(const RunConfig& cfg,
+                                 std::uint64_t seed) const {
+  return SimCache::Key{.machine = machine_tag_,
+                       .o = cfg.o,
+                       .v = cfg.v,
+                       .nodes = cfg.nodes,
+                       .tile = cfg.tile,
+                       .seed = seed};
+}
+
+SimEngineStats SimEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+double SimEngine::iteration_time(const RunConfig& cfg) {
+  if (!fast()) {
+    const double t = simulator_->iteration_time(cfg);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.graph_builds;
+    ++stats_.evaluations;
+    return t;
+  }
+  const SimCache::Key key = key_for(cfg);
+  double value = 0.0;
+  if (options_.use_cache && cache_.lookup(key, &value)) return value;
+  // breakdown(cfg) routes through build_task_graph + breakdown(graph,
+  // nodes), so this is bit-identical to the batched path.
+  value = simulator_->iteration_time(cfg);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.graph_builds;
+    ++stats_.evaluations;
+  }
+  if (options_.use_cache) cache_.insert(key, value);
+  return value;
+}
+
+std::vector<double> SimEngine::simulate_batch(
+    const std::vector<RunConfig>& configs) {
+  std::vector<double> out(configs.size(), 0.0);
+  if (configs.empty()) return out;
+
+  if (!fast()) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      out[i] = simulator_->iteration_time(configs[i]);
+    }
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.graph_builds += configs.size();
+    stats_.evaluations += configs.size();
+    return out;
+  }
+
+  // Dedupe: one evaluation per distinct configuration.
+  using Key4 = std::tuple<int, int, int, int>;
+  std::map<Key4, std::size_t> uniq;
+  std::vector<RunConfig> ucfg;
+  std::vector<std::size_t> uid(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto& c = configs[i];
+    const auto [it, inserted] =
+        uniq.emplace(Key4{c.o, c.v, c.nodes, c.tile}, ucfg.size());
+    if (inserted) ucfg.push_back(c);
+    uid[i] = it->second;
+  }
+
+  std::vector<double> uval(ucfg.size(), 0.0);
+  std::vector<char> have(ucfg.size(), 0);
+  if (options_.use_cache) {
+    for (std::size_t u = 0; u < ucfg.size(); ++u) {
+      have[u] = cache_.lookup(key_for(ucfg[u]), &uval[u]) ? 1 : 0;
+    }
+  }
+
+  // Group cache misses by (O, V, tile): one task-graph build per group,
+  // evaluated at each of the group's node counts.
+  using Key3 = std::tuple<int, int, int>;
+  std::map<Key3, std::vector<std::size_t>> groups;
+  std::size_t evaluated = 0;
+  for (std::size_t u = 0; u < ucfg.size(); ++u) {
+    if (have[u]) continue;
+    groups[Key3{ucfg[u].o, ucfg[u].v, ucfg[u].tile}].push_back(u);
+    ++evaluated;
+  }
+  std::vector<const std::vector<std::size_t>*> glist;
+  glist.reserve(groups.size());
+  for (const auto& [key, members] : groups) glist.push_back(&members);
+
+  const auto eval_group = [&](std::size_t gi) {
+    const auto& members = *glist[gi];
+    const auto& c0 = ucfg[members.front()];
+    const TaskGraph graph = simulator_->build_task_graph(c0.o, c0.v, c0.tile);
+    for (const std::size_t u : members) {
+      uval[u] = simulator_->breakdown(graph, ucfg[u].nodes).total_s();
+    }
+  };
+  if (options_.parallel && glist.size() >= options_.min_parallel_batch) {
+    parallel_for(0, glist.size(), eval_group);
+  } else {
+    for (std::size_t gi = 0; gi < glist.size(); ++gi) eval_group(gi);
+  }
+
+  if (options_.use_cache) {
+    for (std::size_t u = 0; u < ucfg.size(); ++u) {
+      if (!have[u]) cache_.insert(key_for(ucfg[u]), uval[u]);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.graph_builds += glist.size();
+    stats_.evaluations += evaluated;
+  }
+
+  for (std::size_t i = 0; i < configs.size(); ++i) out[i] = uval[uid[i]];
+  return out;
+}
+
+std::vector<double> SimEngine::measured_series(const RunConfig& cfg,
+                                               std::uint64_t campaign_seed,
+                                               int reps) {
+  CCPRED_CHECK_MSG(reps >= 0, "repeat count must be non-negative");
+  std::vector<double> out(static_cast<std::size_t>(reps), 0.0);
+  if (reps == 0) return out;
+  const std::uint64_t stream = measurement_stream_seed(campaign_seed, cfg);
+
+  if (fast() && options_.use_cache) {
+    bool all = true;
+    for (int r = 0; r < reps; ++r) {
+      if (!cache_.lookup(key_for(cfg, rep_seed(stream, r)),
+                         &out[static_cast<std::size_t>(r)])) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return out;
+  }
+
+  // Replaying the stream from the start makes each rep's value independent
+  // of which prefix happened to be cached.
+  const double base = iteration_time(cfg);
+  Rng rng(stream);
+  for (int r = 0; r < reps; ++r) {
+    const double value = base * noise_factor(simulator_->machine(), rng);
+    out[static_cast<std::size_t>(r)] = value;
+    if (fast() && options_.use_cache) {
+      cache_.insert(key_for(cfg, rep_seed(stream, r)), value);
+    }
+  }
+  return out;
+}
+
+double SimEngine::measured_time(const RunConfig& cfg,
+                                std::uint64_t campaign_seed, int rep) {
+  CCPRED_CHECK_MSG(rep >= 0, "repeat index must be non-negative");
+  return measured_series(cfg, campaign_seed, rep + 1).back();
+}
+
+}  // namespace ccpred::sim

@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file sim_engine.hpp
+/// Fast simulation engine: a memoized, batch-oriented front end to
+/// CcsdSimulator.
+///
+/// Every reproduction artifact — campaign generation, STQ/BQ true-optima
+/// sweeps, active-learning labeling — hits the same (O, V, nodes, tile)
+/// grid thousands of times. The engine removes the redundancy without
+/// changing a single bit of the results:
+///
+///  * SimCache — a sharded, thread-safe memo table keyed on
+///    (machine, O, V, nodes, tile, noise-seed). Seed 0 stores the
+///    noise-free iteration time; measurement keys carry a per-(config,
+///    repeat) stream seed.
+///  * simulate_batch — dedupes a config list, groups it by (O, V, tile) so
+///    the tiling/task-graph decomposition is built once per group instead
+///    of once per point, and fans the groups over the shared ThreadPool.
+///  * measurement_stream_seed — a per-config RNG stream derivation, so a
+///    config's noise draws do not depend on which other configs are
+///    simulated, in which order, or on how many threads ran them. Serial,
+///    parallel and cached paths are bit-identical by construction.
+///
+/// SimEngineMode::kReference preserves the original serial from-scratch
+/// path (no cache, no dedup, no graph reuse) as the ground truth the bench
+/// gates compare against with operator==.
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ccpred/sim/ccsd_simulator.hpp"
+
+namespace ccpred::sim {
+
+/// Engine execution strategy.
+enum class SimEngineMode {
+  kFast,       ///< memoized + batched + parallel
+  kReference,  ///< serial from-scratch per point (ground truth)
+};
+
+/// Engine tuning knobs.
+struct SimEngineOptions {
+  SimEngineMode mode = SimEngineMode::kFast;
+  /// Memoize results in the engine's SimCache (fast mode only).
+  bool use_cache = true;
+  /// Fan batch groups over ThreadPool::global() (fast mode only).
+  bool parallel = true;
+  /// Batches with fewer uncached groups than this run serially — the pool
+  /// handoff costs more than it saves on tiny batches.
+  std::size_t min_parallel_batch = 4;
+};
+
+/// Deterministic per-(campaign-seed, config) RNG stream seed. Mixing uses
+/// the splitmix64 finalizer so nearby configs land in unrelated streams.
+/// Every engine path (serial, parallel, cached) draws a config's noise from
+/// this stream, which is what makes them bit-identical.
+std::uint64_t measurement_stream_seed(std::uint64_t campaign_seed,
+                                      const RunConfig& cfg);
+
+/// Sharded, thread-safe memo table for simulated times.
+///
+/// Keys carry a machine tag so one cache may serve several machines'
+/// engines; seed 0 marks the noise-free iteration time, any other value a
+/// specific measurement stream draw.
+class SimCache {
+ public:
+  struct Key {
+    std::uint64_t machine = 0;  ///< machine_tag(name)
+    int o = 0;
+    int v = 0;
+    int nodes = 0;
+    int tile = 0;
+    std::uint64_t seed = 0;  ///< 0 = noise-free
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  /// FNV-1a tag of a machine name (stable within and across processes).
+  static std::uint64_t machine_tag(const std::string& name);
+
+  /// Returns true and fills `*value` on a hit; counts the miss otherwise.
+  bool lookup(const Key& key, double* value) const;
+
+  /// Inserts (first writer wins on a race; values are identical anyway).
+  void insert(const Key& key, double value);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, double, KeyHash> map;
+    mutable std::uint64_t hits = 0;
+    mutable std::uint64_t misses = 0;
+  };
+
+  Shard& shard_for(const Key& key) const;
+
+  mutable Shard shards_[kShards];
+};
+
+/// Work counters for one engine (monotonic; read for bench reporting).
+struct SimEngineStats {
+  std::uint64_t graph_builds = 0;  ///< task-graph decompositions built
+  std::uint64_t evaluations = 0;   ///< breakdowns evaluated (cache misses)
+};
+
+/// Memoized, batch-oriented simulator front end for one machine.
+///
+/// The engine never changes results: fast-mode outputs are bit-identical
+/// to reference-mode outputs for every API below (enforced by
+/// bench_sim_engine and the sim_engine tests).
+class SimEngine {
+ public:
+  explicit SimEngine(const CcsdSimulator& simulator,
+                     SimEngineOptions options = {});
+
+  const CcsdSimulator& simulator() const { return *simulator_; }
+  const SimEngineOptions& options() const { return options_; }
+  SimCache& cache() { return cache_; }
+  const SimCache& cache() const { return cache_; }
+  SimEngineStats stats() const;
+
+  /// Noise-free wall time of one iteration, memoized in fast mode.
+  double iteration_time(const RunConfig& cfg);
+
+  /// Noise-free times for a config list. Fast mode dedupes, reuses one
+  /// task graph per (O, V, tile) group across its node counts, serves
+  /// repeats from the cache and fans groups over the shared ThreadPool;
+  /// reference mode simulates each entry serially from scratch.
+  std::vector<double> simulate_batch(const std::vector<RunConfig>& configs);
+
+  /// The rep-th simulated measurement of `cfg` under `campaign_seed`:
+  /// iteration_time(cfg) times the rep-th noise factor of the config's
+  /// measurement stream. Independent of evaluation order across configs.
+  double measured_time(const RunConfig& cfg, std::uint64_t campaign_seed,
+                       int rep = 0);
+
+  /// The first `reps` measurements of `cfg` (the rep axis drawn
+  /// sequentially from the config's stream).
+  std::vector<double> measured_series(const RunConfig& cfg,
+                                      std::uint64_t campaign_seed, int reps);
+
+ private:
+  SimCache::Key key_for(const RunConfig& cfg, std::uint64_t seed = 0) const;
+  bool fast() const { return options_.mode == SimEngineMode::kFast; }
+
+  const CcsdSimulator* simulator_;
+  SimEngineOptions options_;
+  std::uint64_t machine_tag_ = 0;
+  SimCache cache_;
+  mutable std::mutex stats_mutex_;
+  SimEngineStats stats_;
+};
+
+}  // namespace ccpred::sim

@@ -197,6 +197,23 @@ TEST_F(GeneratorTest, NodeGridRespectsBounds) {
   EXPECT_LE(small.back(), 110);
 }
 
+TEST_F(GeneratorTest, NodeGridNeverInvertsForExtremeProblems) {
+  // Regression: the work floor (flops / 1.2e16) of a huge problem can
+  // exceed the sweep cap (clamped at 900); the floor must be clamped to
+  // the cap instead of inverting the range into an empty grid.
+  for (const Problem p : {Problem{600, 3000}, Problem{800, 4000}}) {
+    const auto grid = node_grid(simulator_, p);
+    ASSERT_FALSE(grid.empty()) << "O=" << p.o << " V=" << p.v;
+    EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+    EXPECT_GE(grid.front(), simulator_.min_nodes(p.o, p.v));
+  }
+  // Tiny problems keep their small sweep (floor below cap: unaffected).
+  const auto tiny = node_grid(simulator_, {44, 260});
+  ASSERT_FALSE(tiny.empty());
+  EXPECT_GE(tiny.front(), 5);
+  EXPECT_LE(tiny.back(), 110);
+}
+
 TEST_F(GeneratorTest, PaperDatasetSizes) {
   const auto ds = paper_dataset(simulator_);
   EXPECT_EQ(ds.size(), 2329u);

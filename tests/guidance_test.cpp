@@ -98,6 +98,68 @@ TEST(TrueLossTest, ComputeLossesPerfectWhenAllMatch) {
   EXPECT_DOUBLE_EQ(losses.r2, 1.0);
 }
 
+TEST(OptimalTest, TiesBreakToLowestNodesThenSmallestTile) {
+  // Four configs of one problem with IDENTICAL times: the argmin must be
+  // deterministic — lowest nodes first, then smallest tile — regardless of
+  // row order.
+  data::Dataset d;
+  d.add({10, 100, 8, 50}, 60.0);   // row 0
+  d.add({10, 100, 8, 40}, 60.0);   // row 1: same nodes, smaller tile
+  d.add({10, 100, 4, 50}, 60.0);   // row 2: lower nodes
+  d.add({10, 100, 4, 40}, 60.0);   // row 3: lower nodes, smaller tile
+  const auto stq = get_optimal_values(d, d.targets(),
+                                      Objective::kShortestTime);
+  ASSERT_EQ(stq.size(), 1u);
+  EXPECT_EQ(stq[0].row, 3u);
+  EXPECT_EQ(stq[0].config.nodes, 4);
+  EXPECT_EQ(stq[0].config.tile, 40);
+  // Restrict to the 8-node rows: the tile decides.
+  const auto sub = d.select({0, 1});
+  const auto sub_opt = get_optimal_values(sub, sub.targets(),
+                                          Objective::kShortestTime);
+  EXPECT_EQ(sub_opt[0].config.tile, 40);
+}
+
+TEST(OptimalTest, SweepReturnsFullSurfaceAndMatchingArgmin) {
+  const auto d = handmade();
+  for (auto obj : {Objective::kShortestTime, Objective::kNodeHours}) {
+    const auto sweeps = sweep_optimal_values(d, d.targets(), obj);
+    const auto argmins = get_optimal_values(d, d.targets(), obj);
+    ASSERT_EQ(sweeps.size(), argmins.size());
+    std::size_t total_rows = 0;
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      ASSERT_EQ(sweeps[i].rows.size(), sweeps[i].values.size());
+      total_rows += sweeps[i].rows.size();
+      EXPECT_EQ(sweeps[i].best.row, argmins[i].row);
+      EXPECT_DOUBLE_EQ(sweeps[i].best.value, argmins[i].value);
+      for (std::size_t j = 0; j < sweeps[i].rows.size(); ++j) {
+        EXPECT_DOUBLE_EQ(
+            sweeps[i].values[j],
+            objective_value(d, d.targets(), sweeps[i].rows[j], obj));
+        EXPECT_LE(sweeps[i].best.value, sweeps[i].values[j]);
+      }
+    }
+    EXPECT_EQ(total_rows, d.size());
+  }
+}
+
+TEST(TrueLossTest, PrecomputedSweepOverloadMatchesDirectEvaluation) {
+  const auto d = handmade();
+  const std::vector<double> y_pred = {50.0, 60.0, 300.0, 100.0};
+  for (auto obj : {Objective::kShortestTime, Objective::kNodeHours}) {
+    const auto direct = evaluate_optima(d, y_pred, obj);
+    const auto sweeps = sweep_optimal_values(d, d.targets(), obj);
+    const auto reused = evaluate_optima(d, y_pred, obj, sweeps);
+    ASSERT_EQ(direct.size(), reused.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_EQ(direct[i].truth.row, reused[i].truth.row);
+      EXPECT_EQ(direct[i].predicted.row, reused[i].predicted.row);
+      EXPECT_DOUBLE_EQ(direct[i].realized_value, reused[i].realized_value);
+      EXPECT_EQ(direct[i].config_match, reused[i].config_match);
+    }
+  }
+}
+
 TEST(TrueLossTest, SizeMismatchThrows) {
   const auto d = handmade();
   EXPECT_THROW(get_optimal_values(d, {1.0}, Objective::kShortestTime), Error);
