@@ -86,6 +86,24 @@ class LruCache {
     index_.clear();
   }
 
+  /// Erases every entry whose key satisfies `pred`; returns how many were
+  /// dropped. Targeted invalidation (e.g. a promoted model dropping its
+  /// machine's cached sweeps) — not an eviction, so counters are untouched.
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t erased = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->first)) {
+        index_.erase(it->first);
+        it = order_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
  private:
   using Entry = std::pair<K, V>;
 

@@ -30,6 +30,9 @@ double point_probability(const FaultOptions& o, FaultPoint point) {
     case FaultPoint::kSweepCompute: return o.sweep_delay;
     case FaultPoint::kWorkerStall: return o.worker_stall;
     case FaultPoint::kCacheShard: return o.cache_shard_hold;
+    case FaultPoint::kReportIngest: return o.report_ingest;
+    case FaultPoint::kRefitStall: return o.refit_stall;
+    case FaultPoint::kPromotionRace: return o.promotion_race;
   }
   return 0.0;
 }
@@ -39,6 +42,9 @@ double point_base_delay_ms(const FaultOptions& o, FaultPoint point) {
     case FaultPoint::kSweepCompute: return o.sweep_delay_ms;
     case FaultPoint::kWorkerStall: return o.worker_stall_ms;
     case FaultPoint::kCacheShard: return o.cache_shard_hold_ms;
+    case FaultPoint::kReportIngest: return o.report_ingest_ms;
+    case FaultPoint::kRefitStall: return o.refit_stall_ms;
+    case FaultPoint::kPromotionRace: return o.promotion_race_ms;
     case FaultPoint::kArtifactRead: return 0.0;  // fires by throwing
   }
   return 0.0;
@@ -52,6 +58,9 @@ const char* fault_point_name(FaultPoint point) {
     case FaultPoint::kSweepCompute: return "sweep_compute";
     case FaultPoint::kWorkerStall: return "worker_stall";
     case FaultPoint::kCacheShard: return "cache_shard";
+    case FaultPoint::kReportIngest: return "report_ingest";
+    case FaultPoint::kRefitStall: return "refit_stall";
+    case FaultPoint::kPromotionRace: return "promotion_race";
   }
   return "?";
 }
@@ -59,11 +68,15 @@ const char* fault_point_name(FaultPoint point) {
 FaultInjector::FaultInjector(FaultOptions options) : options_(options) {
   CCPRED_CHECK_MSG(options_.sweep_delay_ms >= 0.0 &&
                        options_.worker_stall_ms >= 0.0 &&
-                       options_.cache_shard_hold_ms >= 0.0,
+                       options_.cache_shard_hold_ms >= 0.0 &&
+                       options_.report_ingest_ms >= 0.0 &&
+                       options_.refit_stall_ms >= 0.0 &&
+                       options_.promotion_race_ms >= 0.0,
                    "fault delays must be non-negative");
   enabled_ = options_.artifact_read_failure > 0.0 ||
              options_.sweep_delay > 0.0 || options_.worker_stall > 0.0 ||
-             options_.cache_shard_hold > 0.0;
+             options_.cache_shard_hold > 0.0 || options_.report_ingest > 0.0 ||
+             options_.refit_stall > 0.0 || options_.promotion_race > 0.0;
 }
 
 double FaultInjector::probability(FaultPoint point) const {

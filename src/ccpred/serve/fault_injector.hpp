@@ -13,7 +13,13 @@
 ///  * kWorkerStall   — a worker stalls before handling a request,
 ///    exercising queue backpressure and load shedding;
 ///  * kCacheShard    — a cache shard's mutex is held longer, exercising
-///    contention between requests that hash to the same shard.
+///    contention between requests that hash to the same shard;
+///  * kReportIngest  — feedback-report ingestion is slowed, exercising
+///    report storms against the online-learning buffers;
+///  * kRefitStall    — a background full refit stalls mid-flight,
+///    exercising drift recovery under slow retraining;
+///  * kPromotionRace — the window between a passed shadow evaluation and
+///    the atomic republish is stretched, exercising promotion races.
 ///
 /// Every decision is a pure function of (seed, point, arrival index): the
 /// Nth arrival at a point always draws the same verdict and the same delay,
@@ -29,13 +35,16 @@ namespace ccpred::serve {
 
 /// Where a fault can be injected.
 enum class FaultPoint : int {
-  kArtifactRead = 0,  ///< registry artifact load throws
-  kSweepCompute = 1,  ///< sweep computation is delayed
-  kWorkerStall = 2,   ///< request worker stalls before dispatch
-  kCacheShard = 3,    ///< cache shard mutex held longer
+  kArtifactRead = 0,   ///< registry artifact load throws
+  kSweepCompute = 1,   ///< sweep computation is delayed
+  kWorkerStall = 2,    ///< request worker stalls before dispatch
+  kCacheShard = 3,     ///< cache shard mutex held longer
+  kReportIngest = 4,   ///< feedback-report ingestion is delayed
+  kRefitStall = 5,     ///< background full refit stalls
+  kPromotionRace = 6,  ///< shadow-eval-to-republish window stretched
 };
 
-inline constexpr int kFaultPointCount = 4;
+inline constexpr int kFaultPointCount = 7;
 
 /// Human-readable name ("artifact_read", "sweep_compute", ...).
 const char* fault_point_name(FaultPoint point);
@@ -52,6 +61,12 @@ struct FaultOptions {
   double worker_stall_ms = 5.0;        ///< base stall duration
   double cache_shard_hold = 0.0;       ///< P(shard lock held longer)
   double cache_shard_hold_ms = 2.0;    ///< base extra hold time
+  double report_ingest = 0.0;          ///< P(report ingestion delayed)
+  double report_ingest_ms = 2.0;       ///< base ingestion delay
+  double refit_stall = 0.0;            ///< P(background refit stalls)
+  double refit_stall_ms = 20.0;        ///< base refit stall
+  double promotion_race = 0.0;         ///< P(promotion window stretched)
+  double promotion_race_ms = 10.0;     ///< base promotion delay
 };
 
 /// Seeded, thread-safe fault source. fire()/maybe_delay() consume one

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <utility>
 
 #include "ccpred/common/error.hpp"
@@ -54,12 +55,42 @@ std::string ModelRegistry::artifact_path(const std::string& machine,
   return (fs::path(dir_) / (machine + "-" + kind + ".model")).string();
 }
 
-ModelHandle ModelRegistry::load_locked(const std::string& machine,
-                                       const std::string& kind,
-                                       const std::string& path) {
+std::uint64_t ModelRegistry::hash_artifact_locked(
+    const std::string& path) const {
   if (fault_ != nullptr && fault_->fire(FaultPoint::kArtifactRead)) {
     throw Error("injected fault: artifact read failure for " + path);
   }
+  std::ifstream in(path, std::ios::binary);
+  CCPRED_CHECK_MSG(in.good(), "cannot read artifact " << path);
+  // FNV-1a 64: cheap, deterministic, and only change *detection* is needed
+  // (a colliding publish degrades to the old mtime-only behavior).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  char buf[4096];
+  while (in.read(buf, sizeof buf) || in.gcount() > 0) {
+    const std::streamsize n = in.gcount();
+    for (std::streamsize i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(buf[i]);
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+std::uint64_t ModelRegistry::published_gen_locked(
+    const std::string& key) const {
+  const auto it = published_gen_.find(key);
+  return it == published_gen_.end() ? 0 : it->second;
+}
+
+void ModelRegistry::note_published(const std::string& machine,
+                                   const std::string& kind) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++published_gen_[machine + "/" + kind];
+}
+
+ModelHandle ModelRegistry::load_locked(const std::string& machine,
+                                       const std::string& kind,
+                                       const std::string& path) {
   ModelHandle handle;
   if (kind == "gb") {
     handle.model = std::make_shared<const ml::GradientBoostingRegressor>(
@@ -113,8 +144,10 @@ ModelHandle ModelRegistry::get(const std::string& machine,
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       if (!options_.hot_reload) return it->second.handle;
+      const std::uint64_t gen = published_gen_locked(key);
       const std::int64_t now_ns = mtime_ns(path);
-      if (now_ns != 0 && now_ns == it->second.mtime_ns) {
+      const bool gen_changed = gen != it->second.loaded_gen;
+      if (now_ns != 0 && now_ns == it->second.mtime_ns && !gen_changed) {
         // Disk matches what we serve; a reappeared artifact clears stale.
         it->second.handle.stale = false;
         return it->second.handle;
@@ -125,12 +158,26 @@ ModelHandle ModelRegistry::get(const std::string& machine,
         it->second.handle.stale = true;
         return it->second.handle;
       }
-      if (now_ns == it->second.failed_mtime_ns) {
+      if (now_ns == it->second.failed_mtime_ns && !gen_changed) {
         // This publish already failed to load; wait for the next one.
         return it->second.handle;
       }
+      // A changed mtime or a note_published() within the same mtime
+      // granularity: verify the bytes before paying for a reload.
       try {
+        const std::uint64_t hash = hash_artifact_locked(path);
+        if (hash == it->second.content_hash) {
+          // Same bytes (touch / identical or intra-granularity re-publish):
+          // absorb without a version bump so cached sweeps stay valid.
+          it->second.mtime_ns = now_ns;
+          it->second.loaded_gen = gen;
+          it->second.handle.stale = false;
+          ++hash_skips_;
+          return it->second.handle;
+        }
         Entry entry{load_locked(machine, kind, path), now_ns};
+        entry.content_hash = hash;
+        entry.loaded_gen = gen;
         it->second = entry;
         return entry.handle;
       } catch (const std::exception&) {
@@ -138,12 +185,16 @@ ModelHandle ModelRegistry::get(const std::string& machine,
         // marked stale, and retry only when the artifact changes again.
         ++reload_failures_;
         it->second.failed_mtime_ns = now_ns;
+        it->second.loaded_gen = gen;
         it->second.handle.stale = true;
         return it->second.handle;
       }
     } else if (fs::exists(path)) {
       try {
+        const std::uint64_t hash = hash_artifact_locked(path);
         Entry entry{load_locked(machine, kind, path), mtime_ns(path)};
+        entry.content_hash = hash;
+        entry.loaded_gen = published_gen_locked(key);
         entries_[key] = entry;
         return entry.handle;
       } catch (const std::exception&) {
@@ -161,7 +212,10 @@ ModelHandle ModelRegistry::get(const std::string& machine,
   const auto it = entries_.find(key);
   if (it != entries_.end()) return it->second.handle;
   try {
+    const std::uint64_t hash = hash_artifact_locked(path);
     Entry entry{load_locked(machine, kind, path), mtime_ns(path)};
+    entry.content_hash = hash;
+    entry.loaded_gen = published_gen_locked(key);
     entries_[key] = entry;
     return entry.handle;
   } catch (const std::exception&) {
@@ -183,6 +237,11 @@ std::uint64_t ModelRegistry::trainings() const {
 std::uint64_t ModelRegistry::reload_failures() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return reload_failures_;
+}
+
+std::uint64_t ModelRegistry::hash_skips() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hash_skips_;
 }
 
 }  // namespace ccpred::serve

@@ -14,6 +14,16 @@
 /// the handle instead of erroring, and counts the failure. A failed
 /// publish is retried only when the artifact's mtime changes again, so a
 /// corrupt file costs one load attempt per publish, not one per request.
+///
+/// Change detection is content-aware, not mtime-only. Each entry stores a
+/// 64-bit content hash of the loaded artifact:
+///  * an in-process publisher (the online promotion pipeline) calls
+///    note_published() after writing; the next get() rechecks the content
+///    hash even when the mtime is unchanged, so republishing twice within
+///    the filesystem's mtime granularity is never silently missed;
+///  * a publish that changes the mtime but not the bytes (touch, identical
+///    re-publish) is absorbed without a version bump, so cached sweeps
+///    stay valid instead of being invalidated for nothing.
 
 #include <cstdint>
 #include <map>
@@ -80,12 +90,22 @@ class ModelRegistry {
   const std::string& artifact_dir() const { return dir_; }
   const RegistryOptions& options() const { return options_; }
 
+  /// Tells the registry (machine, kind) was just republished in-process.
+  /// The next get() verifies the artifact's content hash even if the mtime
+  /// is unchanged — the promotion pipeline calls this after every atomic
+  /// artifact swap so back-to-back promotions within the filesystem's
+  /// mtime granularity are still picked up.
+  void note_published(const std::string& machine, const std::string& kind);
+
   /// Total artifact (re)loads since construction.
   std::uint64_t loads() const;
   /// Total train-and-cache fallbacks taken since construction.
   std::uint64_t trainings() const;
   /// Total failed artifact load attempts (corrupt/unreadable/injected).
   std::uint64_t reload_failures() const;
+  /// Publishes whose bytes were unchanged and were absorbed without a
+  /// version bump (mtime touch, identical re-publish).
+  std::uint64_t hash_skips() const;
 
   /// Arms the kArtifactRead injection point: artifact loads throw with the
   /// injected probability. The injector must outlive the registry; pass
@@ -98,11 +118,23 @@ class ModelRegistry {
     ModelHandle handle;
     std::int64_t mtime_ns = 0;  ///< artifact mtime at load, for hot reload
     std::int64_t failed_mtime_ns = 0;  ///< mtime of a publish that failed
+    std::uint64_t content_hash = 0;    ///< FNV-1a of the loaded artifact
+    std::uint64_t loaded_gen = 0;      ///< published_gen_ seen at load
   };
 
   /// Loads the artifact at `path` into a fresh handle (caller holds lock).
+  /// Every load attempt hashes the bytes first via hash_artifact_locked()
+  /// — which is where the fault injector is consulted — so this only
+  /// parses.
   ModelHandle load_locked(const std::string& machine, const std::string& kind,
                           const std::string& path);
+
+  /// Hashes the artifact bytes. Consults the kArtifactRead injection point
+  /// (one arrival per reload attempt) and throws on a fired fault or an
+  /// unreadable file — the caller's degraded path handles both the same.
+  std::uint64_t hash_artifact_locked(const std::string& path) const;
+
+  std::uint64_t published_gen_locked(const std::string& key) const;
 
   std::string dir_;
   RegistryOptions options_;
@@ -110,10 +142,12 @@ class ModelRegistry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;  ///< keyed "machine/kind"
+  std::map<std::string, std::uint64_t> published_gen_;  ///< bumped per publish
   std::uint64_t next_version_ = 1;
   std::uint64_t loads_ = 0;
   std::uint64_t trainings_ = 0;
   std::uint64_t reload_failures_ = 0;
+  std::uint64_t hash_skips_ = 0;
 };
 
 }  // namespace ccpred::serve

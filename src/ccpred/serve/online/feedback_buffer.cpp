@@ -1,0 +1,67 @@
+#include "ccpred/serve/online/feedback_buffer.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::serve::online {
+
+std::size_t FeedbackBuffer::DedupKeyHash::operator()(const DedupKey& k) const {
+  std::size_t h = std::hash<int>()(k.o);
+  h = h * 1000003u ^ std::hash<int>()(k.v);
+  h = h * 1000003u ^ std::hash<int>()(k.nodes);
+  h = h * 1000003u ^ std::hash<int>()(k.tile);
+  h = h * 1000003u ^ std::hash<std::uint64_t>()(k.wall_bits);
+  return h;
+}
+
+FeedbackBuffer::DedupKey FeedbackBuffer::key_of(const MeasuredRun& run) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof run.wall_time_s);
+  std::memcpy(&bits, &run.wall_time_s, sizeof bits);
+  return DedupKey{run.o, run.v, run.nodes, run.tile, bits};
+}
+
+FeedbackBuffer::FeedbackBuffer(std::size_t capacity) : capacity_(capacity) {
+  CCPRED_CHECK_MSG(capacity > 0, "FeedbackBuffer capacity must be > 0");
+}
+
+AddResult FeedbackBuffer::add(MeasuredRun run) {
+  if (!std::isfinite(run.wall_time_s) || run.wall_time_s <= 0.0) {
+    return AddResult::kRejected;
+  }
+  const DedupKey key = key_of(run);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!keys_.insert(key).second) return AddResult::kDuplicate;
+  if (runs_.size() == capacity_) {
+    keys_.erase(key_of(runs_.front()));
+    runs_.pop_front();
+  }
+  run.seq = next_seq_++;
+  runs_.push_back(run);
+  return AddResult::kAccepted;
+}
+
+std::vector<MeasuredRun> FeedbackBuffer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {runs_.begin(), runs_.end()};
+}
+
+std::vector<MeasuredRun> FeedbackBuffer::recent(std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t take = n < runs_.size() ? n : runs_.size();
+  return {runs_.end() - static_cast<std::ptrdiff_t>(take), runs_.end()};
+}
+
+std::size_t FeedbackBuffer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return runs_.size();
+}
+
+std::uint64_t FeedbackBuffer::accepted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+}  // namespace ccpred::serve::online

@@ -1,0 +1,52 @@
+#include "ccpred/serve/online/shadow_evaluator.hpp"
+
+#include <cmath>
+
+#include "ccpred/data/dataset.hpp"
+
+namespace ccpred::serve::online {
+namespace {
+
+linalg::Matrix feature_matrix(const std::vector<MeasuredRun>& runs) {
+  linalg::Matrix x(runs.size(), data::kNumFeatures);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    x(i, data::kFeatO) = runs[i].o;
+    x(i, data::kFeatV) = runs[i].v;
+    x(i, data::kFeatNodes) = runs[i].nodes;
+    x(i, data::kFeatTile) = runs[i].tile;
+  }
+  return x;
+}
+
+}  // namespace
+
+double ShadowEvaluator::mape(const ml::Regressor& model,
+                             const std::vector<MeasuredRun>& holdout) {
+  if (holdout.empty()) return 0.0;
+  const std::vector<double> predicted = model.predict(feature_matrix(holdout));
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < holdout.size(); ++i) {
+    const double measured = holdout[i].wall_time_s;
+    if (!(measured > 0.0) || !std::isfinite(predicted[i])) continue;
+    sum += std::abs(predicted[i] - measured) / measured;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+ShadowVerdict ShadowEvaluator::judge(const ml::Regressor& candidate,
+                                     const ml::Regressor& incumbent,
+                                     const std::vector<MeasuredRun>& holdout,
+                                     double min_improvement) {
+  ShadowVerdict verdict;
+  verdict.holdout_size = holdout.size();
+  if (holdout.empty()) return verdict;  // nothing to judge on: no promotion
+  verdict.candidate_mape = mape(candidate, holdout);
+  verdict.incumbent_mape = mape(incumbent, holdout);
+  verdict.promote =
+      verdict.candidate_mape < verdict.incumbent_mape * (1.0 - min_improvement);
+  return verdict;
+}
+
+}  // namespace ccpred::serve::online

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file shadow_evaluator.hpp
+/// Promotion gate of the online learning loop: before a freshly retrained
+/// candidate replaces the serving model, both are scored on a holdout of
+/// the most recent user-reported measurements — rows the candidate never
+/// trained on. The candidate is promoted only when its holdout MAPE beats
+/// the incumbent's by the configured margin; a retrain that memorized the
+/// feedback without generalizing to the newest regime is rejected and the
+/// incumbent keeps serving.
+
+#include <cstddef>
+#include <vector>
+
+#include "ccpred/core/regressor.hpp"
+#include "ccpred/serve/online/feedback_buffer.hpp"
+
+namespace ccpred::serve::online {
+
+/// Outcome of one candidate-vs-incumbent shadow evaluation.
+struct ShadowVerdict {
+  double candidate_mape = 0.0;
+  double incumbent_mape = 0.0;
+  bool promote = false;
+  std::size_t holdout_size = 0;
+};
+
+/// Stateless scoring helpers (all inputs are passed in, so evaluations are
+/// trivially reproducible from a buffer snapshot).
+class ShadowEvaluator {
+ public:
+  /// Mean absolute percentage error of `model` on the holdout's measured
+  /// wall times. Rows with non-positive measurements are skipped; an empty
+  /// (or fully skipped) holdout scores 0.
+  static double mape(const ml::Regressor& model,
+                     const std::vector<MeasuredRun>& holdout);
+
+  /// Scores both models on the holdout; `promote` is true when the
+  /// candidate's MAPE is below incumbent_mape * (1 - min_improvement) and
+  /// the holdout is non-empty. min_improvement = 0 promotes any strict
+  /// improvement; 0.1 demands a 10% relative error reduction.
+  static ShadowVerdict judge(const ml::Regressor& candidate,
+                             const ml::Regressor& incumbent,
+                             const std::vector<MeasuredRun>& holdout,
+                             double min_improvement);
+};
+
+}  // namespace ccpred::serve::online

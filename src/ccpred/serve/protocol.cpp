@@ -1,6 +1,7 @@
 #include "ccpred/serve/protocol.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -129,6 +130,48 @@ std::string field_or(const std::map<std::string, std::string>& rec,
   return it == rec.end() ? fallback : it->second;
 }
 
+/// One validated wall-time measurement. std::from_chars happily parses
+/// "nan" and "inf", so finiteness is checked explicitly here — nothing
+/// non-finite or non-positive escapes the parse boundary.
+double parse_wall_time(const std::string& text) {
+  const double value = parse_double(text);
+  CCPRED_CHECK_MSG(std::isfinite(value) && value > 0.0,
+                   "report: wall time must be a finite positive number, got \""
+                       << text << "\"");
+  return value;
+}
+
+/// The report op's measurements: either "wall_time_s" (one number) or
+/// "wall_times" (comma-separated batch, at most kMaxReportBatch entries).
+std::vector<double> parse_wall_times(
+    const std::map<std::string, std::string>& rec) {
+  const bool single = rec.count("wall_time_s") != 0;
+  const bool batch = rec.count("wall_times") != 0;
+  CCPRED_CHECK_MSG(single != batch,
+                   "report: provide exactly one of \"wall_time_s\" and "
+                   "\"wall_times\"");
+  std::vector<double> out;
+  if (single) {
+    out.push_back(parse_wall_time(rec.at("wall_time_s")));
+    return out;
+  }
+  const std::string& list = rec.at("wall_times");
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    CCPRED_CHECK_MSG(!item.empty(), "report: empty entry in \"wall_times\"");
+    CCPRED_CHECK_MSG(out.size() < kMaxReportBatch,
+                     "report: \"wall_times\" carries more than "
+                         << kMaxReportBatch << " entries");
+    out.push_back(parse_wall_time(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* op_name(Op op) {
@@ -138,6 +181,7 @@ const char* op_name(Op op) {
     case Op::kBudget: return "budget";
     case Op::kJob: return "job";
     case Op::kStats: return "stats";
+    case Op::kReport: return "report";
   }
   return "?";
 }
@@ -182,9 +226,11 @@ Request parse_request(const std::string& line) {
     req.op = Op::kJob;
   } else if (op == "stats") {
     req.op = Op::kStats;
+  } else if (op == "report") {
+    req.op = Op::kReport;
   } else {
     throw Error("request: unknown op \"" + op +
-                "\" (use stq|bq|budget|job|stats)");
+                "\" (use stq|bq|budget|job|stats|report)");
   }
   req.id = field_or(rec, "id", "");
   req.machine = field_or(rec, "machine", "");
@@ -193,9 +239,14 @@ Request parse_request(const std::string& line) {
     req.o = field_int(rec, "o");
     req.v = field_int(rec, "v");
   }
-  if (req.op == Op::kJob) {
+  if (req.op == Op::kJob || req.op == Op::kReport) {
     req.nodes = field_int(rec, "nodes");
     req.tile = field_int(rec, "tile");
+  }
+  if (req.op == Op::kReport) {
+    CCPRED_CHECK_MSG(req.o > 0 && req.v > 0 && req.nodes > 0 && req.tile > 0,
+                     "report: o, v, nodes and tile must be positive");
+    req.wall_times = parse_wall_times(rec);
   }
   if (req.op == Op::kBudget) {
     req.max_node_hours = field_double(rec, "max_node_hours");
@@ -248,6 +299,15 @@ std::string format_response(const Response& r) {
        << ",\"total_s\":" << number(r.total_s)
        << ",\"node_hours\":" << number(r.node_hours);
   }
+  if (r.has_report) {
+    os << ",\"accepted\":" << r.accepted
+       << ",\"duplicates\":" << r.duplicates
+       << ",\"buffered\":" << r.buffered
+       << ",\"rolling_mape\":" << number(r.rolling_mape)
+       << ",\"drifting\":" << (r.drifting ? "true" : "false")
+       << ",\"refit_scheduled\":" << (r.refit_scheduled ? "true" : "false")
+       << ",\"model_version\":" << r.model_version;
+  }
   if (r.has_stats) {
     const ServerStats& s = r.stats;
     os << ",\"requests\":" << s.requests << ",\"errors\":" << s.errors
@@ -269,6 +329,30 @@ std::string format_response(const Response& r) {
        << ",\"latency_p50_ms\":" << number(s.latency_p50_ms)
        << ",\"latency_p95_ms\":" << number(s.latency_p95_ms)
        << ",\"latency_mean_ms\":" << number(s.latency_mean_ms);
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      const VerbLatency& vl = s.verb_latency[i];
+      if (vl.count == 0) continue;  // only verbs actually served
+      const char* verb = op_name(static_cast<Op>(i));
+      os << ",\"lat_" << verb << "_count\":" << vl.count << ",\"lat_" << verb
+         << "_p50_ms\":" << number(vl.p50_ms) << ",\"lat_" << verb
+         << "_p95_ms\":" << number(vl.p95_ms);
+    }
+    if (s.online_enabled) {
+      const OnlineStats& o = s.online;
+      os << ",\"online_reports\":" << o.reports
+         << ",\"online_measurements\":" << o.measurements
+         << ",\"online_duplicates\":" << o.duplicates
+         << ",\"online_rejected\":" << o.rejected
+         << ",\"online_buffered\":" << o.buffered
+         << ",\"online_rolling_mape\":" << number(o.rolling_mape)
+         << ",\"online_drift_events\":" << o.drift_events
+         << ",\"online_incremental_updates\":" << o.incremental_updates
+         << ",\"online_refits\":" << o.refits
+         << ",\"online_shadow_evals\":" << o.shadow_evals
+         << ",\"online_promotions\":" << o.promotions
+         << ",\"online_promotions_rejected\":" << o.promotions_rejected
+         << ",\"online_cache_invalidated\":" << o.cache_invalidated;
+    }
   }
   os << '}';
   return os.str();

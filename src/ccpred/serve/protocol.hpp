@@ -12,6 +12,14 @@
 ///   {"op":"budget","machine":"aurora","o":134,"v":951,"max_node_hours":8.0}
 ///   {"op":"job","machine":"aurora","o":134,"v":951,"nodes":110,"tile":90}
 ///   {"op":"stats"}
+///   {"op":"report","machine":"aurora","o":134,"v":951,"nodes":110,
+///    "tile":90,"wall_time_s":123.4}
+///
+/// `report` feeds a measured run back into the online learning loop. Repeat
+/// measurements of the same configuration batch as a comma-separated list:
+/// "wall_times":"123.4,130.1" (at most 64 entries; mutually exclusive with
+/// wall_time_s). Every wall time must be a finite positive number — NaN,
+/// Inf and non-positive values are rejected at the parse boundary.
 ///
 /// Any request may carry "deadline_ms": the server answers
 /// {"ok":false,"code":"deadline",...} if it cannot finish in time (the
@@ -26,6 +34,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "ccpred/serve/stats.hpp"
 
@@ -38,7 +47,11 @@ enum class Op {
   kBudget,  ///< fastest within a node-hour budget
   kJob,     ///< whole-job estimate straight from the simulator
   kStats,   ///< server statistics snapshot
+  kReport,  ///< measured-run feedback for the online learning loop
 };
+
+/// Largest batch of wall times one report request may carry.
+inline constexpr std::size_t kMaxReportBatch = 64;
 
 /// Canonical wire name of an op ("stq", "bq", ...).
 const char* op_name(Op op);
@@ -52,10 +65,12 @@ struct Request {
   std::string model;    ///< "gb" | "rf" | "" (server default)
   int o = 0;
   int v = 0;
-  int nodes = 0;              ///< job op only
-  int tile = 0;               ///< job op only
+  int nodes = 0;              ///< job / report ops only
+  int tile = 0;               ///< job / report ops only
   double max_node_hours = 0.0;  ///< budget op only
   int deadline_ms = 0;          ///< per-request deadline; 0 = none
+  /// report op only: validated finite positive measurements (>= 1 entry).
+  std::vector<double> wall_times;
 };
 
 /// One response; which optional block is populated depends on the op.
@@ -83,6 +98,16 @@ struct Response {
   double setup_s = 0.0;
   double iteration_s = 0.0;
   double total_s = 0.0;
+
+  // Report block (online feedback ingestion; model_version above names the
+  // model that scored the reported runs).
+  bool has_report = false;
+  std::size_t accepted = 0;    ///< measurements stored
+  std::size_t duplicates = 0;  ///< byte-exact repeats dropped
+  std::size_t buffered = 0;    ///< stream buffer size afterwards
+  double rolling_mape = 0.0;   ///< drift window MAPE afterwards
+  bool drifting = false;       ///< drift detector tripped
+  bool refit_scheduled = false;  ///< this report triggered a refit
 
   // Stats block.
   bool has_stats = false;

@@ -27,6 +27,10 @@ Server::Server(ModelRegistry& registry, ServeOptions options)
       pool_(options_.threads),
       sweep_pool_(options_.threads) {
   cache_.set_fault_injector(fault_);
+  if (options_.online.enabled) {
+    online_ = std::make_unique<online::OnlineTrainer>(
+        registry_, &cache_, options_.online, fault_);
+  }
 }
 
 const sim::CcsdSimulator& Server::simulator(const std::string& machine) {
@@ -120,6 +124,29 @@ Response Server::dispatch(const Request& req, Clock::time_point deadline) {
   const std::string machine =
       req.machine.empty() ? options_.default_machine : req.machine;
 
+  if (req.op == Op::kReport) {
+    if (online_ == nullptr) {
+      return error_response("online learning is disabled on this server",
+                            r.op, r.id, "bad_request");
+    }
+    const std::string kind =
+        req.model.empty() ? options_.default_model : req.model;
+    const sim::RunConfig cfg{
+        .o = req.o, .v = req.v, .nodes = req.nodes, .tile = req.tile};
+    const online::ReportOutcome outcome =
+        online_->ingest(machine, kind, cfg, req.wall_times);
+    r.ok = true;
+    r.has_report = true;
+    r.accepted = outcome.accepted;
+    r.duplicates = outcome.duplicates;
+    r.buffered = outcome.buffered;
+    r.rolling_mape = outcome.rolling_mape;
+    r.drifting = outcome.drifting;
+    r.refit_scheduled = outcome.refit_scheduled;
+    r.model_version = outcome.model_version;
+    return r;
+  }
+
   if (req.op == Op::kJob) {
     const sim::RunConfig cfg{
         .o = req.o, .v = req.v, .nodes = req.nodes, .tile = req.tile};
@@ -203,7 +230,9 @@ Response Server::handle_until(const Request& req, Clock::time_point deadline) {
     r = error_response(e.what(), op_name(req.op), req.id, "internal");
   }
   if (!r.ok) errors_.fetch_add(1, std::memory_order_relaxed);
-  latency_.record(timer.elapsed_s());
+  const double elapsed_s = timer.elapsed_s();
+  latency_.record(elapsed_s);
+  op_latency_[static_cast<std::size_t>(req.op)].record(elapsed_s);
   return r;
 }
 
@@ -271,6 +300,28 @@ ServerStats Server::stats() const {
   s.latency_p50_ms = latency_.quantile(0.50) * 1e3;
   s.latency_p95_ms = latency_.quantile(0.95) * 1e3;
   s.latency_mean_ms = latency_.mean() * 1e3;
+  for (std::size_t i = 0; i < kNumOps; ++i) {
+    s.verb_latency[i].count = op_latency_[i].count();
+    s.verb_latency[i].p50_ms = op_latency_[i].quantile(0.50) * 1e3;
+    s.verb_latency[i].p95_ms = op_latency_[i].quantile(0.95) * 1e3;
+  }
+  if (online_ != nullptr) {
+    s.online_enabled = true;
+    const online::OnlineCounters oc = online_->counters();
+    s.online.reports = oc.reports;
+    s.online.measurements = oc.measurements;
+    s.online.duplicates = oc.duplicates;
+    s.online.rejected = oc.rejected;
+    s.online.buffered = oc.buffered;
+    s.online.rolling_mape = oc.rolling_mape;
+    s.online.drift_events = oc.drift_events;
+    s.online.incremental_updates = oc.incremental_updates;
+    s.online.refits = oc.refits;
+    s.online.shadow_evals = oc.shadow_evals;
+    s.online.promotions = oc.promotions;
+    s.online.promotions_rejected = oc.promotions_rejected;
+    s.online.cache_invalidated = oc.cache_invalidated;
+  }
   return s;
 }
 

@@ -42,6 +42,7 @@
 #include "ccpred/common/thread_pool.hpp"
 #include "ccpred/serve/fault_injector.hpp"
 #include "ccpred/serve/model_registry.hpp"
+#include "ccpred/serve/online/online_trainer.hpp"
 #include "ccpred/serve/protocol.hpp"
 #include "ccpred/serve/stats.hpp"
 #include "ccpred/serve/sweep_cache.hpp"
@@ -57,6 +58,9 @@ struct ServeOptions {
   std::string default_machine = "aurora";  ///< when a request omits it
   std::string default_model = "gb";        ///< when a request omits it
   FaultInjector* fault_injector = nullptr;  ///< optional; must outlive server
+  /// Online learning loop (report verb). Disabled by default — a report
+  /// against a disabled loop answers code="bad_request".
+  online::OnlineOptions online;
 };
 
 /// See file comment. The registry must outlive the server.
@@ -86,6 +90,10 @@ class Server {
   const ServeOptions& options() const { return options_; }
   const SweepCache& cache() const { return cache_; }
 
+  /// The online learning loop, or nullptr when disabled (test hook:
+  /// wait_idle() between reporting and asserting on promotions).
+  online::OnlineTrainer* online() { return online_.get(); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -111,6 +119,12 @@ class Server {
   FaultInjector* fault_;  ///< == options_.fault_injector
   SweepCache cache_;
   LatencyHistogram latency_;
+  LatencyHistogram op_latency_[kNumOps];  ///< per-verb, indexed by Op
+
+  /// Constructed only when options_.online.enabled. Declared after cache_
+  /// (its refits invalidate cache shards) and before the pools, so its own
+  /// refit worker drains while everything it touches is still alive.
+  std::unique_ptr<online::OnlineTrainer> online_;
 
   std::mutex simulators_mutex_;
   std::map<std::string, sim::CcsdSimulator> simulators_;

@@ -11,6 +11,34 @@
 
 namespace ccpred::serve {
 
+/// Number of protocol verbs (must match the Op enum in protocol.hpp, which
+/// indexes the per-verb latency array below).
+inline constexpr std::size_t kNumOps = 6;
+
+/// Latency quantiles of one protocol verb.
+struct VerbLatency {
+  std::uint64_t count = 0;  ///< requests of this verb handled
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+/// Observable state of the online learning loop (zero when disabled).
+struct OnlineStats {
+  std::uint64_t reports = 0;       ///< report requests ingested
+  std::uint64_t measurements = 0;  ///< individual wall times received
+  std::uint64_t duplicates = 0;    ///< byte-exact repeats dropped
+  std::uint64_t rejected = 0;      ///< invalid wall times dropped
+  std::size_t buffered = 0;        ///< rows buffered across streams
+  double rolling_mape = 0.0;       ///< worst stream's rolling MAPE
+  std::uint64_t drift_events = 0;
+  std::uint64_t incremental_updates = 0;  ///< GP surrogate update() calls
+  std::uint64_t refits = 0;               ///< background candidates trained
+  std::uint64_t shadow_evals = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t promotions_rejected = 0;
+  std::uint64_t cache_invalidated = 0;  ///< sweeps dropped by promotions
+};
+
 /// Point-in-time snapshot of a running Server.
 struct ServerStats {
   std::uint64_t requests = 0;        ///< requests handled (incl. errors)
@@ -33,6 +61,9 @@ struct ServerStats {
   double latency_p50_ms = 0.0;       ///< median request latency
   double latency_p95_ms = 0.0;       ///< tail request latency
   double latency_mean_ms = 0.0;      ///< mean request latency
+  VerbLatency verb_latency[kNumOps];  ///< per-verb quantiles, Op order
+  bool online_enabled = false;        ///< online learning loop active
+  OnlineStats online;
 };
 
 }  // namespace ccpred::serve

@@ -34,6 +34,18 @@ void SweepCache::put(const SweepKey& key, SweepPtr sweep) {
   shard.cache.put(key, std::move(sweep));
 }
 
+std::size_t SweepCache::invalidate(const std::string& machine,
+                                   const std::string& kind) {
+  std::size_t erased = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    erased += shard->cache.erase_if([&](const SweepKey& key) {
+      return key.machine == machine && key.kind == kind;
+    });
+  }
+  return erased;
+}
+
 CacheCounters SweepCache::counters() const {
   CacheCounters total;
   for (const auto& shard : shards_) {

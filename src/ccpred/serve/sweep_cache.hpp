@@ -60,6 +60,12 @@ class SweepCache {
   /// Inserts (or refreshes) a sweep.
   void put(const SweepKey& key, SweepPtr sweep);
 
+  /// Drops every cached sweep for (machine, kind) across all shards —
+  /// called after an online-model promotion so sweeps computed under the
+  /// replaced version stop occupying cache slots. Returns the number of
+  /// entries dropped (not counted as evictions).
+  std::size_t invalidate(const std::string& machine, const std::string& kind);
+
   /// Counters aggregated over all shards.
   CacheCounters counters() const;
 

@@ -156,6 +156,117 @@ TEST(GpUpdateTest, BaseRegressorRejectsUpdate) {
   EXPECT_THROW(dt.update(linalg::Matrix(1, 2), {1.0}), Error);
 }
 
+// ---------- GP incremental update edge cases ----------
+
+linalg::Matrix tile_rows(const linalg::Matrix& x, int times) {
+  linalg::Matrix out(x.rows() * static_cast<std::size_t>(times), x.cols());
+  for (int t = 0; t < times; ++t) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        out(static_cast<std::size_t>(t) * x.rows() + i, c) = x(i, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> tile_vec(const std::vector<double>& y, int times) {
+  std::vector<double> out;
+  out.reserve(y.size() * static_cast<std::size_t>(times));
+  for (int t = 0; t < times; ++t) out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+TEST(GpUpdateEdgeCases, ChainedDuplicateUpdatesMatchFullRefit) {
+  // The feature/target scalers divide by the POPULATION std, so
+  // replicating the whole training set changes neither mean nor std: the
+  // incremental path's frozen scalers equal a fresh fit's, and
+  // fit(A); update(A); update(A) must agree with fit(A+A+A) to solver
+  // precision. This exercises duplicate training points (K is kept
+  // positive definite by the white noise alone) and update-after-update
+  // chains against the from-scratch factorization.
+  const auto s = test::make_nonlinear(60, 0.05, 21);
+  const auto probe = test::make_nonlinear(25, 0.0, 22);
+
+  GaussianProcessRegression inc(1.0, 1e-4, false);
+  inc.fit(s.x, s.y);
+  inc.update(s.x, s.y);
+  inc.update(s.x, s.y);
+
+  GaussianProcessRegression full(1.0, 1e-4, false);
+  full.fit(tile_rows(s.x, 3), tile_vec(s.y, 3));
+
+  expect_close_rel(inc.predict(probe.x), full.predict(probe.x), kRelTol,
+                   "chained duplicate updates vs full refit");
+  std::vector<double> mean_i, std_i, mean_f, std_f;
+  inc.predict_with_std(probe.x, mean_i, std_i);
+  full.predict_with_std(probe.x, mean_f, std_f);
+  expect_close_rel(mean_i, mean_f, kRelTol, "mean after duplicate chain");
+  ASSERT_EQ(std_i.size(), std_f.size());
+  for (std::size_t i = 0; i < std_i.size(); ++i) {
+    const double scale = std::max(std::abs(mean_i[i]), 1e-12);
+    EXPECT_LT(std::abs(std_i[i] - std_f[i]) / scale, kRelTol)
+        << "std diverged at " << i;
+  }
+}
+
+TEST(GpUpdateEdgeCases, ManySmallUpdatesMatchOneBigUpdate) {
+  // Both sides share the same frozen scalers (fit on the same base), so
+  // absorbing 40 rows as 8 batches of 5 must equal absorbing them at once.
+  const auto base = test::make_nonlinear(80, 0.05, 23);
+  const auto extra = test::make_nonlinear(40, 0.05, 24);
+  const auto probe = test::make_nonlinear(20, 0.0, 25);
+
+  GaussianProcessRegression chained(1.0, 1e-4, false);
+  GaussianProcessRegression big(1.0, 1e-4, false);
+  chained.fit(base.x, base.y);
+  big.fit(base.x, base.y);
+
+  for (std::size_t start = 0; start < 40; start += 5) {
+    linalg::Matrix xb(5, extra.x.cols());
+    std::vector<double> yb(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      for (std::size_t c = 0; c < extra.x.cols(); ++c) {
+        xb(i, c) = extra.x(start + i, c);
+      }
+      yb[i] = extra.y[start + i];
+    }
+    chained.update(xb, yb);
+  }
+  big.update(extra.x, extra.y);
+
+  expect_close_rel(chained.predict(probe.x), big.predict(probe.x), kRelTol,
+                   "8x5 chained updates vs one 40-row update");
+}
+
+TEST(GpUpdateEdgeCases, ZeroVarianceBatchStaysFinite) {
+  // A batch of identical rows with one repeated target: zero variance in
+  // both features and target. The frozen scalers make the transform safe
+  // (no division by a batch std) and the noise keeps the extended factor
+  // positive definite.
+  const auto s = test::make_nonlinear(80, 0.05, 26);
+  GaussianProcessRegression gp(1.0, 1e-4, false);
+  gp.fit(s.x, s.y);
+
+  linalg::Matrix xb(12, s.x.cols());
+  for (std::size_t i = 0; i < xb.rows(); ++i) {
+    for (std::size_t c = 0; c < xb.cols(); ++c) xb(i, c) = s.x(0, c);
+  }
+  const std::vector<double> yb(12, 3.25);
+  gp.update(xb, yb);
+
+  const auto pred = gp.predict(s.x);
+  for (const double p : pred) EXPECT_TRUE(std::isfinite(p));
+  std::vector<double> mean, std;
+  gp.predict_with_std(s.x, mean, std);
+  for (const double v : std) EXPECT_TRUE(std::isfinite(v));
+
+  // Twelve repeated low-noise observations dominate the posterior there.
+  std::vector<double> row0(s.x.cols());
+  for (std::size_t c = 0; c < s.x.cols(); ++c) row0[c] = s.x(0, c);
+  EXPECT_GT(gp.predict_one(row0), 2.0);
+}
+
 // ---------- KRR cached refits ----------
 
 TEST(KernelRidgeCacheTest, RefitOnSameDataMatchesFreshFit) {

@@ -49,11 +49,17 @@ std::string random_bytes(Rng& rng, std::size_t max_len) {
 }
 
 std::string valid_request_line(Rng& rng) {
-  switch (rng.uniform_int(0, 4)) {
+  switch (rng.uniform_int(0, 6)) {
     case 0: return R"({"op":"stq","o":134,"v":951})";
     case 1: return R"({"op":"bq","o":85,"v":698,"machine":"aurora"})";
     case 2: return R"({"op":"budget","o":44,"v":260,"max_node_hours":3.5})";
     case 3: return R"({"op":"job","o":99,"v":718,"nodes":64,"tile":80})";
+    case 4:
+      return R"({"op":"report","o":99,"v":718,"nodes":64,"tile":80,)"
+             R"("wall_time_s":123.4})";
+    case 5:
+      return R"({"op":"report","o":44,"v":260,"nodes":16,"tile":60,)"
+             R"("wall_times":"1.5,2.25,3"})";
     default: return R"({"op":"stats","id":"fz","deadline_ms":250})";
   }
 }
@@ -134,6 +140,73 @@ TEST(ProtocolFuzzTest, OversizedFieldsAreRejectedNotFatal) {
   std::string nested = R"({"a":)";
   for (int i = 0; i < 2000; ++i) nested += '{';
   EXPECT_THROW(parse_record(nested), Error);
+}
+
+TEST(ProtocolFuzzTest, ReportWallTimesNeverEscapeTheBoundary) {
+  // Happy paths first: single measurement and a comma-separated batch.
+  const auto single = parse_request(
+      R"({"op":"report","o":99,"v":718,"nodes":64,"tile":80,)"
+      R"("wall_time_s":123.4})");
+  ASSERT_EQ(single.wall_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(single.wall_times[0], 123.4);
+  const auto batch = parse_request(
+      R"({"op":"report","o":99,"v":718,"nodes":64,"tile":80,)"
+      R"("wall_times":"1.5,2.25,3"})");
+  ASSERT_EQ(batch.wall_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(batch.wall_times[1], 2.25);
+
+  // std::from_chars happily parses "nan" and "inf" — the boundary must
+  // reject them (and every other non-finite / non-positive value) with a
+  // clean Error, never letting them reach the learner.
+  const auto with_wall = [](const std::string& value) {
+    return R"({"op":"report","o":99,"v":718,"nodes":64,"tile":80,)"
+           R"("wall_time_s":)" +
+           value + "}";
+  };
+  for (const char* bad :
+       {"nan", "inf", "-inf", "NaN", "Infinity", "-1.5", "0", "0.0", "1e999",
+        "\"nan\"", "\"\"", "1.2.3", "true"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW((void)parse_request(with_wall(bad)), Error);
+  }
+
+  // Batch entries are validated individually; empty entries are malformed.
+  const auto with_batch = [](const std::string& list) {
+    return R"({"op":"report","o":99,"v":718,"nodes":64,"tile":80,)"
+           R"("wall_times":")" +
+           list + R"("})";
+  };
+  for (const char* bad : {"1.0,nan,2.0", "1.0,inf", "1.0,,2.0", ",1.0",
+                          "1.0,", "", "1.0,-2.0"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW((void)parse_request(with_batch(bad)), Error);
+  }
+
+  // Oversized batches are rejected at the boundary, not buffered.
+  std::string big;
+  for (int i = 0; i < 65; ++i) big += (i ? ",1.5" : "1.5");
+  EXPECT_THROW((void)parse_request(with_batch(big)), Error);
+  std::string at_cap;
+  for (int i = 0; i < 64; ++i) at_cap += (i ? ",1.5" : "1.5");
+  EXPECT_EQ(parse_request(with_batch(at_cap)).wall_times.size(), 64u);
+
+  // Exactly one measurement field, and positive dimensions.
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"op":"report","o":9,"v":7,"nodes":6,"tile":8,)"
+          R"("wall_time_s":1.0,"wall_times":"2.0"})"),
+      Error);
+  EXPECT_THROW((void)parse_request(
+                   R"({"op":"report","o":9,"v":7,"nodes":6,"tile":8})"),
+               Error);
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"op":"report","o":0,"v":7,"nodes":6,"tile":8,"wall_time_s":1})"),
+      Error);
+  EXPECT_THROW(
+      (void)parse_request(
+          R"({"op":"report","o":9,"v":7,"nodes":-4,"tile":8,"wall_time_s":1})"),
+      Error);
 }
 
 /// Text over the protocol's representable alphabet: printable ASCII,

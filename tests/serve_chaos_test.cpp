@@ -16,6 +16,11 @@
 // The whole fault schedule is a pure function of the seed, so a failing
 // seed reproduces. CCPRED_CHAOS_FAST=1 shrinks the workload for
 // sanitizer CI jobs.
+//
+// Two online-learning variants ride on the same machinery: a report storm
+// with promotion disabled (ingestion faults must never move a served
+// answer) and a promotion race with aggressive refit/promote faults
+// (liveness, exactly-one answer, monotone model versions per thread).
 
 #include <gtest/gtest.h>
 
@@ -297,6 +302,232 @@ TEST(ServeChaosTest, NoFaultConcurrentRunMatchesSerialBaseline) {
 TEST(ServeChaosTest, Seed1) { run_chaos_at_seed(1); }
 TEST(ServeChaosTest, Seed7) { run_chaos_at_seed(7); }
 TEST(ServeChaosTest, Seed42) { run_chaos_at_seed(42); }
+
+// ------------------------------------------------------------ report storm
+
+/// A feasible configuration + measurement for reporter thread `t`, report
+/// `j`. Wall times are all distinct (no two reports dedup against each
+/// other) and strictly positive.
+Request make_report(int t, int j) {
+  Request r;
+  r.op = Op::kReport;
+  r.o = 44;
+  r.v = 260;
+  r.nodes = (j % 2 == 0) ? 5 : 15;
+  r.tile = 40 + 10 * (j % 8);
+  r.id = "rep" + std::to_string(t) + "_" + std::to_string(j);
+  r.wall_times = {19.0 + 0.01 * (t * 1000 + j)};
+  return r;
+}
+
+/// Online learning enabled but promotion disabled (the refit threshold is
+/// unreachable): a storm of report ingestions racing the standard mixed
+/// workload under report/worker/cache faults must not perturb a single
+/// served answer — ingestion rides the hot path, but the serving model
+/// never changes.
+void run_report_storm_at_seed(std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  FaultOptions fopt;
+  fopt.seed = seed;
+  fopt.report_ingest = 0.5;
+  fopt.report_ingest_ms = 2.0;
+  fopt.worker_stall = 0.3;
+  fopt.worker_stall_ms = 5.0;
+  fopt.cache_shard_hold = 0.3;
+  fopt.cache_shard_hold_ms = 2.0;
+  FaultInjector fault(fopt);
+
+  ServeOptions opt;
+  opt.threads = 4;
+  opt.cache_capacity = 64;
+  opt.max_queue_depth = 6;
+  opt.fault_injector = &fault;
+  opt.online.enabled = true;
+  opt.online.min_refit_rows = 1u << 30;  // never refit, never promote
+  opt.online.gp_max_rows = 64;           // keep the surrogate cheap
+  ChaosFixture f("storm_" + std::to_string(seed), opt);
+
+  const int reports_per_thread = fast_mode() ? 20 : 60;
+  constexpr int kReporters = 2;
+  std::vector<std::thread> reporters;
+  std::atomic<std::uint64_t> report_failures{0};
+  for (int t = 0; t < kReporters; ++t) {
+    reporters.emplace_back([&, t] {
+      for (int j = 0; j < reports_per_thread; ++j) {
+        const Response r = f.server->handle(make_report(t, j));
+        if (!r.ok || !r.has_report || r.accepted != 1) {
+          report_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  const auto responses = run_clients(*f.server);
+  for (auto& t : reporters) t.join();
+  EXPECT_EQ(report_failures.load(), 0u);
+
+  // Not one served answer moved: the storm is observable only in timing
+  // and in the online counters.
+  std::uint64_t shed = 0;
+  for (int i = 0; i < static_cast<int>(responses.size()); ++i) {
+    const Response& r = responses[static_cast<std::size_t>(i)];
+    if (r.ok) {
+      EXPECT_FALSE(r.stale) << "request " << i;
+      expect_matches_baseline(r, i);
+    } else {
+      EXPECT_TRUE(r.code == "overloaded" || r.code == "deadline")
+          << "request " << i << ": " << r.code << " " << r.error;
+      shed += r.code == "overloaded";
+    }
+  }
+
+  const std::uint64_t total_reports =
+      static_cast<std::uint64_t>(kReporters) * reports_per_thread;
+  const auto c = f.server->online()->counters();
+  EXPECT_EQ(c.reports, total_reports);
+  EXPECT_EQ(c.measurements, total_reports);
+  EXPECT_EQ(c.duplicates, 0u);
+  EXPECT_EQ(c.rejected, 0u);
+  EXPECT_EQ(c.buffered, total_reports);
+  EXPECT_EQ(c.refits, 0u);
+  EXPECT_EQ(c.promotions, 0u);
+  EXPECT_EQ(c.cache_invalidated, 0u);
+  EXPECT_GT(c.incremental_updates, 0u);  // the GP surrogate grew on-line
+
+  // The gauge decrements just after each future resolves; poll briefly.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (f.server->stats().queue_depth != 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ServerStats stats = f.server->stats();
+  EXPECT_EQ(stats.requests + stats.shed,
+            static_cast<std::uint64_t>(responses.size()) + total_reports);
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.verb_latency[static_cast<std::size_t>(Op::kReport)].count,
+            total_reports);
+
+  // Every ingest consulted the report injection point; half fired.
+  EXPECT_EQ(fault.arrivals(FaultPoint::kReportIngest), total_reports);
+  EXPECT_GT(fault.injected(FaultPoint::kReportIngest), 0u);
+}
+
+TEST(ServeChaosTest, ReportStormSeed1) { run_report_storm_at_seed(1); }
+TEST(ServeChaosTest, ReportStormSeed7) { run_report_storm_at_seed(7); }
+TEST(ServeChaosTest, ReportStormSeed42) { run_report_storm_at_seed(42); }
+
+// --------------------------------------------------------- promotion race
+
+/// Aggressive refit/promotion churn under stall + artifact-read faults:
+/// reporters feed a shifted regime that trips drift almost immediately
+/// while clients keep asking STQ. Answers legitimately change when a
+/// candidate wins, so there is no bit-identity here — the properties are
+/// liveness, exactly-one answer per request, per-thread monotone model
+/// versions and self-consistent counters.
+void run_promotion_race_at_seed(std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+  FaultOptions fopt;
+  fopt.seed = seed;
+  fopt.artifact_read_failure = 0.3;
+  fopt.worker_stall = 0.3;
+  fopt.worker_stall_ms = 2.0;
+  fopt.refit_stall = 0.5;
+  fopt.refit_stall_ms = 10.0;
+  fopt.promotion_race = 0.5;
+  fopt.promotion_race_ms = 5.0;
+  FaultInjector fault(fopt);
+
+  const auto dir = scratch_dir("race_" + std::to_string(seed));
+  RegistryOptions ropt;
+  ropt.fallback_rows = 160;
+  ropt.gb_estimators = 60;
+  ModelRegistry registry(dir, ropt);
+  ml::save_gb(campaign_gb(), registry.artifact_path("aurora", "gb"));
+  registry.set_fault_injector(&fault);
+
+  ServeOptions opt;
+  opt.threads = 4;
+  opt.cache_capacity = 64;
+  opt.fault_injector = &fault;
+  opt.online.enabled = true;
+  opt.online.synchronous = false;  // refits race the request threads
+  opt.online.drift.window = 16;
+  opt.online.drift.min_samples = 4;
+  opt.online.drift.mape_threshold = 0.05;
+  opt.online.min_refit_rows = 8;
+  opt.online.holdout = 4;
+  opt.online.gp_max_rows = 64;
+  Server server(registry, opt);
+
+  const int reports_per_thread = fast_mode() ? 24 : 60;
+  const int queries_per_thread = fast_mode() ? 24 : 60;
+  constexpr int kReporters = 2;
+  constexpr int kQueriers = 2;
+  std::atomic<std::uint64_t> bad{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kReporters; ++t) {
+    threads.emplace_back([&, t] {
+      for (int j = 0; j < reports_per_thread; ++j) {
+        const Response r = server.handle(make_report(t, j));
+        // An ingest that draws an injected artifact-read failure before
+        // any model loaded legitimately errors; it must still come back
+        // as a structured response, never vanish or crash.
+        if (r.ok ? !r.has_report : r.code != "internal") bad.fetch_add(1);
+      }
+    });
+  }
+  for (int t = 0; t < kQueriers; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t last_version = 0;
+      for (int j = 0; j < queries_per_thread; ++j) {
+        Request q;
+        q.op = (j % 3 == 2) ? Op::kBq : Op::kStq;
+        q.o = 44 + 41 * (j % 2);  // alternate two problem sizes
+        q.v = 260 + 438 * (j % 2);
+        q.id = "q" + std::to_string(t) + "_" + std::to_string(j);
+        const Response r = server.handle(q);
+        if (!r.ok) {
+          // Same as above: only a structured first-load failure is legal.
+          if (r.code != "internal") bad.fetch_add(1);
+        } else {
+          // Sequential requests from one thread can never see the model
+          // version move backwards: loads are serialized and versions
+          // only grow.
+          EXPECT_GE(r.model_version, last_version)
+              << "thread " << t << " request " << j;
+          last_version = r.model_version;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.online()->wait_idle();
+  EXPECT_EQ(bad.load(), 0u);
+
+  // Counter consistency: every judged candidate was either promoted or
+  // rejected; every promotion invalidated at least zero shards; a refit
+  // that died on an injected artifact read judged nothing.
+  const auto c = server.online()->counters();
+  EXPECT_GE(c.refits, 1u);
+  EXPECT_LE(c.shadow_evals, c.refits);
+  EXPECT_LE(c.promotions + c.promotions_rejected, c.shadow_evals);
+  EXPECT_EQ(c.reports,
+            static_cast<std::uint64_t>(kReporters) * reports_per_thread);
+  EXPECT_GT(fault.arrivals(FaultPoint::kRefitStall), 0u);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kReporters) * reports_per_thread +
+                static_cast<std::uint64_t>(kQueriers) * queries_per_thread);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.online.promotions, c.promotions);
+}
+
+TEST(ServeChaosTest, PromotionRaceSeed1) { run_promotion_race_at_seed(1); }
+TEST(ServeChaosTest, PromotionRaceSeed7) { run_promotion_race_at_seed(7); }
+TEST(ServeChaosTest, PromotionRaceSeed42) { run_promotion_race_at_seed(42); }
 
 }  // namespace
 }  // namespace ccpred::serve

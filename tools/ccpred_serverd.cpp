@@ -23,6 +23,12 @@
 ///       rejection through). The --fault-* flags arm the deterministic
 ///       FaultInjector for chaos drills; see serve/fault_injector.hpp.
 ///
+///       --online 1 activates the closed-loop online learner: the `report`
+///       verb ingests measured runs, drift against served predictions
+///       triggers background refits, and candidates that win shadow
+///       evaluation are atomically promoted (see serve/online/). The
+///       --online-* flags tune its thresholds.
+///
 /// Missing artifacts are trained on first use (train-and-cache), so
 /// `serve` works on an empty directory — pre-train with `train` to make
 /// startup instant and answers reproducible across deployments.
@@ -255,14 +261,48 @@ std::unique_ptr<serve::FaultInjector> fault_injector_from_flags(
   prob("fault-sweep", fopt.sweep_delay);
   prob("fault-stall", fopt.worker_stall);
   prob("fault-cache", fopt.cache_shard_hold);
+  prob("fault-report", fopt.report_ingest);
+  prob("fault-refit", fopt.refit_stall);
+  prob("fault-promote", fopt.promotion_race);
   fopt.seed =
       static_cast<std::uint64_t>(parse_int(get_or(flags, "fault-seed", "2025")));
   fopt.sweep_delay_ms = parse_double(get_or(flags, "fault-sweep-ms", "10"));
   fopt.worker_stall_ms = parse_double(get_or(flags, "fault-stall-ms", "5"));
   fopt.cache_shard_hold_ms =
       parse_double(get_or(flags, "fault-cache-ms", "2"));
+  fopt.report_ingest_ms = parse_double(get_or(flags, "fault-report-ms", "2"));
+  fopt.refit_stall_ms = parse_double(get_or(flags, "fault-refit-ms", "20"));
+  fopt.promotion_race_ms =
+      parse_double(get_or(flags, "fault-promote-ms", "10"));
   if (!armed) return nullptr;
   return std::make_unique<serve::FaultInjector>(fopt);
+}
+
+/// Builds the online-learning options from --online* flags.
+serve::online::OnlineOptions online_options_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  serve::online::OnlineOptions opt;
+  opt.enabled = flags.count("online") != 0 && get_or(flags, "online", "0") != "0";
+  if (!opt.enabled) return opt;
+  opt.buffer_capacity = static_cast<std::size_t>(
+      parse_int(get_or(flags, "online-buffer", "4096")));
+  opt.drift.window = static_cast<std::size_t>(
+      parse_int(get_or(flags, "online-drift-window", "64")));
+  opt.drift.min_samples = static_cast<std::size_t>(
+      parse_int(get_or(flags, "online-min-reports", "16")));
+  opt.drift.mape_threshold =
+      parse_double(get_or(flags, "online-drift-threshold", "0.25"));
+  opt.refit_interval = static_cast<std::size_t>(
+      parse_int(get_or(flags, "online-refit-interval", "0")));
+  opt.min_refit_rows = static_cast<std::size_t>(
+      parse_int(get_or(flags, "online-min-refit-rows", "32")));
+  opt.holdout =
+      static_cast<std::size_t>(parse_int(get_or(flags, "online-holdout", "16")));
+  opt.min_improvement =
+      parse_double(get_or(flags, "online-min-improvement", "0"));
+  opt.feedback_weight = static_cast<std::size_t>(
+      parse_int(get_or(flags, "online-feedback-weight", "8")));
+  return opt;
 }
 
 int cmd_serve(const std::map<std::string, std::string>& flags) {
@@ -280,7 +320,14 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   opt.default_machine = get_or(flags, "default-machine", "aurora");
   opt.default_model = get_or(flags, "default-model", "gb");
   opt.fault_injector = fault.get();
+  opt.online = online_options_from_flags(flags);
   serve::Server server(registry, opt);
+  if (opt.online.enabled) {
+    std::fprintf(stderr,
+                 "ccpred_serverd online learning ENABLED (drift threshold "
+                 "%.2f, window %zu)\n",
+                 opt.online.drift.mape_threshold, opt.online.drift.window);
+  }
   if (fault != nullptr) {
     std::fprintf(stderr,
                  "ccpred_serverd FAULT INJECTION ARMED (seed %llu)\n",
@@ -368,7 +415,15 @@ int usage() {
                "        [--fault-seed S] [--fault-artifact P] "
                "[--fault-sweep P] [--fault-sweep-ms MS] [--fault-stall P] "
                "[--fault-stall-ms MS] [--fault-cache P] "
-               "[--fault-cache-ms MS]\n");
+               "[--fault-cache-ms MS]\n"
+               "        [--fault-report P] [--fault-report-ms MS] "
+               "[--fault-refit P] [--fault-refit-ms MS] "
+               "[--fault-promote P] [--fault-promote-ms MS]\n"
+               "        [--online 1] [--online-buffer N] "
+               "[--online-drift-window N] [--online-min-reports N] "
+               "[--online-drift-threshold X] [--online-refit-interval N]\n"
+               "        [--online-min-refit-rows N] [--online-holdout N] "
+               "[--online-min-improvement X] [--online-feedback-weight N]\n");
   return 2;
 }
 
