@@ -200,9 +200,11 @@ int main() {
     std::fprintf(json,
                  "{\"qps_baseline\": %.1f, \"qps_with_reports\": %.1f, "
                  "\"ratio\": %.4f, \"reports_per_s\": %.1f, "
-                 "\"interleaved_reports\": %zu, \"fast\": %d}\n",
+                 "\"interleaved_reports\": %zu, \"fast\": %d, "
+                 "\"provenance\": %s}\n",
                  qps_baseline, qps_with_reports, ratio, reports_per_s,
-                 reports_sent, fast ? 1 : 0);
+                 reports_sent, fast ? 1 : 0,
+                 bench::provenance_json().c_str());
     std::fclose(json);
     std::printf("wrote BENCH_online.json\n");
   }

@@ -207,6 +207,7 @@ int main() {
         "\"reference_s\": %.6f, \"fast_s\": %.6f, \"speedup\": %.3f, "
         "\"identical\": %s,\n"
         "    \"cache_entries\": %zu, \"cache_hits\": %llu},\n"
+        "  \"provenance\": %s,\n"
         "  \"pass\": %s\n"
         "}\n",
         fast_mode ? "true" : "false", threads, ref_campaign.size(), regens,
@@ -217,7 +218,7 @@ int main() {
         sweep_fast_s, sweep_speedup, sweep_identical ? "true" : "false",
         sweep_cache.entries,
         static_cast<unsigned long long>(sweep_cache.hits),
-        pass ? "true" : "false");
+        bench::provenance_json().c_str(), pass ? "true" : "false");
     std::fclose(json);
     std::printf("\nwrote BENCH_sim_engine.json\n");
   }

@@ -1,17 +1,26 @@
 /// Tree-ensemble engine bench: histogram training vs the exact reference,
-/// and compiled SoA batch inference vs the per-row tree walk.
+/// compiled SoA batch inference vs the per-row tree walk, and the
+/// dispatched bin-code kernel across SIMD modes.
 ///
 /// Trains GB and RF on the paper's Aurora campaign both ways and times a
 /// sweep-shaped batch prediction through both inference paths, asserting
 /// the compiled path is bit-identical to the walk. Emits the measurements
 /// to BENCH_tree_engine.json next to the binary's working directory.
+/// Set CCPRED_BENCH_FAST=1 (environment variable) for a reduced workload.
 ///
 /// Gates (exit nonzero on failure):
-///   - GB fit: histogram >= 3x faster than exact
-///   - RF fit: histogram >= 3x faster than exact
+///   - GB fit: histogram >= 10x faster than exact
+///   - RF fit: histogram >= 10x faster than exact
+///     (both raised from the pre-SIMD 3x when the direct small-node mode,
+///     per-feature range threading and fused train predictions roughly
+///     doubled the histogram engine; the structural gains are dispatch-
+///     mode-independent, so a CCPRED_SIMD=scalar run passes the same bar)
 ///   - batch predict: compiled >= 5x faster than walk, bit-identical
+///   - bin-code assignment: AVX2 table >= 2x the scalar table with
+///     bit-identical codes (gated only when the host has AVX2+FMA)
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -19,8 +28,10 @@
 #include "ccpred/common/stopwatch.hpp"
 #include "ccpred/common/table.hpp"
 #include "ccpred/common/thread_pool.hpp"
+#include "ccpred/core/decision_tree.hpp"
 #include "ccpred/core/gradient_boosting.hpp"
 #include "ccpred/core/random_forest.hpp"
+#include "ccpred/simd/simd.hpp"
 
 namespace {
 
@@ -61,16 +72,19 @@ int main() {
               n, threads, fast ? ", fast mode" : "");
 
   // ---- training: exact reference vs histogram + parallel paths ----
+  // Fits take best-of-2 in full mode: the 10x gates leave ~2x headroom on
+  // a quiet host, and one timer outlier should not fail the run.
+  const int fit_reps = fast ? 1 : 2;
   ml::GradientBoostingRegressor gb_exact(gb_stages, 0.1, exact_opt);
-  const double gb_exact_s = best_time_s(1, [&] { gb_exact.fit(x, y); });
+  const double gb_exact_s = best_time_s(fit_reps, [&] { gb_exact.fit(x, y); });
   ml::GradientBoostingRegressor gb_hist(gb_stages, 0.1, hist_opt);
-  const double gb_hist_s = best_time_s(1, [&] { gb_hist.fit(x, y); });
+  const double gb_hist_s = best_time_s(fit_reps, [&] { gb_hist.fit(x, y); });
   const double gb_fit_speedup = gb_exact_s / gb_hist_s;
 
   ml::RandomForestRegressor rf_exact(rf_trees, exact_opt);
-  const double rf_exact_s = best_time_s(1, [&] { rf_exact.fit(x, y); });
+  const double rf_exact_s = best_time_s(fit_reps, [&] { rf_exact.fit(x, y); });
   ml::RandomForestRegressor rf_hist(rf_trees, hist_opt);
-  const double rf_hist_s = best_time_s(1, [&] { rf_hist.fit(x, y); });
+  const double rf_hist_s = best_time_s(fit_reps, [&] { rf_hist.fit(x, y); });
   const double rf_fit_speedup = rf_exact_s / rf_hist_s;
 
   // ---- inference: compiled SoA batch vs per-row tree walk ----
@@ -92,6 +106,38 @@ int main() {
   const double rf_compiled_s = best_time_s(predict_reps, [&] { rf_hist.predict(x); });
   const double rf_predict_speedup = rf_walk_s / rf_compiled_s;
 
+  // ---- bin-code assignment kernel: scalar vs AVX2 dispatch tables ----
+  // The quantile-binning front door of every histogram fit. The scalar
+  // table keeps the shipped per-value binary search; the AVX2 table counts
+  // edges held in registers. Codes are integer counts, so the tables must
+  // agree bit-for-bit.
+  const ml::FeatureBins fb = ml::FeatureBins::build(x, hist_opt.max_bins);
+  std::vector<std::vector<double>> edges(x.cols());
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    for (int b = 0; b + 1 < fb.bin_count(f); ++b) {
+      edges[f].push_back(fb.upper_edge(f, b));
+    }
+  }
+  std::vector<std::uint16_t> codes_scalar(n * x.cols());
+  std::vector<std::uint16_t> codes_avx2(n * x.cols());
+  const auto run_codes = [&](simd::Mode mode, std::uint16_t* out) {
+    const auto& table = simd::ops_for(mode);
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+      table.bin_codes(x.row_ptr(0) + f, n, x.cols(), edges[f].data(),
+                      static_cast<int>(edges[f].size()), out + f, x.cols());
+    }
+  };
+  const int code_reps = fast ? 100 : 300;
+  const double codes_scalar_s = best_time_s(
+      code_reps, [&] { run_codes(simd::Mode::kScalar, codes_scalar.data()); });
+  const double codes_avx2_s = best_time_s(
+      code_reps, [&] { run_codes(simd::Mode::kAvx2, codes_avx2.data()); });
+  const double codes_speedup = codes_scalar_s / codes_avx2_s;
+  const bool codes_identical =
+      std::memcmp(codes_scalar.data(), codes_avx2.data(),
+                  codes_scalar.size() * sizeof(std::uint16_t)) == 0;
+  const bool codes_gated = simd::avx2_available();
+
   TextTable table({"model", "path", "seconds", "speedup"},
                   "Histogram training and compiled inference");
   table.add_row({"GB fit", "exact", TextTable::cell(gb_exact_s, 3), "1.0x"});
@@ -106,19 +152,28 @@ int main() {
   table.add_row({"RF predict", "walk", TextTable::cell(rf_walk_s, 4), "1.0x"});
   table.add_row({"RF predict", "compiled", TextTable::cell(rf_compiled_s, 4),
                  TextTable::cell(rf_predict_speedup, 1) + "x"});
+  table.add_row({"bin codes", "scalar", TextTable::cell(codes_scalar_s, 6),
+                 "1.0x"});
+  table.add_row({"bin codes", "avx2", TextTable::cell(codes_avx2_s, 6),
+                 TextTable::cell(codes_speedup, 1) + "x"});
   table.print();
 
-  const bool gb_fit_ok = gb_fit_speedup >= 3.0;
-  const bool rf_fit_ok = rf_fit_speedup >= 3.0;
+  const bool gb_fit_ok = gb_fit_speedup >= 10.0;
+  const bool rf_fit_ok = rf_fit_speedup >= 10.0;
   const bool predict_ok = predict_speedup >= 5.0;
+  const bool codes_ok =
+      !codes_gated || (codes_speedup >= 2.0 && codes_identical);
   std::printf(
       "\nbit-identical compiled vs walk: %s\n"
-      "GB fit speedup %.1fx (target >= 3x): %s\n"
-      "RF fit speedup %.1fx (target >= 3x): %s\n"
-      "GB batch-predict speedup %.1fx (target >= 5x): %s\n",
+      "GB fit speedup %.1fx (target >= 10x): %s\n"
+      "RF fit speedup %.1fx (target >= 10x): %s\n"
+      "GB batch-predict speedup %.1fx (target >= 5x): %s\n"
+      "bin-codes avx2 vs scalar %.1fx, identical %s (target >= 2x): %s\n",
       bit_identical ? "yes" : "NO", gb_fit_speedup,
       gb_fit_ok ? "PASS" : "FAIL", rf_fit_speedup, rf_fit_ok ? "PASS" : "FAIL",
-      predict_speedup, predict_ok ? "PASS" : "FAIL");
+      predict_speedup, predict_ok ? "PASS" : "FAIL", codes_speedup,
+      codes_identical ? "yes" : "NO",
+      codes_gated ? (codes_ok ? "PASS" : "FAIL") : "not gated (no AVX2)");
 
   std::FILE* json = std::fopen("BENCH_tree_engine.json", "w");
   if (json != nullptr) {
@@ -137,17 +192,26 @@ int main() {
         "\"gb_compiled_s\": %.6f, \"gb_speedup\": %.3f, "
         "\"rf_walk_s\": %.6f, \"rf_compiled_s\": %.6f, "
         "\"rf_speedup\": %.3f, \"bit_identical\": %s},\n"
+        "  \"bin_codes\": {\"scalar_s\": %.6f, \"avx2_s\": %.6f, "
+        "\"speedup\": %.3f, \"identical\": %s, \"gated\": %s},\n"
+        "  \"provenance\": %s,\n"
         "  \"pass\": %s\n"
         "}\n",
         fast ? "true" : "false", threads, n, gb_stages, gb_exact_s, gb_hist_s,
         gb_fit_speedup, rf_trees, rf_exact_s, rf_hist_s, rf_fit_speedup, n,
         walk_s, compiled_s, predict_speedup, rf_walk_s, rf_compiled_s,
-        rf_predict_speedup, bit_identical ? "true" : "false",
-        gb_fit_ok && rf_fit_ok && predict_ok && bit_identical ? "true"
-                                                              : "false");
+        rf_predict_speedup, bit_identical ? "true" : "false", codes_scalar_s,
+        codes_avx2_s, codes_speedup, codes_identical ? "true" : "false",
+        codes_gated ? "true" : "false",
+        bench::provenance_json().c_str(),
+        gb_fit_ok && rf_fit_ok && predict_ok && bit_identical && codes_ok
+            ? "true"
+            : "false");
     std::fclose(json);
     std::printf("\nwrote BENCH_tree_engine.json\n");
   }
 
-  return gb_fit_ok && rf_fit_ok && predict_ok && bit_identical ? 0 : 1;
+  return gb_fit_ok && rf_fit_ok && predict_ok && bit_identical && codes_ok
+             ? 0
+             : 1;
 }

@@ -2,7 +2,27 @@
 
 #include <cstdlib>
 
+#include "ccpred/simd/simd.hpp"
+
+#ifndef CCPRED_GIT_REV
+#define CCPRED_GIT_REV "unknown"
+#endif
+
 namespace ccpred::bench {
+
+std::string provenance_json() {
+  const simd::CpuFeatures cpu = simd::detect_cpu();
+  std::string out = "{\"git_rev\": \"";
+  out += CCPRED_GIT_REV;
+  out += "\", \"cpu_avx2\": ";
+  out += cpu.avx2 ? "true" : "false";
+  out += ", \"cpu_fma\": ";
+  out += cpu.fma ? "true" : "false";
+  out += ", \"simd_mode\": \"";
+  out += simd::mode_name(simd::active_mode());
+  out += "\"}";
+  return out;
+}
 
 bool fast_mode() {
   const char* v = std::getenv("CCPRED_BENCH_FAST");

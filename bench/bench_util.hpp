@@ -34,4 +34,12 @@ struct PaperData {
 PaperData load_paper_data(const std::string& machine,
                           std::uint64_t seed = 2025);
 
+/// One-line JSON object fragment recording where a bench number came from:
+/// detected CPU features (avx2/fma), the SIMD dispatch mode the run
+/// resolved to (including any CCPRED_SIMD override), and the git revision
+/// the binary was configured from. Every BENCH_*.json writer embeds this
+/// under a "provenance" key so archived numbers stay comparable across
+/// hosts and dispatch modes.
+std::string provenance_json();
+
 }  // namespace ccpred::bench

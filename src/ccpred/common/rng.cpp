@@ -111,10 +111,22 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
 }
 
 std::vector<std::size_t> Rng::bootstrap_indices(std::size_t n) {
+  CCPRED_CHECK_MSG(n > 0, "bootstrap_indices requires n > 0");
   std::vector<std::size_t> idx(n);
-  for (auto& i : idx)
-    i = static_cast<std::size_t>(
-        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  // Inline uniform_int(0, n - 1) with the rejection threshold hoisted out
+  // of the loop (it only depends on n): same next() call sequence and the
+  // same Lemire rejection, so the drawn indices are identical to the
+  // per-call form — this is purely a throughput change for the n divisions
+  // the generic entry point would redo per draw.
+  const auto range = static_cast<std::uint64_t>(n);
+  const std::uint64_t threshold = (0 - range) % range;
+  for (auto& i : idx) {
+    std::uint64_t r;
+    do {
+      r = next();
+    } while (r < threshold);
+    i = static_cast<std::size_t>(r % range);
+  }
   return idx;
 }
 

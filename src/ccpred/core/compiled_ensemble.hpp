@@ -20,7 +20,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "ccpred/common/aligned.hpp"
 #include "ccpred/linalg/matrix.hpp"
+#include "ccpred/simd/simd.hpp"
 
 namespace ccpred::ml {
 
@@ -60,21 +62,21 @@ class CompiledEnsemble {
   /// child is stored and right = left + 1. Leaves are self-absorbing
   /// (threshold +inf, left = self), so the batch kernel runs a fixed
   /// per-tree step count with no per-row termination branch — the
-  /// independent chases across a row block overlap in the memory pipeline.
+  /// independent chases across a row block overlap in the memory pipeline
+  /// (or, in the AVX2 dispatch mode, gather four rows per instruction).
   /// The +inf leaf compare goes wrong only for NaN feature values;
   /// predict_batch pre-scans for NaN and falls back to predict_row (which
-  /// terminates on feature_ and is NaN-exact) for such batches.
-  struct TravNode {
-    double threshold;
-    std::int32_t tfeat;  ///< split feature; leaves -> 0
-    std::int32_t left;   ///< absolute left-child index; leaves -> self
-  };
+  /// terminates on feature_ and is NaN-exact) for such batches. The layout
+  /// is simd::TravNode so the level step dispatches without conversion.
+  using TravNode = simd::TravNode;
 
   // Nodes of all trees, renumbered breadth-first per tree so siblings are
-  // adjacent and the heavily-shared top levels pack densely.
-  std::vector<TravNode> nodes_;
+  // adjacent and the heavily-shared top levels pack densely. Cache-line
+  // aligned: the AVX2 level step gathers from nodes_, and alignment keeps
+  // each 16-byte node inside one line.
+  AlignedVector<TravNode> nodes_;
   std::vector<std::int32_t> feature_;  ///< -1 for leaves (predict_row stop)
-  std::vector<double> value_;          ///< leaf payload (0 for internal)
+  AlignedVector<double> value_;        ///< leaf payload (0 for internal)
   std::vector<std::int32_t> roots_;    ///< root node index per tree
   std::vector<std::int32_t> depths_;   ///< descent steps per tree
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
 
 #include "ccpred/common/error.hpp"
+#include "ccpred/simd/simd.hpp"
 
 namespace ccpred::ml {
 
@@ -72,15 +75,15 @@ FeatureBins FeatureBins::build(const linalg::Matrix& x, int max_bins) {
   }
 
   fb.codes_.resize(fb.n_ * fb.d_);
-  for (std::size_t r = 0; r < fb.n_; ++r) {
-    for (std::size_t f = 0; f < fb.d_; ++f) {
-      const auto& edges = fb.edges_[f];
-      // First edge >= x: code(r, f) <= b  ⇔  x(r, f) <= edges[b].
-      const auto it =
-          std::lower_bound(edges.begin(), edges.end(), x(r, f));
-      fb.codes_[r * fb.d_ + f] =
-          static_cast<std::uint16_t>(it - edges.begin());
-    }
+  // First edge >= x: code(r, f) <= b  ⇔  x(r, f) <= edges[b]. Dispatched
+  // per feature column (the AVX2 table counts edges in registers; codes
+  // are integer counts, identical to the binary search in every mode).
+  const auto& ops = simd::ops();
+  for (std::size_t f = 0; f < fb.d_; ++f) {
+    const auto& edges = fb.edges_[f];
+    ops.bin_codes(x.row_ptr(0) + f, fb.n_, x.cols(), edges.data(),
+                  static_cast<int>(edges.size()), fb.codes_.data() + f,
+                  fb.d_);
   }
   return fb;
 }
@@ -224,7 +227,8 @@ int DecisionTreeRegressor::build(BuildContext& ctx,
 // ---------------------------------------------------------------------------
 
 /// Per-node gradient histogram: (count, target-sum) per bin, flattened over
-/// all features via FeatureBins offsets.
+/// all features via FeatureBins offsets. Filling and subtraction dispatch
+/// through simd::ops().
 struct DecisionTreeRegressor::Histogram {
   std::vector<double> sum;
   std::vector<std::uint32_t> count;
@@ -233,27 +237,9 @@ struct DecisionTreeRegressor::Histogram {
       : sum(static_cast<std::size_t>(total_bins), 0.0),
         count(static_cast<std::size_t>(total_bins), 0) {}
 
-  void accumulate(const FeatureBins& bins, const std::vector<double>& y,
-                  const std::vector<std::size_t>& rows) {
-    const std::size_t d = bins.cols();
-    for (auto r : rows) {
-      const std::uint16_t* codes = bins.row_codes(r);
-      const double target = y[r];
-      for (std::size_t f = 0; f < d; ++f) {
-        const auto idx =
-            static_cast<std::size_t>(bins.offset(f)) + codes[f];
-        sum[idx] += target;
-        ++count[idx];
-      }
-    }
-  }
-
-  /// In-place subtraction (sibling-histogram trick): this -= other.
-  void subtract(const Histogram& other) {
-    for (std::size_t i = 0; i < sum.size(); ++i) {
-      sum[i] -= other.sum[i];
-      count[i] -= other.count[i];
-    }
+  void zero() {
+    std::fill(sum.begin(), sum.end(), 0.0);
+    std::fill(count.begin(), count.end(), 0);
   }
 };
 
@@ -264,86 +250,335 @@ struct DecisionTreeRegressor::HistContext {
   int effective_max_depth = 64;
   int max_features = 0;
   Rng rng{1};
+
+  // Per-fit scratch, allocated once (the old per-node row vectors and
+  // histogram allocations were ~half the fit wall time):
+  std::vector<std::uint32_t> arena;    ///< row indices, partitioned in place
+  std::vector<std::uint32_t> scratch;  ///< right-half staging for partition
+  std::vector<int> offsets;            ///< per-feature flat bin offsets
+  std::vector<std::size_t> all_features;  ///< 0..d-1, reused when not sampling
+  const simd::Ops* ops = nullptr;
+  double* train_pred = nullptr;        ///< optional per-row leaf values
+
+  // Direct-mode per-feature scan buffers: full flattened width, zeroed once
+  // per fit; each direct node re-zeroes only the bins its rows touched.
+  std::vector<double> fsum;
+  std::vector<std::uint32_t> fcount;
+
+  // Inclusive per-feature code bounds of the current hist-mode node,
+  // threaded down the recursion: a split on f at bin b bounds the left
+  // child's codes on f by b and the right child's by [b + 1, old hi]; other
+  // features inherit the parent's (outer) bounds. Bins outside the bounds
+  // hold exactly +0.0 in subtracted histograms, so range-restricted scans
+  // see the values the full scan would.
+  std::vector<int> fr_lo;
+  std::vector<int> fr_hi;
+
+  // Direct-mode per-feature code bounds of the current node (exact, from
+  // the fused scatter pass).
+  std::vector<std::uint16_t> dmin;
+  std::vector<std::uint16_t> dmax;
+
+  /// Histogram freelist; at most depth + 1 are live at once.
+  std::vector<std::unique_ptr<Histogram>> pool;
+
+  std::unique_ptr<Histogram> acquire(int total_bins) {
+    if (!pool.empty()) {
+      auto h = std::move(pool.back());
+      pool.pop_back();
+      h->zero();
+      return h;
+    }
+    return std::make_unique<Histogram>(total_bins);
+  }
+  void release(std::unique_ptr<Histogram> h) { pool.push_back(std::move(h)); }
 };
 
-int DecisionTreeRegressor::build_hist(HistContext& ctx,
-                                      std::vector<std::size_t>& rows,
-                                      Histogram& hist, int depth) {
+int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
+                                      std::size_t hi, double sum,
+                                      Histogram* hist, int depth) {
   const FeatureBins& bins = *ctx.bins;
-  const auto& y = *ctx.y;
-  const std::size_t n = rows.size();
-
-  double sum = 0.0;
-  for (auto r : rows) sum += y[r];
+  const std::size_t n = hi - lo;
   const double mean = sum / static_cast<double>(n);
 
   const int node_index = static_cast<int>(nodes_.size());
   nodes_.push_back(TreeNode{.value = mean});
 
+  // The arena range of a leaf is exactly its training rows, so the leaf
+  // mean doubles as those rows' predictions (bin split "code <= b" equals
+  // the raw split "x <= upper_edge", so routing matches predict_row).
+  const auto emit_leaf = [&] {
+    if (ctx.train_pred != nullptr) {
+      const std::uint32_t* r = ctx.arena.data() + lo;
+      for (std::size_t i = 0; i < n; ++i) ctx.train_pred[r[i]] = mean;
+    }
+  };
+
   if (depth >= ctx.effective_max_depth ||
       n < static_cast<std::size_t>(options_.min_samples_split)) {
+    emit_leaf();
     return node_index;
   }
 
-  const std::vector<std::size_t> features =
-      candidate_features(bins.cols(), ctx.max_features, ctx.rng);
-
   // Scan each candidate feature's bins left to right; a boundary after bin
-  // b corresponds to the exact split x <= upper_edge(f, b).
+  // b corresponds to the exact split x <= upper_edge(f, b). The dispatched
+  // scan threads the running best through every feature, preserving the
+  // original first-strictly-greater selection order, and records the left
+  // prefix (sum, count) at each boundary so the winning split's child
+  // stats are read off the buffers instead of re-summed.
   double best_gain = -1.0;
   std::size_t best_feature = 0;
   int best_bin = -1;
+  double best_left_sum = 0.0;
+  std::size_t best_left_count = 0;
   const auto min_leaf = static_cast<std::size_t>(options_.min_samples_leaf);
-  for (auto f : features) {
-    const int off = bins.offset(f);
-    const int bc = bins.bin_count(f);
-    double left_sum = 0.0;
-    std::size_t left_count = 0;
-    for (int b = 0; b + 1 < bc; ++b) {
-      const auto idx = static_cast<std::size_t>(off + b);
-      left_sum += hist.sum[idx];
-      left_count += hist.count[idx];
-      if (hist.count[idx] == 0) continue;  // same partition as previous bin
-      const std::size_t nl = left_count;
-      const std::size_t nr = n - left_count;
-      if (nl < min_leaf || nr < min_leaf || nr == 0) continue;
-      const double right_sum = sum - left_sum;
-      const double gain = left_sum * left_sum / static_cast<double>(nl) +
-                          right_sum * right_sum / static_cast<double>(nr) -
-                          sum * sum / static_cast<double>(n);
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_bin = b;
+  const auto& ops = *ctx.ops;
+  const std::vector<double>& y = *ctx.y;
+
+  if (n == 2 && hist == nullptr && ctx.max_features == 0) {
+    // Two-row nodes are roughly half of a fully-grown tree; their split is
+    // decided directly from the two rows' codes with the scan's exact
+    // arithmetic and selection order (only the boundary at the smaller code
+    // is valid, its left prefix is that row's target, nl = nr = 1 so the
+    // /nl and /nr divides are identities).
+    const std::uint32_t ra = ctx.arena[lo];
+    const std::uint32_t rb = ctx.arena[lo + 1];
+    if (min_leaf <= 1) {
+      const double tt_n = sum * sum / 2.0;
+      for (std::size_t f = 0; f < bins.cols(); ++f) {
+        const std::uint16_t ca = bins.code(ra, f);
+        const std::uint16_t cb = bins.code(rb, f);
+        if (ca == cb) continue;
+        const double ls = ca < cb ? y[ra] : y[rb];
+        const double rs = sum - ls;
+        const double gain = ls * ls + rs * rs - tt_n;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_bin = ca < cb ? ca : cb;
+          best_left_sum = ls;
+          best_left_count = 1;
+        }
+      }
+    }
+    if (best_bin < 0 || best_gain <= 1e-12) {
+      emit_leaf();
+      return node_index;
+    }
+    ctx.importance[best_feature] += best_gain;
+    const std::uint16_t ca = bins.code(ra, best_feature);
+    const std::uint16_t cb = bins.code(rb, best_feature);
+    if (cb < ca) {  // stable partition: the left (smaller-code) row first
+      ctx.arena[lo] = rb;
+      ctx.arena[lo + 1] = ra;
+    }
+    // Emit the two single-row leaves inline: a 1-row recursion would push
+    // the same node (mean = child_sum / 1.0 == child_sum bitwise) and
+    // immediately return, so this skips two calls per two-row node.
+    const double right_sum = sum - best_left_sum;
+    const int left = static_cast<int>(nodes_.size());
+    nodes_.push_back(TreeNode{.value = best_left_sum});
+    const int right = static_cast<int>(nodes_.size());
+    nodes_.push_back(TreeNode{.value = right_sum});
+    if (ctx.train_pred != nullptr) {
+      ctx.train_pred[ctx.arena[lo]] = best_left_sum;
+      ctx.train_pred[ctx.arena[lo + 1]] = right_sum;
+    }
+    nodes_[node_index].feature = static_cast<int>(best_feature);
+    nodes_[node_index].threshold = bins.upper_edge(best_feature, best_bin);
+    nodes_[node_index].left = left;
+    nodes_[node_index].right = right;
+    return node_index;
+  }
+
+  // Direct mode: one fused pass rebuilds every feature's histogram slice
+  // from the rows (a single contiguous row_codes load per row instead of
+  // d strided passes), tracking exact per-feature code bounds as it goes.
+  // Each feature's bins still fill in row order — the same per-bin
+  // accumulation order as hist_accumulate — so the scans below see
+  // bit-identical sums.
+  const std::size_t d = bins.cols();
+  if (hist == nullptr) {
+    const std::uint32_t* rw = ctx.arena.data() + lo;
+    const std::uint16_t* first = bins.row_codes(rw[0]);
+    for (std::size_t f = 0; f < d; ++f) {
+      ctx.dmin[f] = first[f];
+      ctx.dmax[f] = first[f];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r = rw[i];
+      const std::uint16_t* rc = bins.row_codes(r);
+      const double target = y[r];
+      for (std::size_t f = 0; f < d; ++f) {
+        const std::uint16_t b = rc[f];
+        const auto idx = static_cast<std::size_t>(ctx.offsets[f]) + b;
+        ctx.fsum[idx] += target;
+        ctx.fcount[idx] += 1;
+        ctx.dmin[f] = b < ctx.dmin[f] ? b : ctx.dmin[f];
+        ctx.dmax[f] = b > ctx.dmax[f] ? b : ctx.dmax[f];
       }
     }
   }
-  if (best_bin < 0 || best_gain <= 1e-12) return node_index;
+
+  // All features when not subsampling (no per-node vector), else a fresh
+  // random subset (candidate_features only draws from the rng when it
+  // actually samples, so the stream matches the old per-node call).
+  std::vector<std::size_t> sampled;
+  const bool use_all =
+      ctx.max_features <= 0 ||
+      static_cast<std::size_t>(ctx.max_features) >= bins.cols();
+  if (!use_all) {
+    sampled = candidate_features(bins.cols(), ctx.max_features, ctx.rng);
+  }
+  const std::vector<std::size_t>& features =
+      use_all ? ctx.all_features : sampled;
+  for (auto f : features) {
+    const int off = ctx.offsets[f];
+    const int m = bins.bin_count(f) - 1;  // candidate boundaries
+    if (m <= 0) continue;
+    int bin = -1;
+    double ls = 0.0;
+    std::size_t lc = 0;
+    bool found = false;
+    if (hist != nullptr) {
+      const int b0 = ctx.fr_lo[f];
+      const int mend = ctx.fr_hi[f] < m ? ctx.fr_hi[f] : m;
+      if (mend > b0 &&
+          ops.split_scan(hist->sum.data() + off + b0,
+                         hist->count.data() + off + b0, mend - b0, sum, n,
+                         min_leaf, &best_gain, &bin, &ls, &lc)) {
+        bin += b0;
+        found = true;
+      }
+    } else {
+      // Direct mode: the fused pass above already rebuilt this feature's
+      // slice and its exact code bounds. Only boundaries in [cmin, cmax)
+      // can win: bins below cmin hold exactly +0.0 (the left prefix starts
+      // identical), later ones leave the right side empty. Constant
+      // features (cmin == cmax) skip the scan outright — the full scan
+      // would find no valid boundary either.
+      const std::uint16_t cmin = ctx.dmin[f];
+      const std::uint16_t cmax = ctx.dmax[f];
+      if (cmax > cmin) {
+        double* s = ctx.fsum.data() + off;
+        std::uint32_t* c = ctx.fcount.data() + off;
+        const int mend = cmax < m ? static_cast<int>(cmax) : m;
+        if (ops.split_scan(s + cmin, c + cmin, mend - cmin, sum, n, min_leaf,
+                           &best_gain, &bin, &ls, &lc)) {
+          bin += cmin;
+          found = true;
+        }
+      }
+    }
+    if (found) {
+      best_feature = f;
+      best_bin = bin;
+      best_left_sum = ls;
+      best_left_count = lc;
+    }
+  }
+  // Direct-mode buffers are re-zeroed by touched-bin row passes (a full
+  // clear would reintroduce the O(total_bins) per-node cost this path
+  // exists to avoid): standalone here on the leaf return, fused into the
+  // partition pass below on the split path.
+  const auto rezero_touched = [&](const std::uint16_t* rc) {
+    for (std::size_t f = 0; f < d; ++f) {
+      const auto idx = static_cast<std::size_t>(ctx.offsets[f]) + rc[f];
+      ctx.fsum[idx] = 0.0;
+      ctx.fcount[idx] = 0;
+    }
+  };
+  if (best_bin < 0 || best_gain <= 1e-12) {
+    if (hist == nullptr) {
+      const std::uint32_t* rw = ctx.arena.data() + lo;
+      for (std::size_t i = 0; i < n; ++i) rezero_touched(bins.row_codes(rw[i]));
+    }
+    emit_leaf();
+    return node_index;
+  }
   ctx.importance[best_feature] += best_gain;
   const double threshold = bins.upper_edge(best_feature, best_bin);
 
-  std::vector<std::size_t> left_rows;
-  std::vector<std::size_t> right_rows;
-  for (auto r : rows) {
-    (bins.code(r, best_feature) <= best_bin ? left_rows : right_rows)
-        .push_back(r);
+  // Stable two-cursor partition of the node's arena range: left rows
+  // compact in place, right rows stage in scratch and copy back — the
+  // children keep the parent's relative row order (same histogram
+  // accumulation order as the old per-node vectors) with no per-node
+  // allocation.
+  std::uint32_t* rows = ctx.arena.data() + lo;
+  std::uint32_t* scr = ctx.scratch.data();
+  std::size_t nl = 0;
+  std::size_t nr = 0;
+  if (hist == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r = rows[i];
+      const std::uint16_t* rc = bins.row_codes(r);
+      rezero_touched(rc);
+      if (rc[best_feature] <= best_bin) {
+        rows[nl++] = r;
+      } else {
+        scr[nr++] = r;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t r = rows[i];
+      if (bins.code(r, best_feature) <= best_bin) {
+        rows[nl++] = r;
+      } else {
+        scr[nr++] = r;
+      }
+    }
   }
-  if (left_rows.empty() || right_rows.empty()) return node_index;
+  std::copy(scr, scr + nr, rows + nl);
+  if (nl == 0 || nr == 0) {
+    emit_leaf();
+    return node_index;
+  }
 
-  rows.clear();
-  rows.shrink_to_fit();
+  // Child target totals from the scan prefix at the winning boundary (the
+  // old code re-summed y over each child's rows).
+  const double left_sum = best_left_sum;
+  const double right_sum = sum - left_sum;
+  CCPRED_CHECK_MSG(nl == best_left_count,
+                   "histogram counts disagree with the code partition");
 
-  // Sibling-subtraction trick: scan only the smaller child's rows; the
-  // larger child's histogram is parent - smaller, reusing parent storage.
-  const bool left_is_small = left_rows.size() <= right_rows.size();
-  Histogram small(bins.total_bins());
-  small.accumulate(bins, y, left_is_small ? left_rows : right_rows);
-  hist.subtract(small);
-  Histogram& left_hist = left_is_small ? small : hist;
-  Histogram& right_hist = left_is_small ? hist : small;
+  int left;
+  int right;
+  if (hist == nullptr ||
+      std::max(nl, nr) * bins.cols() <
+          2 * static_cast<std::size_t>(bins.total_bins())) {
+    // Both children are small relative to the flattened histogram width:
+    // maintaining full histograms would spend O(total_bins) on zeroing and
+    // subtraction per node for a handful of rows. Descend in direct mode
+    // (per-feature scans rebuilt from the rows). Once direct, children stay
+    // direct — their row counts only shrink.
+    left = build_hist(ctx, lo, lo + nl, left_sum, nullptr, depth + 1);
+    right = build_hist(ctx, lo + nl, hi, right_sum, nullptr, depth + 1);
+  } else {
+    // Sibling-subtraction trick: scan only the smaller child's rows; the
+    // larger child's histogram is parent - smaller, reusing parent storage.
+    const bool left_is_small = nl <= nr;
+    auto small = ctx.acquire(bins.total_bins());
+    ops.hist_accumulate(bins.row_codes(0), bins.cols(), ctx.offsets.data(),
+                        left_is_small ? rows : rows + nl,
+                        left_is_small ? nl : nr, ctx.y->data(),
+                        small->sum.data(), small->count.data(),
+                        small->sum.size());
+    ops.hist_subtract(hist->sum.data(), hist->count.data(), small->sum.data(),
+                      small->count.data(), hist->sum.size());
+    Histogram* left_hist = left_is_small ? small.get() : hist;
+    Histogram* right_hist = left_is_small ? hist : small.get();
 
-  const int left = build_hist(ctx, left_rows, left_hist, depth + 1);
-  const int right = build_hist(ctx, right_rows, right_hist, depth + 1);
+    const int save_lo = ctx.fr_lo[best_feature];
+    const int save_hi = ctx.fr_hi[best_feature];
+    ctx.fr_hi[best_feature] = best_bin;
+    left = build_hist(ctx, lo, lo + nl, left_sum, left_hist, depth + 1);
+    ctx.fr_hi[best_feature] = save_hi;
+    ctx.fr_lo[best_feature] = best_bin + 1;
+    right = build_hist(ctx, lo + nl, hi, right_sum, right_hist, depth + 1);
+    ctx.fr_lo[best_feature] = save_lo;
+    ctx.release(std::move(small));
+  }
   nodes_[node_index].feature = static_cast<int>(best_feature);
   nodes_[node_index].threshold = threshold;
   nodes_[node_index].left = left;
@@ -353,12 +588,15 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx,
 
 void DecisionTreeRegressor::fit_binned(const FeatureBins& bins,
                                        const std::vector<double>& y,
-                                       const std::vector<std::size_t>& rows) {
+                                       const std::vector<std::size_t>& rows,
+                                       double* train_pred) {
   CCPRED_CHECK_MSG(bins.rows() == y.size(), "bins/y row mismatch");
   CCPRED_CHECK_MSG(!rows.empty(), "cannot fit tree on zero rows");
   for (auto r : rows) {
     CCPRED_CHECK_MSG(r < bins.rows(), "row index out of range");
   }
+  CCPRED_CHECK_MSG(bins.rows() <= 0xffffffffu,
+                   "histogram mode indexes rows as 32-bit");
 
   nodes_.clear();
   HistContext ctx;
@@ -369,11 +607,41 @@ void DecisionTreeRegressor::fit_binned(const FeatureBins& bins,
       options_.max_depth == 0 ? 64 : options_.max_depth;
   ctx.max_features = options_.max_features;
   ctx.rng = Rng(options_.seed);
+  ctx.ops = &simd::ops();
+  ctx.train_pred = train_pred;
 
-  std::vector<std::size_t> root_rows = rows;
-  Histogram root(bins.total_bins());
-  root.accumulate(bins, y, root_rows);
-  build_hist(ctx, root_rows, root, 0);
+  ctx.arena.reserve(rows.size());
+  for (auto r : rows) ctx.arena.push_back(static_cast<std::uint32_t>(r));
+  ctx.scratch.resize(rows.size());
+  const auto total_bins = static_cast<std::size_t>(bins.total_bins());
+  ctx.offsets.resize(bins.cols());
+  ctx.all_features.resize(bins.cols());
+  ctx.fr_lo.assign(bins.cols(), 0);
+  ctx.fr_hi.resize(bins.cols());
+  for (std::size_t f = 0; f < bins.cols(); ++f) {
+    ctx.offsets[f] = bins.offset(f);
+    ctx.all_features[f] = f;
+    ctx.fr_hi[f] = bins.bin_count(f) - 1;
+  }
+
+  ctx.fsum.assign(total_bins, 0.0);
+  ctx.fcount.assign(total_bins, 0);
+  ctx.dmin.assign(bins.cols(), 0);
+  ctx.dmax.assign(bins.cols(), 0);
+
+  double root_sum = 0.0;
+  for (auto r : ctx.arena) root_sum += y[r];
+  if (ctx.arena.size() * bins.cols() < 2 * total_bins) {
+    // Fit is small relative to the histogram width: direct mode throughout.
+    build_hist(ctx, 0, ctx.arena.size(), root_sum, nullptr, 0);
+  } else {
+    Histogram root(bins.total_bins());
+    ctx.ops->hist_accumulate(bins.row_codes(0), bins.cols(),
+                             ctx.offsets.data(), ctx.arena.data(),
+                             ctx.arena.size(), y.data(), root.sum.data(),
+                             root.count.data(), total_bins);
+    build_hist(ctx, 0, ctx.arena.size(), root_sum, &root, 0);
+  }
   importance_ = std::move(ctx.importance);
 }
 

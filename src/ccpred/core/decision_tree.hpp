@@ -122,8 +122,15 @@ class DecisionTreeRegressor : public Regressor {
 
   /// Histogram-mode fit on a pre-binned matrix (the ensembles bin once and
   /// share the FeatureBins across members/stages). Ignores split_mode.
+  /// When `train_pred` is non-null it receives, for every index in `rows`,
+  /// the fitted tree's prediction for that row (train_pred[r] = leaf mean;
+  /// other entries are untouched). These are read off the training
+  /// partition, so they equal predict_row on the same row bit-for-bit —
+  /// gradient boosting uses them to update residuals without re-walking
+  /// the tree per row per stage.
   void fit_binned(const FeatureBins& bins, const std::vector<double>& y,
-                  const std::vector<std::size_t>& rows);
+                  const std::vector<std::size_t>& rows,
+                  double* train_pred = nullptr);
 
   std::vector<double> predict(const linalg::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;
@@ -164,8 +171,15 @@ class DecisionTreeRegressor : public Regressor {
 
   struct Histogram;
   struct HistContext;
-  int build_hist(HistContext& ctx, std::vector<std::size_t>& rows,
-                 Histogram& hist, int depth);
+  /// Builds the subtree over arena rows [lo, hi). `sum` is the node's
+  /// target total (threaded down from the parent's split scan instead of
+  /// re-summed per node) and `hist` its gradient histogram — or nullptr
+  /// once the subtree is small enough that per-feature scans rebuilt from
+  /// the rows beat maintaining full-width histograms (the "direct" mode;
+  /// identical bin sums in the same order, so the fitted tree is
+  /// unchanged).
+  int build_hist(HistContext& ctx, std::size_t lo, std::size_t hi, double sum,
+                 Histogram* hist, int depth);
 
   TreeOptions options_;
   std::vector<TreeNode> nodes_;

@@ -54,6 +54,14 @@ void GradientBoostingRegressor::fit(const linalg::Matrix& x,
   std::vector<std::size_t> all_rows(n);
   for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
 
+  // With the full training set per stage (no subsampling), the tree's
+  // training partition already knows every row's leaf, so fit_binned hands
+  // back per-row predictions (bit-identical to predict_row) and the
+  // residual update needs no per-row tree walk.
+  std::vector<double> train_pred;
+  const bool use_train_pred = histogram && subsample_ >= 1.0;
+  if (use_train_pred) train_pred.resize(n);
+
   for (int stage = 0; stage < n_estimators_; ++stage) {
     TreeOptions opt = tree_options_;
     opt.seed = rng.next();
@@ -66,15 +74,22 @@ void GradientBoostingRegressor::fit(const linalg::Matrix& x,
                                 subsample_ * static_cast<double>(n))))
             : all_rows;
     if (histogram) {
-      tree.fit_binned(bins, residual, rows);
+      tree.fit_binned(bins, residual, rows,
+                      use_train_pred ? train_pred.data() : nullptr);
     } else {
       tree.fit_rows(x, residual, rows);
     }
     // Update residuals with the shrunken stage prediction, chunked over the
     // pool (each index is independent, so the result is deterministic).
-    parallel_for(0, n, [&](std::size_t i) {
-      residual[i] -= learning_rate_ * tree.predict_row(x.row_ptr(i));
-    });
+    if (use_train_pred) {
+      parallel_for(0, n, [&](std::size_t i) {
+        residual[i] -= learning_rate_ * train_pred[i];
+      });
+    } else {
+      parallel_for(0, n, [&](std::size_t i) {
+        residual[i] -= learning_rate_ * tree.predict_row(x.row_ptr(i));
+      });
+    }
     trees_.push_back(std::move(tree));
   }
   fitted_ = true;

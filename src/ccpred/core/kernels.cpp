@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include <vector>
+
 #include "ccpred/common/error.hpp"
 #include "ccpred/common/thread_pool.hpp"
+#include "ccpred/simd/simd.hpp"
 
 namespace ccpred::ml {
 
@@ -88,13 +91,19 @@ std::string Kernel::name() const {
 
 namespace {
 
-double row_sq_dist(const double* x, const double* z, std::size_t d) {
-  double s = 0.0;
-  for (std::size_t i = 0; i < d; ++i) {
-    const double diff = x[i] - z[i];
-    s += diff * diff;
+/// Feature-major (d x n) copy of `a`'s rows, the layout simd::sqdist_row
+/// streams over: lane j of a vector load is point j, so four squared
+/// distances build at once with the same k-ascending accumulation order as
+/// the row-pair loop.
+std::vector<double> transpose_points(const linalg::Matrix& a) {
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  std::vector<double> xt(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = a.row_ptr(i);
+    for (std::size_t k = 0; k < d; ++k) xt[k * n + i] = row[k];
   }
-  return s;
+  return xt;
 }
 
 }  // namespace
@@ -103,19 +112,15 @@ linalg::Matrix squared_distances(const linalg::Matrix& a) {
   const std::size_t n = a.rows();
   const std::size_t d = a.cols();
   linalg::Matrix k(n, n);
+  const std::vector<double> xt = transpose_points(a);
+  const auto& ops = simd::ops();
   // Mirror-paired rows, same balancing as Kernel::gram_symmetric.
   const std::size_t half = (n + 1) / 2;
   parallel_for(0, half, [&](std::size_t p) {
-    const double* ap = a.row_ptr(p);
-    for (std::size_t j = p; j < n; ++j) {
-      k(p, j) = row_sq_dist(ap, a.row_ptr(j), d);
-    }
+    ops.sqdist_row(xt.data(), n, d, a.row_ptr(p), p, n, k.row_ptr(p));
     const std::size_t q = n - 1 - p;
     if (q == p) return;
-    const double* aq = a.row_ptr(q);
-    for (std::size_t j = q; j < n; ++j) {
-      k(q, j) = row_sq_dist(aq, a.row_ptr(j), d);
-    }
+    ops.sqdist_row(xt.data(), n, d, a.row_ptr(q), q, n, k.row_ptr(q));
   });
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) k(i, j) = k(j, i);
@@ -128,12 +133,11 @@ linalg::Matrix squared_distances(const linalg::Matrix& a,
   CCPRED_CHECK_MSG(a.cols() == b.cols(), "kernel feature dims differ");
   const std::size_t d = a.cols();
   linalg::Matrix k(a.rows(), b.rows());
+  const std::vector<double> bt = transpose_points(b);
+  const auto& ops = simd::ops();
   parallel_for(0, a.rows(), [&](std::size_t i) {
-    const double* ai = a.row_ptr(i);
-    double* ki = k.row_ptr(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      ki[j] = row_sq_dist(ai, b.row_ptr(j), d);
-    }
+    ops.sqdist_row(bt.data(), b.rows(), d, a.row_ptr(i), 0, b.rows(),
+                   k.row_ptr(i));
   });
   return k;
 }
@@ -141,10 +145,7 @@ linalg::Matrix squared_distances(const linalg::Matrix& a,
 linalg::Matrix rbf_from_squared_distances(const linalg::Matrix& d2,
                                           double gamma) {
   linalg::Matrix k(d2.rows(), d2.cols());
-  const double* src = d2.data();
-  double* dst = k.data();
-  const std::size_t total = d2.size();
-  for (std::size_t i = 0; i < total; ++i) dst[i] = std::exp(-gamma * src[i]);
+  simd::ops().rbf_exp_map(d2.data(), k.data(), d2.size(), gamma);
   return k;
 }
 
@@ -156,16 +157,13 @@ linalg::Matrix rbf_from_squared_distances_symmetric(const linalg::Matrix& d2,
   linalg::Matrix k(n, n);
   // exp() only the upper triangle and mirror: half the transcendental
   // cost of the dense map. Mirror-paired rows keep the split balanced.
+  const auto& ops = simd::ops();
   const std::size_t half = (n + 1) / 2;
   parallel_for(0, half, [&](std::size_t p) {
-    const double* dp = d2.row_ptr(p);
-    double* kp = k.row_ptr(p);
-    for (std::size_t j = p; j < n; ++j) kp[j] = std::exp(-gamma * dp[j]);
+    ops.rbf_exp_map(d2.row_ptr(p) + p, k.row_ptr(p) + p, n - p, gamma);
     const std::size_t q = n - 1 - p;
     if (q == p) return;
-    const double* dq = d2.row_ptr(q);
-    double* kq = k.row_ptr(q);
-    for (std::size_t j = q; j < n; ++j) kq[j] = std::exp(-gamma * dq[j]);
+    ops.rbf_exp_map(d2.row_ptr(q) + q, k.row_ptr(q) + q, n - q, gamma);
   });
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) k(i, j) = k(j, i);

@@ -6,6 +6,7 @@
 
 #include "ccpred/common/thread_pool.hpp"
 #include "ccpred/linalg/blas.hpp"
+#include "ccpred/simd/simd.hpp"
 
 namespace ccpred::linalg {
 
@@ -108,10 +109,12 @@ void factor_blocked(Matrix& l) {
       for (std::size_t j = k1; j < n; ++j) pt[j] = l(j, k + t);
     }
     // Trailing update A22 -= P P^T (SYRK), lower triangle only. Four panel
-    // rows per pass so each li[j] load/store is amortized over 8 flops —
-    // the kernel runs at vector mul+add peak instead of being store-bound.
-    // Row pairing doubles the flops per panel load; each row's terms are
-    // still accumulated in the same order, so the result is deterministic.
+    // rows per pass so each li[j] load/store is amortized over 8 flops;
+    // the 2x4 register block is the simd::update2x4 primitive (FMA when
+    // the AVX2 mode is active — covered by the kReference agreement bound,
+    // not bit-identity). Each row's terms are still accumulated in the
+    // same order, so the result is deterministic for a given mode.
+    const auto& ops = simd::ops();
     parallel_for(0, stripes, [&](std::size_t s) {
       const std::size_t i0 = k1 + s * kRowStripe;
       const std::size_t i1 = std::min(n, i0 + kRowStripe);
@@ -119,30 +122,19 @@ void factor_blocked(Matrix& l) {
       for (; i + 2 <= i1; i += 2) {
         double* la = l.row_ptr(i);
         double* lb = l.row_ptr(i + 1);
+        const std::size_t len = i - k1 + 1;
         std::size_t t = 0;
         for (; t + 4 <= kb; t += 4) {
-          const double a0 = la[k + t];
-          const double a1 = la[k + t + 1];
-          const double a2 = la[k + t + 2];
-          const double a3 = la[k + t + 3];
-          const double b0 = lb[k + t];
-          const double b1 = lb[k + t + 1];
-          const double b2 = lb[k + t + 2];
-          const double b3 = lb[k + t + 3];
           const double* p0 = panel.data() + t * n;
           const double* p1 = p0 + n;
           const double* p2 = p1 + n;
           const double* p3 = p2 + n;
-          for (std::size_t j = k1; j <= i; ++j) {
-            const double q0 = p0[j];
-            const double q1 = p1[j];
-            const double q2 = p2[j];
-            const double q3 = p3[j];
-            la[j] -= a0 * q0 + a1 * q1 + a2 * q2 + a3 * q3;
-            lb[j] -= b0 * q0 + b1 * q1 + b2 * q2 + b3 * q3;
-          }
-          lb[i + 1] -=
-              b0 * p0[i + 1] + b1 * p1[i + 1] + b2 * p2[i + 1] + b3 * p3[i + 1];
+          const double* av = la + k + t;
+          const double* bv = lb + k + t;
+          ops.update2x4(la + k1, lb + k1, av, bv, p0 + k1, p1 + k1, p2 + k1,
+                        p3 + k1, len);
+          lb[i + 1] -= bv[0] * p0[i + 1] + bv[1] * p1[i + 1] +
+                       bv[2] * p2[i + 1] + bv[3] * p3[i + 1];
         }
         for (; t < kb; ++t) {
           const double ca = la[k + t];
@@ -157,19 +149,15 @@ void factor_blocked(Matrix& l) {
       }
       for (; i < i1; ++i) {
         double* li = l.row_ptr(i);
+        const std::size_t len = i - k1 + 1;
         std::size_t t = 0;
         for (; t + 4 <= kb; t += 4) {
-          const double c0 = li[k + t];
-          const double c1 = li[k + t + 1];
-          const double c2 = li[k + t + 2];
-          const double c3 = li[k + t + 3];
           const double* p0 = panel.data() + t * n;
           const double* p1 = p0 + n;
           const double* p2 = p1 + n;
           const double* p3 = p2 + n;
-          for (std::size_t j = k1; j <= i; ++j) {
-            li[j] -= c0 * p0[j] + c1 * p1[j] + c2 * p2[j] + c3 * p3[j];
-          }
+          ops.update1x4(li + k1, li + k + t, p0 + k1, p1 + k1, p2 + k1,
+                        p3 + k1, len);
         }
         for (; t < kb; ++t) {
           const double c = li[k + t];

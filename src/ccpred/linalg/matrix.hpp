@@ -11,6 +11,7 @@
 #include <initializer_list>
 #include <vector>
 
+#include "ccpred/common/aligned.hpp"
 #include "ccpred/common/error.hpp"
 
 namespace ccpred::linalg {
@@ -98,7 +99,10 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  // Cache-line-aligned so the SIMD kernels' vector loads over matrix
+  // storage start on aligned lines; same growth and value semantics as
+  // std::vector<double>.
+  AlignedVector<double> data_;
 };
 
 }  // namespace ccpred::linalg

@@ -1,0 +1,358 @@
+/// \file kernels_avx2.cpp
+/// AVX2+FMA kernel implementations. This is the only translation unit in
+/// the tree built with -mavx2 -mfma; it is also built with
+/// -ffp-contract=off so the compiler cannot fuse the mul+add sequences
+/// that carry bit-identity contracts — FMA appears only where written
+/// explicitly (`rbf_exp_map`, `update2x4`/`update1x4`), which are the
+/// kernels covered by the 1e-9 agreement gates instead.
+
+#if defined(CCPRED_HAVE_AVX2_BUILD)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "ccpred/simd/kernels.hpp"
+
+namespace ccpred::simd {
+
+namespace {
+
+/// Cephes-style vector exp (rational 6/6 approximation + 2^k scaling);
+/// measured max relative error vs libm ~3e-16 over the RBF input range.
+inline __m256d exp_pd(__m256d xv) {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634073599);
+  const __m256d c1 = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d c2 = _mm256_set1_pd(1.42860682030941723212e-6);
+  __m256d x = _mm256_max_pd(_mm256_min_pd(xv, _mm256_set1_pd(708.0)),
+                            _mm256_set1_pd(-708.0));
+  const __m256d fx = _mm256_round_pd(
+      _mm256_mul_pd(x, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  x = _mm256_fnmadd_pd(fx, c1, x);
+  x = _mm256_fnmadd_pd(fx, c2, x);
+  const __m256d x2 = _mm256_mul_pd(x, x);
+  __m256d px = _mm256_set1_pd(1.26177193074810590878e-4);
+  px = _mm256_fmadd_pd(px, x2, _mm256_set1_pd(3.02994407707441961300e-2));
+  px = _mm256_fmadd_pd(px, x2, _mm256_set1_pd(9.99999999999999999910e-1));
+  px = _mm256_mul_pd(px, x);
+  __m256d qx = _mm256_set1_pd(3.00198505138664455042e-6);
+  qx = _mm256_fmadd_pd(qx, x2, _mm256_set1_pd(2.52448340349684104192e-3));
+  qx = _mm256_fmadd_pd(qx, x2, _mm256_set1_pd(2.27265548208155028766e-1));
+  qx = _mm256_fmadd_pd(qx, x2, _mm256_set1_pd(2.00000000000000000005e0));
+  __m256d r = _mm256_div_pd(px, _mm256_sub_pd(qx, px));
+  r = _mm256_fmadd_pd(_mm256_set1_pd(2.0), r, _mm256_set1_pd(1.0));
+  const __m128i k32 = _mm256_cvtpd_epi32(fx);
+  const __m256i k64 = _mm256_cvtepi32_epi64(k32);
+  const __m256i pow2 =
+      _mm256_slli_epi64(_mm256_add_epi64(k64, _mm256_set1_epi64x(1023)), 52);
+  const __m256d res = _mm256_mul_pd(r, _mm256_castsi256_pd(pow2));
+  // Below the clamp the true exp is at most ~3e-308; flush those lanes to
+  // +0 like libm's underflow instead of returning the clamp's floor value.
+  const __m256d under =
+      _mm256_cmp_pd(xv, _mm256_set1_pd(-708.0), _CMP_LT_OQ);
+  return _mm256_andnot_pd(under, res);
+}
+
+}  // namespace
+
+void avx2_rbf_exp_map(const double* dist2, double* out, std::size_t n,
+                      double gamma) {
+  const __m256d ng = _mm256_set1_pd(-gamma);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     exp_pd(_mm256_mul_pd(ng, _mm256_loadu_pd(dist2 + i))));
+  }
+  if (i < n) {
+    // Tail through the same polynomial (padded vector) so an element's
+    // result does not depend on where it lands in the buffer — calls over
+    // different slices of the same data agree bit-for-bit.
+    alignas(32) double tmp[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t j = i; j < n; ++j) tmp[j - i] = dist2[j];
+    _mm256_store_pd(tmp, exp_pd(_mm256_mul_pd(ng, _mm256_load_pd(tmp))));
+    for (std::size_t j = i; j < n; ++j) out[j] = tmp[j - i];
+  }
+}
+
+void avx2_sqdist_row(const double* xt, std::size_t n, std::size_t d,
+                     const double* row, std::size_t j0, std::size_t j1,
+                     double* out) {
+  std::size_t j = j0;
+  for (; j + 4 <= j1; j += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t k = 0; k < d; ++k) {
+      const __m256d diff = _mm256_sub_pd(_mm256_loadu_pd(xt + k * n + j),
+                                         _mm256_set1_pd(row[k]));
+      // mul and add kept separate (never fused): bit-identical to scalar.
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    _mm256_storeu_pd(out + j, acc);
+  }
+  for (; j < j1; ++j) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double diff = xt[k * n + j] - row[k];
+      acc += diff * diff;
+    }
+    out[j] = acc;
+  }
+}
+
+void avx2_ensemble_step(const TravNode* nodes, const double* x,
+                        std::size_t bn, std::size_t n_cols,
+                        std::int32_t* idx) {
+  // Gather-based level step: thresholds and (tfeat, left) pairs are pulled
+  // 4 rows at a time from the 16-byte node records. Comparisons and index
+  // arithmetic are exact integer/IEEE-compare operations, so the result is
+  // bit-identical to the scalar step.
+  const double* base = reinterpret_cast<const double*>(nodes);
+  const long long* meta_base = reinterpret_cast<const long long*>(nodes);
+  const __m128i one = _mm_set1_epi32(1);
+  const __m256i evens = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  const auto stride = static_cast<std::int32_t>(n_cols);
+  std::size_t i = 0;
+  for (; i + 4 <= bn; i += 4) {
+    const std::int32_t r0 = static_cast<std::int32_t>(i) * stride;
+    const __m128i roff =
+        _mm_setr_epi32(r0, r0 + stride, r0 + 2 * stride, r0 + 3 * stride);
+    const __m128i cur = _mm_loadu_si128(reinterpret_cast<__m128i*>(idx + i));
+    const __m128i i2 = _mm_slli_epi32(cur, 1);
+    const __m256d thr = _mm256_i32gather_pd(base, i2, 8);
+    const __m256i meta =
+        _mm256_i32gather_epi64(meta_base, _mm_add_epi32(i2, one), 8);
+    const __m256i packed = _mm256_permutevar8x32_epi32(meta, evens);
+    const __m128i tfeat = _mm256_castsi256_si128(packed);
+    const __m128i left = _mm256_extracti128_si256(packed, 1);
+    const __m256d feat =
+        _mm256_i32gather_pd(x, _mm_add_epi32(roff, tfeat), 8);
+    const __m256d le = _mm256_cmp_pd(feat, thr, _CMP_LE_OQ);
+    // le lanes are all-ones (-1) when going left: next = left + 1 + le.
+    const __m128i le32 = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(_mm256_castpd_si256(le), evens));
+    const __m128i next = _mm_add_epi32(left, _mm_add_epi32(one, le32));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(idx + i), next);
+  }
+  for (; i < bn; ++i) {
+    const double* row = x + i * n_cols;
+    const TravNode& nd = nodes[idx[i]];
+    idx[i] =
+        nd.left + static_cast<std::int32_t>(!(row[nd.tfeat] <= nd.threshold));
+  }
+}
+
+namespace {
+
+inline void hist_accumulate_seq(const std::uint16_t* codes, std::size_t d,
+                                const int* offsets, const std::uint32_t* rows,
+                                std::size_t n, const double* y, double* sum,
+                                std::uint32_t* count) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = rows[i];
+    const std::uint16_t* c = codes + r * d;
+    const double target = y[r];
+    for (std::size_t f = 0; f < d; ++f) {
+      const auto idx = static_cast<std::size_t>(offsets[f]) + c[f];
+      sum[idx] += target;
+      ++count[idx];
+    }
+  }
+}
+
+}  // namespace
+
+void avx2_hist_accumulate(const std::uint16_t* codes, std::size_t d,
+                          const int* offsets, const std::uint32_t* rows,
+                          std::size_t n, const double* y, double* sum,
+                          std::uint32_t* count, std::size_t total_bins) {
+  if (n < 8 * total_bins) {
+    // Binned scatter has no AVX2 encoding; the sequential loop is already
+    // ILP-bound. Same path (and bits) as the scalar mode at this size.
+    hist_accumulate_seq(codes, d, offsets, rows, n, y, sum, count);
+    return;
+  }
+  // 4-way partial histograms (same threshold and merge order as the scalar
+  // TU); only the zeroing and the deterministic merge vectorize.
+  thread_local std::vector<double> psum;
+  thread_local std::vector<std::uint32_t> pcount;
+  psum.assign(4 * total_bins, 0.0);
+  pcount.assign(4 * total_bins, 0);
+  double* s0 = psum.data();
+  double* s1 = s0 + total_bins;
+  double* s2 = s1 + total_bins;
+  double* s3 = s2 + total_bins;
+  std::uint32_t* c0 = pcount.data();
+  std::uint32_t* c1 = c0 + total_bins;
+  std::uint32_t* c2 = c1 + total_bins;
+  std::uint32_t* c3 = c2 + total_bins;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint16_t* a = codes + rows[i] * d;
+    const std::uint16_t* b = codes + rows[i + 1] * d;
+    const std::uint16_t* c = codes + rows[i + 2] * d;
+    const std::uint16_t* e = codes + rows[i + 3] * d;
+    const double t0 = y[rows[i]], t1 = y[rows[i + 1]], t2 = y[rows[i + 2]],
+                 t3 = y[rows[i + 3]];
+    for (std::size_t f = 0; f < d; ++f) {
+      const auto off = static_cast<std::size_t>(offsets[f]);
+      s0[off + a[f]] += t0;
+      ++c0[off + a[f]];
+      s1[off + b[f]] += t1;
+      ++c1[off + b[f]];
+      s2[off + c[f]] += t2;
+      ++c2[off + c[f]];
+      s3[off + e[f]] += t3;
+      ++c3[off + e[f]];
+    }
+  }
+  hist_accumulate_seq(codes, d, offsets, rows + i, n - i, y, s0, c0);
+  std::size_t b = 0;
+  for (; b + 4 <= total_bins; b += 4) {
+    // ((s0+s1)+s2)+s3 per lane: same order as the scalar merge.
+    __m256d acc = _mm256_add_pd(_mm256_loadu_pd(s0 + b),
+                                _mm256_loadu_pd(s1 + b));
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(s2 + b));
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(s3 + b));
+    _mm256_storeu_pd(sum + b, _mm256_add_pd(_mm256_loadu_pd(sum + b), acc));
+  }
+  for (; b < total_bins; ++b) sum[b] += ((s0[b] + s1[b]) + s2[b]) + s3[b];
+  b = 0;
+  for (; b + 8 <= total_bins; b += 8) {
+    __m256i acc = _mm256_add_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c0 + b)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c1 + b)));
+    acc = _mm256_add_epi32(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c2 + b)));
+    acc = _mm256_add_epi32(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c3 + b)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(count + b),
+        _mm256_add_epi32(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(count + b)),
+            acc));
+  }
+  for (; b < total_bins; ++b) count[b] += ((c0[b] + c1[b]) + c2[b]) + c3[b];
+}
+
+void avx2_hist_subtract(double* sum, std::uint32_t* count, const double* osum,
+                        const std::uint32_t* ocount, std::size_t total_bins) {
+  std::size_t i = 0;
+  for (; i + 4 <= total_bins; i += 4) {
+    _mm256_storeu_pd(sum + i, _mm256_sub_pd(_mm256_loadu_pd(sum + i),
+                                            _mm256_loadu_pd(osum + i)));
+  }
+  for (; i < total_bins; ++i) sum[i] -= osum[i];
+  i = 0;
+  for (; i + 8 <= total_bins; i += 8) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(count + i),
+        _mm256_sub_epi32(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(count + i)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(ocount + i))));
+  }
+  for (; i < total_bins; ++i) count[i] -= ocount[i];
+}
+
+void avx2_bin_codes(const double* x, std::size_t n, std::size_t stride,
+                    const double* edges, int n_edges, std::uint16_t* out,
+                    std::size_t out_stride) {
+  // The code of a value is the number of edges strictly below it — an
+  // integer count, so lane-parallel counting agrees with the scalar
+  // binary search bit-for-bit, ties included. Edge vectors are loaded
+  // once and held in registers across the whole row sweep; +inf padding
+  // lanes can never satisfy edge < x for finite or NaN input.
+  if (n_edges > 64) {
+    // Wider ladders than the register file; the branchy search wins
+    // nothing here anyway at such depths.
+    scalar_bin_codes(x, n, stride, edges, n_edges, out, out_stride);
+    return;
+  }
+  __m256d ev[16];
+  const int nv = (n_edges + 3) / 4;
+  for (int k = 0; k < nv; ++k) {
+    if ((k + 1) * 4 <= n_edges) {
+      ev[k] = _mm256_loadu_pd(edges + k * 4);
+    } else {
+      double tail[4] = {std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity(),
+                        std::numeric_limits<double>::infinity()};
+      for (int j = k * 4; j < n_edges; ++j) tail[j - k * 4] = edges[j];
+      ev[k] = _mm256_loadu_pd(tail);
+    }
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    const __m256d v = _mm256_set1_pd(x[r * stride]);
+    __m256i acc = _mm256_setzero_si256();
+    for (int k = 0; k < nv; ++k) {
+      const __m256d lt = _mm256_cmp_pd(ev[k], v, _CMP_LT_OQ);
+      acc = _mm256_sub_epi64(acc, _mm256_castpd_si256(lt));
+    }
+    const __m128i half = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                       _mm256_extracti128_si256(acc, 1));
+    const long long c =
+        _mm_extract_epi64(half, 0) + _mm_extract_epi64(half, 1);
+    out[r * out_stride] = static_cast<std::uint16_t>(c);
+  }
+}
+
+void avx2_update2x4(double* ya, double* yb, const double* a, const double* b,
+                    const double* y0, const double* y1, const double* y2,
+                    const double* y3, std::size_t len) {
+  const __m256d a0 = _mm256_set1_pd(a[0]);
+  const __m256d a1 = _mm256_set1_pd(a[1]);
+  const __m256d a2 = _mm256_set1_pd(a[2]);
+  const __m256d a3 = _mm256_set1_pd(a[3]);
+  const __m256d b0 = _mm256_set1_pd(b[0]);
+  const __m256d b1 = _mm256_set1_pd(b[1]);
+  const __m256d b2 = _mm256_set1_pd(b[2]);
+  const __m256d b3 = _mm256_set1_pd(b[3]);
+  std::size_t c = 0;
+  for (; c + 4 <= len; c += 4) {
+    const __m256d q0 = _mm256_loadu_pd(y0 + c);
+    const __m256d q1 = _mm256_loadu_pd(y1 + c);
+    const __m256d q2 = _mm256_loadu_pd(y2 + c);
+    const __m256d q3 = _mm256_loadu_pd(y3 + c);
+    __m256d sa = _mm256_mul_pd(a0, q0);
+    sa = _mm256_fmadd_pd(a1, q1, sa);
+    sa = _mm256_fmadd_pd(a2, q2, sa);
+    sa = _mm256_fmadd_pd(a3, q3, sa);
+    __m256d sb = _mm256_mul_pd(b0, q0);
+    sb = _mm256_fmadd_pd(b1, q1, sb);
+    sb = _mm256_fmadd_pd(b2, q2, sb);
+    sb = _mm256_fmadd_pd(b3, q3, sb);
+    _mm256_storeu_pd(ya + c, _mm256_sub_pd(_mm256_loadu_pd(ya + c), sa));
+    _mm256_storeu_pd(yb + c, _mm256_sub_pd(_mm256_loadu_pd(yb + c), sb));
+  }
+  for (; c < len; ++c) {
+    const double q0 = y0[c], q1 = y1[c], q2 = y2[c], q3 = y3[c];
+    ya[c] -= a[0] * q0 + a[1] * q1 + a[2] * q2 + a[3] * q3;
+    yb[c] -= b[0] * q0 + b[1] * q1 + b[2] * q2 + b[3] * q3;
+  }
+}
+
+void avx2_update1x4(double* yr, const double* a, const double* y0,
+                    const double* y1, const double* y2, const double* y3,
+                    std::size_t len) {
+  const __m256d a0 = _mm256_set1_pd(a[0]);
+  const __m256d a1 = _mm256_set1_pd(a[1]);
+  const __m256d a2 = _mm256_set1_pd(a[2]);
+  const __m256d a3 = _mm256_set1_pd(a[3]);
+  std::size_t c = 0;
+  for (; c + 4 <= len; c += 4) {
+    __m256d s = _mm256_mul_pd(a0, _mm256_loadu_pd(y0 + c));
+    s = _mm256_fmadd_pd(a1, _mm256_loadu_pd(y1 + c), s);
+    s = _mm256_fmadd_pd(a2, _mm256_loadu_pd(y2 + c), s);
+    s = _mm256_fmadd_pd(a3, _mm256_loadu_pd(y3 + c), s);
+    _mm256_storeu_pd(yr + c, _mm256_sub_pd(_mm256_loadu_pd(yr + c), s));
+  }
+  for (; c < len; ++c) {
+    yr[c] -= a[0] * y0[c] + a[1] * y1[c] + a[2] * y2[c] + a[3] * y3[c];
+  }
+}
+
+}  // namespace ccpred::simd
+
+#endif  // CCPRED_HAVE_AVX2_BUILD

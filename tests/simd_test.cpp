@@ -1,0 +1,433 @@
+/// Contracts of the runtime-dispatched SIMD kernel tables (simd.hpp).
+///
+/// Every kernel family is exercised across ragged and boundary sizes —
+/// below, at and above the vector width, plus the sizes where a kernel
+/// changes strategy (the hist partial-histogram threshold, the bin-code
+/// 64-edge register limit) — comparing the scalar and AVX2 tables
+/// directly via ops_for(). Families documented bit-identical are compared
+/// with ==/memcmp; the transcendental and FMA-fused families against
+/// their documented tolerances. A full histogram-GB fit is compared
+/// bit-for-bit across dispatch modes, and the cache-line alignment of the
+/// hot containers (linalg::Matrix, AlignedVector) is pinned along with
+/// serialization stability over the aligned storage.
+///
+/// On hosts without AVX2+FMA, ops_for(kAvx2) is the scalar table, so the
+/// cross-mode comparisons degrade to tautologies rather than failures.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "ccpred/common/aligned.hpp"
+#include "ccpred/core/decision_tree.hpp"
+#include "ccpred/core/gradient_boosting.hpp"
+#include "ccpred/core/serialize.hpp"
+#include "ccpred/linalg/matrix.hpp"
+#include "ccpred/simd/simd.hpp"
+
+namespace {
+
+using namespace ccpred;
+using simd::Mode;
+
+/// Ragged sizes around the 4-lane vector width and unroll boundaries.
+const std::vector<std::size_t> kRaggedSizes = {0,  1,  2,  3,  4,  5,  7, 8,
+                                               9,  15, 16, 17, 31, 32, 33,
+                                               63, 64, 65, 100, 257};
+
+std::mt19937_64 seeded_rng(std::uint64_t salt) {
+  return std::mt19937_64(0x5eed2026ull ^ salt);
+}
+
+std::vector<double> random_doubles(std::size_t n, std::uint64_t salt,
+                                   double lo = -10.0, double hi = 10.0) {
+  auto rng = seeded_rng(salt);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  std::vector<double> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+}  // namespace
+
+TEST(SimdDispatch, ModeReportingIsConsistent) {
+  const Mode active = simd::active_mode();
+  EXPECT_TRUE(active == Mode::kScalar || active == Mode::kAvx2);
+  EXPECT_STREQ(simd::mode_name(Mode::kScalar), "scalar");
+  EXPECT_STREQ(simd::mode_name(Mode::kAvx2), "avx2");
+  // ops() is the table active_mode() names.
+  EXPECT_EQ(&simd::ops(), &simd::ops_for(active));
+  if (!simd::avx2_available()) {
+    // Without AVX2+FMA the avx2 table degrades to the scalar one and the
+    // active mode can only be scalar.
+    EXPECT_EQ(active, Mode::kScalar);
+    EXPECT_EQ(&simd::ops_for(Mode::kAvx2), &simd::ops_for(Mode::kScalar));
+  }
+}
+
+TEST(SimdDispatch, SetModeForTestingSwapsActiveTable) {
+  const Mode before = simd::active_mode();
+  simd::set_mode_for_testing(Mode::kScalar);
+  EXPECT_EQ(simd::active_mode(), Mode::kScalar);
+  EXPECT_EQ(&simd::ops(), &simd::ops_for(Mode::kScalar));
+  simd::set_mode_for_testing(before);
+  EXPECT_EQ(simd::active_mode(), before);
+}
+
+TEST(SimdKernels, RbfExpMapAgreesAcrossModesAndWithLibm) {
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  const double gamma = 0.37;
+  for (const std::size_t n : kRaggedSizes) {
+    auto dist2 = random_doubles(n, 101 + n, 0.0, 60.0);
+    // Salt in the regimes that stress a polynomial exp: exact zero,
+    // denormal-producing magnitudes, and full underflow.
+    if (n > 0) dist2[0] = 0.0;
+    if (n > 2) dist2[2] = 1e4;    // exp underflows to +0
+    if (n > 4) dist2[4] = 1905.0; // result lands near the denormal range
+    std::vector<double> out_s(n, -1.0), out_v(n, -2.0);
+    sc.rbf_exp_map(dist2.data(), out_s.data(), n, gamma);
+    vx.rbf_exp_map(dist2.data(), out_v.data(), n, gamma);
+    for (std::size_t i = 0; i < n; ++i) {
+      // The scalar table replicates the shipped std::exp path exactly.
+      EXPECT_EQ(out_s[i], std::exp(-gamma * dist2[i])) << "n=" << n;
+      const double ref = out_s[i];
+      const double tol = 1e-12 * std::max(std::abs(ref), 1e-300);
+      EXPECT_NEAR(out_v[i], ref, tol) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdKernels, SqdistRowBitIdenticalAcrossModes) {
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  for (const std::size_t d : {1u, 2u, 3u, 4u, 5u, 8u}) {
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 8u, 9u, 17u, 33u}) {
+      const auto xt = random_doubles(d * n, 202 + d * 100 + n);
+      const auto row = random_doubles(d, 203 + d);
+      // Sub-ranges exercise unaligned starts and empty spans.
+      const std::size_t ranges[][2] = {
+          {0, n}, {1, n}, {0, n - 1}, {n / 2, n / 2}, {n / 3, (2 * n) / 3}};
+      for (const auto& jr : ranges) {
+        const std::size_t j0 = std::min(jr[0], n), j1 = std::min(jr[1], n);
+        if (j0 > j1) continue;
+        std::vector<double> out_s(n, -1.0), out_v(n, -1.0);
+        sc.sqdist_row(xt.data(), n, d, row.data(), j0, j1, out_s.data());
+        vx.sqdist_row(xt.data(), n, d, row.data(), j0, j1, out_v.data());
+        EXPECT_TRUE(bitwise_equal(out_s, out_v))
+            << "d=" << d << " n=" << n << " j0=" << j0 << " j1=" << j1;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, EnsembleStepBitIdenticalAcrossModes) {
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  // A flattened depth-2 tree: root 0 splits f0, nodes 1/2 split f1/f2,
+  // nodes 3..6 are self-absorbing leaves (+inf threshold, left = self).
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<simd::TravNode> nodes = {
+      {0.5, 0, 1},  {-0.25, 1, 3}, {0.75, 2, 5}, {inf, 0, 3},
+      {inf, 0, 4},  {inf, 0, 5},   {inf, 0, 6}};
+  const std::size_t n_cols = 3;
+  for (const std::size_t bn : kRaggedSizes) {
+    const auto x = random_doubles(bn * n_cols, 303 + bn, -1.0, 1.0);
+    std::vector<std::int32_t> idx_s(bn, 0), idx_v(bn, 0);
+    for (int level = 0; level < 3; ++level) {  // depth + one absorb step
+      sc.ensemble_step(nodes.data(), x.data(), bn, n_cols, idx_s.data());
+      vx.ensemble_step(nodes.data(), x.data(), bn, n_cols, idx_v.data());
+      ASSERT_EQ(idx_s, idx_v) << "bn=" << bn << " level=" << level;
+    }
+    // After enough levels every row must rest on a leaf.
+    for (const auto i : idx_s) {
+      EXPECT_GE(i, 3);
+      EXPECT_LE(i, 6);
+    }
+  }
+}
+
+TEST(SimdKernels, HistAccumulateBitIdenticalAcrossPartialThreshold) {
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  // d=3 features with ragged bin counts; total_bins=16 puts the 4-way
+  // partial-histogram switchover at n = 8 * 16 = 128.
+  const std::size_t d = 3;
+  const int bin_counts[3] = {4, 7, 5};
+  const int offsets[4] = {0, 4, 11, 16};
+  const std::size_t total_bins = 16;
+  for (const std::size_t n :
+       {1u, 2u, 5u, 100u, 127u, 128u, 129u, 300u, 1000u}) {
+    auto rng = seeded_rng(404 + n);
+    std::vector<std::uint16_t> codes(n * d);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t f = 0; f < d; ++f) {
+        codes[r * d + f] = static_cast<std::uint16_t>(
+            rng() % static_cast<std::uint64_t>(bin_counts[f]));
+      }
+    }
+    std::vector<std::uint32_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = static_cast<std::uint32_t>(i);
+    std::shuffle(rows.begin(), rows.end(), rng);
+    const auto y = random_doubles(n, 405 + n);
+
+    std::vector<double> sum_s(total_bins, 0.0), sum_v(total_bins, 0.0);
+    std::vector<std::uint32_t> cnt_s(total_bins, 0), cnt_v(total_bins, 0);
+    sc.hist_accumulate(codes.data(), d, offsets, rows.data(), n, y.data(),
+                       sum_s.data(), cnt_s.data(), total_bins);
+    vx.hist_accumulate(codes.data(), d, offsets, rows.data(), n, y.data(),
+                       sum_v.data(), cnt_v.data(), total_bins);
+    EXPECT_TRUE(bitwise_equal(sum_s, sum_v)) << "n=" << n;
+    EXPECT_EQ(cnt_s, cnt_v) << "n=" << n;
+    // Counts are order-independent; pin them against a direct tally.
+    std::vector<std::uint32_t> cnt_ref(total_bins, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t f = 0; f < d; ++f) {
+        cnt_ref[offsets[f] + codes[rows[i] * d + f]] += 1;
+      }
+    }
+    EXPECT_EQ(cnt_s, cnt_ref) << "n=" << n;
+  }
+}
+
+TEST(SimdKernels, HistSubtractBitIdenticalAndExact) {
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  for (const std::size_t m : kRaggedSizes) {
+    const auto osum = random_doubles(m, 505 + m);
+    auto base = random_doubles(m, 506 + m, 50.0, 100.0);
+    std::vector<std::uint32_t> ocnt(m), bcnt(m);
+    auto rng = seeded_rng(507 + m);
+    for (std::size_t i = 0; i < m; ++i) {
+      ocnt[i] = static_cast<std::uint32_t>(rng() % 50);
+      bcnt[i] = 100 + static_cast<std::uint32_t>(rng() % 50);
+    }
+    auto sum_s = base, sum_v = base;
+    auto cnt_s = bcnt, cnt_v = bcnt;
+    sc.hist_subtract(sum_s.data(), cnt_s.data(), osum.data(), ocnt.data(), m);
+    vx.hist_subtract(sum_v.data(), cnt_v.data(), osum.data(), ocnt.data(), m);
+    EXPECT_TRUE(bitwise_equal(sum_s, sum_v)) << "m=" << m;
+    EXPECT_EQ(cnt_s, cnt_v) << "m=" << m;
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_EQ(sum_s[i], base[i] - osum[i]) << "m=" << m;
+      EXPECT_EQ(cnt_s[i], bcnt[i] - ocnt[i]) << "m=" << m;
+    }
+  }
+}
+
+TEST(SimdKernels, SplitScanAgreesAcrossModes) {
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  for (const int m : {1, 2, 3, 5, 13, 30, 64}) {
+    for (const std::size_t min_leaf : {1u, 2u, 5u}) {
+      auto rng = seeded_rng(606 + m * 10 + min_leaf);
+      std::vector<double> sum(m);
+      std::vector<std::uint32_t> cnt(m);
+      std::size_t n = 0;
+      double total = 0.0;
+      for (int i = 0; i < m; ++i) {
+        // Every third bin empty: empty bins must carry exactly +0.0 sums.
+        cnt[i] = (i % 3 == 2) ? 0u : static_cast<std::uint32_t>(1 + rng() % 9);
+        sum[i] = cnt[i] == 0
+                     ? 0.0
+                     : std::uniform_real_distribution<double>(-5, 5)(rng);
+        n += cnt[i];
+        total += sum[i];
+      }
+      double gain_s = 0.0, gain_v = 0.0, lsum_s = -1, lsum_v = -1;
+      int bin_s = -1, bin_v = -1;
+      std::size_t lcnt_s = 0, lcnt_v = 0;
+      const bool imp_s = sc.split_scan(sum.data(), cnt.data(), m, total, n,
+                                       min_leaf, &gain_s, &bin_s, &lsum_s,
+                                       &lcnt_s);
+      const bool imp_v = vx.split_scan(sum.data(), cnt.data(), m, total, n,
+                                       min_leaf, &gain_v, &bin_v, &lsum_v,
+                                       &lcnt_v);
+      EXPECT_EQ(imp_s, imp_v) << "m=" << m;
+      EXPECT_EQ(gain_s, gain_v) << "m=" << m;
+      EXPECT_EQ(bin_s, bin_v) << "m=" << m;
+      if (imp_s) {
+        EXPECT_EQ(lsum_s, lsum_v) << "m=" << m;
+        EXPECT_EQ(lcnt_s, lcnt_v) << "m=" << m;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, BinCodesMatchLowerBoundIncludingTiesAndFallback) {
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  // 65 and 100 edges exceed the AVX2 16-register ladder and take the
+  // documented scalar fallback; 63/64 sit right at the limit.
+  for (const int m : {0, 1, 2, 3, 4, 5, 31, 32, 33, 63, 64, 65, 100}) {
+    std::vector<double> edges(m);
+    for (int i = 0; i < m; ++i) edges[i] = 0.5 * i - 3.0;
+    for (const std::size_t n : {1u, 2u, 3u, 7u, 8u, 9u, 30u}) {
+      auto x = random_doubles(n, 707 + m * 100 + n, -5.0, 0.5 * m);
+      // Force ties: values exactly equal to an edge must code as "not
+      // strictly greater", identically in both modes.
+      if (m > 0 && n > 1) x[1] = edges[0];
+      if (m > 2 && n > 3) x[3] = edges[m / 2];
+      if (m > 0 && n > 5) x[5] = edges[m - 1];
+      for (const std::size_t stride : {1u, 4u}) {
+        std::vector<double> xs(n * stride, 1e9);
+        for (std::size_t r = 0; r < n; ++r) xs[r * stride] = x[r];
+        std::vector<std::uint16_t> out_s(n * stride, 9999),
+            out_v(n * stride, 9999);
+        sc.bin_codes(xs.data(), n, stride, edges.data(), m, out_s.data(),
+                     stride);
+        vx.bin_codes(xs.data(), n, stride, edges.data(), m, out_v.data(),
+                     stride);
+        for (std::size_t r = 0; r < n; ++r) {
+          const auto ref = static_cast<std::uint16_t>(
+              std::lower_bound(edges.begin(), edges.end(), x[r]) -
+              edges.begin());
+          EXPECT_EQ(out_s[r * stride], ref)
+              << "m=" << m << " n=" << n << " r=" << r;
+          EXPECT_EQ(out_v[r * stride], ref)
+              << "m=" << m << " n=" << n << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, CholeskyUpdatesWithinReferenceTolerance) {
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  for (const std::size_t len : kRaggedSizes) {
+    const auto a = random_doubles(4, 808, -2.0, 2.0);
+    const auto b = random_doubles(4, 809, -2.0, 2.0);
+    const auto y0 = random_doubles(len, 810 + len);
+    const auto y1 = random_doubles(len, 811 + len);
+    const auto y2 = random_doubles(len, 812 + len);
+    const auto y3 = random_doubles(len, 813 + len);
+    const auto base_a = random_doubles(len, 814 + len);
+    const auto base_b = random_doubles(len, 815 + len);
+
+    auto ya_s = base_a, yb_s = base_b, ya_v = base_a, yb_v = base_b;
+    sc.update2x4(ya_s.data(), yb_s.data(), a.data(), b.data(), y0.data(),
+                 y1.data(), y2.data(), y3.data(), len);
+    vx.update2x4(ya_v.data(), yb_v.data(), a.data(), b.data(), y0.data(),
+                 y1.data(), y2.data(), y3.data(), len);
+    auto yr_s = base_a, yr_v = base_a;
+    sc.update1x4(yr_s.data(), a.data(), y0.data(), y1.data(), y2.data(),
+                 y3.data(), len);
+    vx.update1x4(yr_v.data(), a.data(), y0.data(), y1.data(), y2.data(),
+                 y3.data(), len);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_NEAR(ya_v[i], ya_s[i], 1e-9) << "len=" << len;
+      EXPECT_NEAR(yb_v[i], yb_s[i], 1e-9) << "len=" << len;
+      EXPECT_NEAR(yr_v[i], yr_s[i], 1e-9) << "len=" << len;
+    }
+  }
+}
+
+TEST(SimdModel, HistogramGbFitBitIdenticalAcrossModes) {
+  if (!simd::avx2_available()) GTEST_SKIP() << "no AVX2+FMA on this host";
+  // The histogram engine touches bin_codes, hist_accumulate/subtract,
+  // split_scan and ensemble_step — every one contracted bit-identical —
+  // so a whole fit+predict must agree across dispatch modes bit-for-bit.
+  const std::size_t n = 400, d = 4;
+  linalg::Matrix x(n, d);
+  auto rng = seeded_rng(909);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) x(r, c) = dist(rng);
+    y[r] = std::sin(x(r, 0)) + 0.5 * x(r, 1) * x(r, 2) + 0.1 * dist(rng);
+  }
+  ml::TreeOptions opt;
+  opt.max_depth = 6;
+  opt.split_mode = ml::SplitMode::kHistogram;
+  opt.max_bins = 32;
+
+  const Mode before = simd::active_mode();
+  simd::set_mode_for_testing(Mode::kScalar);
+  ml::GradientBoostingRegressor gb_s(25, 0.1, opt);
+  gb_s.fit(x, y);
+  const auto pred_s = gb_s.predict(x);
+
+  simd::set_mode_for_testing(Mode::kAvx2);
+  ml::GradientBoostingRegressor gb_v(25, 0.1, opt);
+  gb_v.fit(x, y);
+  const auto pred_v = gb_v.predict(x);
+  simd::set_mode_for_testing(before);
+
+  EXPECT_TRUE(bitwise_equal(pred_s, pred_v));
+  // The fitted stage structure must match too, not just the predictions.
+  EXPECT_EQ(ml::serialize_gb(gb_s), ml::serialize_gb(gb_v));
+}
+
+TEST(AlignedStorage, MatrixDataIsCacheLineAligned) {
+  const auto aligned = [](const double* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % kCacheLineAlign == 0;
+  };
+  linalg::Matrix m(5, 7, 1.5);
+  EXPECT_TRUE(aligned(m.data()));
+
+  // Growth through append_rows (including a reallocation) stays aligned.
+  linalg::Matrix grown(1, 7, 0.0);
+  for (int i = 0; i < 50; ++i) grown.append_rows(m);
+  EXPECT_TRUE(aligned(grown.data()));
+  EXPECT_EQ(grown.rows(), 1u + 50u * 5u);
+
+  // Moves and copies land on aligned storage as well.
+  linalg::Matrix moved(std::move(grown));
+  EXPECT_TRUE(aligned(moved.data()));
+  linalg::Matrix copied = moved;
+  EXPECT_TRUE(aligned(copied.data()));
+  EXPECT_TRUE(aligned(linalg::Matrix::identity(9).data()));
+}
+
+TEST(AlignedStorage, AlignedVectorStaysAlignedAcrossGrowth) {
+  // The allocator behind Matrix and CompiledEnsemble's SoA arrays: every
+  // allocation it hands out is 64-byte aligned, across reallocations.
+  AlignedVector<double> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(static_cast<double>(i));
+    ASSERT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineAlign,
+              0u);
+  }
+  AlignedVector<simd::TravNode> nodes(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(nodes.data()) % kCacheLineAlign,
+            0u);
+}
+
+TEST(AlignedStorage, SerializationBytesUnchangedByAlignedStorage) {
+  // Regression for the aligned-allocator change: serialization reads only
+  // values, so bytes must be stable through a round trip and the restored
+  // model must predict bit-identically.
+  const std::size_t n = 200, d = 4;
+  linalg::Matrix x(n, d);
+  auto rng = seeded_rng(1010);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) x(r, c) = dist(rng);
+    y[r] = x(r, 0) * 3.0 - x(r, 3) + dist(rng);
+  }
+  ml::TreeOptions opt;
+  opt.max_depth = 5;
+  opt.split_mode = ml::SplitMode::kHistogram;
+  opt.max_bins = 24;
+  ml::GradientBoostingRegressor gb(15, 0.1, opt);
+  gb.fit(x, y);
+
+  const std::string text = ml::serialize_gb(gb);
+  const auto restored = ml::deserialize_gb(text);
+  EXPECT_EQ(ml::serialize_gb(restored), text);
+  EXPECT_TRUE(bitwise_equal(gb.predict(x), restored.predict(x)));
+}
