@@ -108,6 +108,14 @@ std::string number(double v) {
   return buf;
 }
 
+/// Exact double rendering for request fields: a request formatted by one
+/// process and parsed by another must carry bit-identical values.
+std::string number_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 int field_int(const std::map<std::string, std::string>& rec,
               const std::string& key) {
   const auto it = rec.find(key);
@@ -244,8 +252,6 @@ Request parse_request(const std::string& line) {
     req.tile = field_int(rec, "tile");
   }
   if (req.op == Op::kReport) {
-    CCPRED_CHECK_MSG(req.o > 0 && req.v > 0 && req.nodes > 0 && req.tile > 0,
-                     "report: o, v, nodes and tile must be positive");
     req.wall_times = parse_wall_times(rec);
   }
   if (req.op == Op::kBudget) {
@@ -253,11 +259,65 @@ Request parse_request(const std::string& line) {
   }
   if (rec.count("deadline_ms") != 0) {
     req.deadline_ms = field_int(rec, "deadline_ms");
-    CCPRED_CHECK_MSG(req.deadline_ms >= 0,
-                     "request: deadline_ms must be >= 0, got "
-                         << req.deadline_ms);
   }
+  validate_request(req);
   return req;
+}
+
+void validate_request(const Request& req) {
+  CCPRED_CHECK_MSG(req.deadline_ms >= 0,
+                   "request: deadline_ms must be >= 0, got " << req.deadline_ms);
+  if (req.op == Op::kReport) {
+    CCPRED_CHECK_MSG(req.o > 0 && req.v > 0 && req.nodes > 0 && req.tile > 0,
+                     "report: o, v, nodes and tile must be positive");
+    CCPRED_CHECK_MSG(!req.wall_times.empty() &&
+                         req.wall_times.size() <= kMaxReportBatch,
+                     "report: between 1 and " << kMaxReportBatch
+                                              << " wall times required");
+    for (const double wall : req.wall_times) {
+      CCPRED_CHECK_MSG(
+          std::isfinite(wall) && wall > 0.0,
+          "report: wall time must be a finite positive number, got " << wall);
+    }
+  }
+}
+
+std::string format_request(const Request& req) {
+  std::ostringstream os;
+  os << "{\"op\":\"" << op_name(req.op) << '"';
+  if (!req.id.empty()) {
+    os << ",\"id\":\"";
+    json_escape(os, req.id);
+    os << '"';
+  }
+  if (!req.machine.empty()) {
+    os << ",\"machine\":\"";
+    json_escape(os, req.machine);
+    os << '"';
+  }
+  if (!req.model.empty()) {
+    os << ",\"model\":\"";
+    json_escape(os, req.model);
+    os << '"';
+  }
+  if (req.op != Op::kStats) os << ",\"o\":" << req.o << ",\"v\":" << req.v;
+  if (req.op == Op::kJob || req.op == Op::kReport) {
+    os << ",\"nodes\":" << req.nodes << ",\"tile\":" << req.tile;
+  }
+  if (req.op == Op::kBudget) {
+    os << ",\"max_node_hours\":" << number_exact(req.max_node_hours);
+  }
+  if (req.op == Op::kReport) {
+    os << ",\"wall_times\":\"";
+    for (std::size_t i = 0; i < req.wall_times.size(); ++i) {
+      if (i != 0) os << ',';
+      os << number_exact(req.wall_times[i]);
+    }
+    os << '"';
+  }
+  if (req.deadline_ms > 0) os << ",\"deadline_ms\":" << req.deadline_ms;
+  os << '}';
+  return os.str();
 }
 
 std::string format_response(const Response& r) {

@@ -123,6 +123,18 @@ std::map<std::string, std::string> parse_record(const std::string& line);
 /// user-facing message on unknown ops, missing fields, or bad numbers.
 Request parse_request(const std::string& line);
 
+/// Semantic validation shared by every ingress path (line-JSON parsing and
+/// the binary wire decoder): report dimensions and wall times, deadline
+/// sign. Throws ccpred::Error with the same messages parse_request raises,
+/// so a request is accepted or rejected identically on both protocols.
+void validate_request(const Request& request);
+
+/// Renders a request as one flat JSON line (no trailing newline) that
+/// parse_request accepts back as an equivalent request. Doubles are
+/// rendered with enough digits (%.17g) to round-trip exactly; the fleet
+/// router and the bench load generator are built on this.
+std::string format_request(const Request& request);
+
 /// Renders a response as one flat JSON line (no trailing newline).
 std::string format_response(const Response& response);
 

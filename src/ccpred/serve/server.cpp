@@ -62,8 +62,8 @@ SweepPtr Server::sweep_for(const std::string& machine, const std::string& kind,
   // shared future. Running the sweep off the request thread lets a
   // deadline abandon the wait while the computation still completes and
   // populates the cache.
-  auto promise = std::make_shared<std::promise<SweepPtr>>();
-  std::shared_future<SweepPtr> future;
+  auto promise = std::make_shared<std::promise<SweepResult>>();
+  std::shared_future<SweepResult> future;
   bool leader = false;
   {
     const std::lock_guard<std::mutex> lock(inflight_mutex_);
@@ -77,7 +77,11 @@ SweepPtr Server::sweep_for(const std::string& machine, const std::string& kind,
     }
   }
   if (leader) {
+    // A failed sweep resolves the shared future with an error STRING, not
+    // an exception_ptr — see SweepResult for why (TSAN vs. cross-thread
+    // exception_ptr release in uninstrumented libstdc++).
     sweep_pool_.post([this, promise, handle, key] {
+      SweepResult result;
       try {
         if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kSweepCompute);
         const guide::Advisor advisor(*handle.model, simulator(key.machine));
@@ -85,18 +89,17 @@ SweepPtr Server::sweep_for(const std::string& machine, const std::string& kind,
             advisor.recommend(key.o, key.v, guide::Objective::kShortestTime));
         sweeps_computed_.fetch_add(1, std::memory_order_relaxed);
         cache_.put(key, sweep);
-        {
-          const std::lock_guard<std::mutex> lock(inflight_mutex_);
-          inflight_.erase(key);
-        }
-        promise->set_value(sweep);
+        result.sweep = std::move(sweep);
+      } catch (const std::exception& e) {
+        result.error = e.what();
       } catch (...) {
-        {
-          const std::lock_guard<std::mutex> lock(inflight_mutex_);
-          inflight_.erase(key);
-        }
-        promise->set_exception(std::current_exception());
+        result.error = "sweep failed with a non-standard exception";
       }
+      {
+        const std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(key);
+      }
+      promise->set_value(std::move(result));
     });
   } else {
     coalesced_.fetch_add(1, std::memory_order_relaxed);
@@ -106,7 +109,11 @@ SweepPtr Server::sweep_for(const std::string& machine, const std::string& kind,
     *timed_out = true;
     return nullptr;
   }
-  return future.get();  // rethrows a failed sweep as an error response
+  const SweepResult& result = future.get();
+  // Rethrown on the waiting thread: handle_until turns it into the same
+  // code="internal" response the old exception-carrying future produced.
+  if (result.sweep == nullptr) throw Error(result.error);
+  return result.sweep;
 }
 
 Response Server::dispatch(const Request& req, Clock::time_point deadline) {
@@ -237,28 +244,27 @@ Response Server::handle_until(const Request& req, Clock::time_point deadline) {
 }
 
 Response Server::handle(const Request& req) {
-  const auto deadline =
-      req.deadline_ms > 0
-          ? Clock::now() + std::chrono::milliseconds(req.deadline_ms)
-          : Clock::time_point::max();
-  return handle_until(req, deadline);
+  return handle_until(req, deadline_for(req));
 }
 
 std::future<Response> Server::submit(Request request) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
-  const auto deadline =
-      request.deadline_ms > 0
-          ? Clock::now() + std::chrono::milliseconds(request.deadline_ms)
-          : Clock::time_point::max();
+  submit_with(std::move(request),
+              [promise](Response r) { promise->set_value(std::move(r)); });
+  return future;
+}
+
+void Server::submit_with(Request request, std::function<void(Response)> done) {
+  const auto deadline = deadline_for(request);
   const std::string op = op_name(request.op);
   const std::string id = request.id;
 
   queue_depth_.fetch_add(1, std::memory_order_relaxed);
-  auto task = [this, promise, deadline, request = std::move(request)]() {
+  auto task = [this, done, deadline, request = std::move(request)]() {
     const GaugeGuard guard{queue_depth_};
     if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kWorkerStall);
-    promise->set_value(handle_until(request, deadline));
+    done(handle_until(request, deadline));
   };
   bool admitted = true;
   if (options_.max_queue_depth == 0) {
@@ -269,12 +275,59 @@ std::future<Response> Server::submit(Request request) {
   if (!admitted) {
     queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     shed_.fetch_add(1, std::memory_order_relaxed);
-    promise->set_value(error_response(
-        "server overloaded: queue depth limit " +
-            std::to_string(options_.max_queue_depth) + " reached",
-        op, id, "overloaded"));
+    done(error_response("server overloaded: queue depth limit " +
+                            std::to_string(options_.max_queue_depth) +
+                            " reached",
+                        op, id, "overloaded"));
   }
-  return future;
+}
+
+void Server::submit_batch_with(std::vector<Request> batch,
+                               std::function<void(std::vector<Response>)> done) {
+  // Deadline clocks start at submission (time queued counts), matching
+  // submit(); captured per request before the batch is enqueued.
+  std::vector<Clock::time_point> deadlines;
+  deadlines.reserve(batch.size());
+  for (const Request& req : batch) deadlines.push_back(deadline_for(req));
+  // Echo fields for the shed path, captured before the batch moves into
+  // the task (a rejected try_post leaves the task — and the batch inside
+  // it — in a moved-from state).
+  std::vector<std::pair<std::string, std::string>> echoes;
+  echoes.reserve(batch.size());
+  for (const Request& req : batch) echoes.emplace_back(op_name(req.op), req.id);
+
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  auto task = [this, done, deadlines = std::move(deadlines),
+               batch = std::move(batch)]() {
+    const GaugeGuard guard{queue_depth_};
+    if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kWorkerStall);
+    std::vector<Response> out;
+    out.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      out.push_back(handle_until(batch[i], deadlines[i]));
+    }
+    done(std::move(out));
+  };
+  bool admitted = true;
+  if (options_.max_queue_depth == 0) {
+    pool_.post(std::move(task));
+  } else {
+    admitted = pool_.try_post(std::move(task), options_.max_queue_depth);
+  }
+  if (!admitted) {
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(echoes.size(), std::memory_order_relaxed);
+    // A shed frame answers every record: batches are admitted as a unit.
+    const std::string why = "server overloaded: queue depth limit " +
+                            std::to_string(options_.max_queue_depth) +
+                            " reached";
+    std::vector<Response> out;
+    out.reserve(echoes.size());
+    for (const auto& [op, id] : echoes) {
+      out.push_back(error_response(why, op, id, "overloaded"));
+    }
+    done(std::move(out));
+  }
 }
 
 ServerStats Server::stats() const {

@@ -31,12 +31,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "ccpred/common/latency_histogram.hpp"
 #include "ccpred/common/thread_pool.hpp"
@@ -78,6 +80,19 @@ class Server {
   /// deadline clock starts here, so time spent queued counts against it.
   std::future<Response> submit(Request request);
 
+  /// submit() for callers that already sit on an event loop: instead of a
+  /// future, `done` is invoked with the response — from a worker thread on
+  /// the normal path, or synchronously from this call when the request is
+  /// shed. `done` must be safe to run on either.
+  void submit_with(Request request, std::function<void(Response)> done);
+
+  /// One pool task for a whole wire frame: the batch is admitted (or shed)
+  /// as a unit and handled sequentially on one worker, so a 16-request
+  /// frame pays the queue hand-off once instead of 16 times. Deadlines
+  /// still apply per request.
+  void submit_batch_with(std::vector<Request> batch,
+                         std::function<void(std::vector<Response>)> done);
+
   /// Point-in-time statistics snapshot.
   ServerStats stats() const;
 
@@ -101,6 +116,23 @@ class Server {
   Response handle_until(const Request& request, Clock::time_point deadline);
 
   Response dispatch(const Request& request, Clock::time_point deadline);
+
+  /// Absolute deadline for a request whose clock starts now.
+  static Clock::time_point deadline_for(const Request& request) {
+    return request.deadline_ms > 0
+               ? Clock::now() + std::chrono::milliseconds(request.deadline_ms)
+               : Clock::time_point::max();
+  }
+
+  /// How one in-flight sweep resolves. Errors travel as strings, not
+  /// exception_ptrs: releasing an exception_ptr on a thread other than the
+  /// one that set it runs refcounting inside (uninstrumented) libstdc++,
+  /// which ThreadSanitizer reports as a race between the sweep worker and
+  /// the waiting request thread.
+  struct SweepResult {
+    SweepPtr sweep;     ///< null on failure
+    std::string error;  ///< why, when sweep is null
+  };
 
   /// The sweep for (machine, kind, o, v): cache -> in-flight future ->
   /// compute on the sweep pool. Sets `cache_hit` and `stale`; returns the
@@ -130,7 +162,7 @@ class Server {
   std::map<std::string, sim::CcsdSimulator> simulators_;
 
   std::mutex inflight_mutex_;
-  std::unordered_map<SweepKey, std::shared_future<SweepPtr>, SweepKeyHash>
+  std::unordered_map<SweepKey, std::shared_future<SweepResult>, SweepKeyHash>
       inflight_;
 
   std::atomic<std::uint64_t> requests_{0};

@@ -14,6 +14,7 @@
 #include "ccpred/common/error.hpp"
 #include "ccpred/common/rng.hpp"
 #include "ccpred/serve/protocol.hpp"
+#include "ccpred/serve/wire.hpp"
 
 namespace ccpred::serve {
 namespace {
@@ -239,6 +240,316 @@ TEST(ProtocolFuzzTest, ErrorResponsesAlwaysRoundTrip) {
     EXPECT_EQ(rec.at("ok"), "false");
     EXPECT_EQ(rec.at("code"), "bad_request");
     EXPECT_EQ(rec.at("error"), err.error);
+  }
+}
+
+// --------------------------------------------------------------- binary wire
+//
+// Same contract as the JSON boundary, for wire.hpp: probe_frame never reads
+// past the buffered bytes, rejects oversized declared lengths from the
+// header alone, and decode_*() throws only ccpred::Error on malformed
+// payloads. All inputs derive from a seeded Rng.
+
+/// A random *valid* request (decode re-validates, so the round-trip
+/// property needs inputs that pass validate_request).
+Request random_wire_request(Rng& rng) {
+  Request r;
+  r.o = static_cast<int>(rng.uniform_int(1, 200));
+  r.v = static_cast<int>(rng.uniform_int(1, 999));
+  r.id = random_text(rng, 12);
+  r.machine = (rng.uniform_int(0, 1) != 0) ? "aurora" : "";
+  r.model = (rng.uniform_int(0, 1) != 0) ? "gb" : "";
+  r.deadline_ms = static_cast<int>(rng.uniform_int(0, 500));
+  switch (rng.uniform_int(0, 5)) {
+    case 0: r.op = Op::kStq; break;
+    case 1: r.op = Op::kBq; break;
+    case 2:
+      r.op = Op::kBudget;
+      r.max_node_hours = rng.uniform(0.5, 50.0);
+      break;
+    case 3:
+      r.op = Op::kJob;
+      r.nodes = static_cast<int>(rng.uniform_int(1, 256));
+      r.tile = static_cast<int>(rng.uniform_int(10, 120));
+      break;
+    case 4:
+      r.op = Op::kReport;
+      r.nodes = static_cast<int>(rng.uniform_int(1, 256));
+      r.tile = static_cast<int>(rng.uniform_int(10, 120));
+      for (int k = rng.uniform_int(1, 8); k > 0; --k) {
+        r.wall_times.push_back(rng.uniform(0.1, 5000.0));
+      }
+      break;
+    default:
+      r.op = Op::kStats;
+      break;
+  }
+  return r;
+}
+
+Response random_wire_response(Rng& rng) {
+  Response r;
+  r.ok = rng.uniform_int(0, 3) != 0;
+  r.op = op_name(static_cast<Op>(rng.uniform_int(0, 5)));
+  r.id = random_text(rng, 10);
+  if (!r.ok) {
+    r.error = random_text(rng, 40);
+    r.code = (rng.uniform_int(0, 1) != 0) ? "internal" : "bad_request";
+  }
+  r.stale = rng.uniform_int(0, 7) == 0;
+  if (rng.uniform_int(0, 1) != 0) {
+    r.has_recommendation = true;
+    r.nodes = static_cast<int>(rng.uniform_int(1, 256));
+    r.tile = static_cast<int>(rng.uniform_int(10, 120));
+    r.time_s = rng.uniform(1.0, 1e5);
+    r.node_hours = rng.uniform(0.01, 1e3);
+    r.model_version = static_cast<std::uint64_t>(rng.uniform_int(1, 9));
+    r.sweep_size = static_cast<std::size_t>(rng.uniform_int(0, 500));
+    r.cache_hit = rng.uniform_int(0, 1) != 0;
+  }
+  if (rng.uniform_int(0, 2) == 0) {
+    r.has_job = true;
+    r.iterations = static_cast<int>(rng.uniform_int(1, 40));
+    r.setup_s = rng.uniform(0.0, 100.0);
+    r.iteration_s = rng.uniform(0.1, 1000.0);
+    r.total_s = rng.uniform(1.0, 1e5);
+  }
+  if (rng.uniform_int(0, 3) == 0) {
+    r.has_report = true;
+    r.accepted = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    r.duplicates = static_cast<std::size_t>(rng.uniform_int(0, 8));
+    r.buffered = static_cast<std::size_t>(rng.uniform_int(0, 4096));
+    r.rolling_mape = rng.uniform(0.0, 2.0);
+    r.drifting = rng.uniform_int(0, 1) != 0;
+    r.refit_scheduled = rng.uniform_int(0, 1) != 0;
+  }
+  if (rng.uniform_int(0, 4) == 0) {
+    r.has_stats = true;
+    r.stats.requests = static_cast<std::uint64_t>(rng.uniform_int(0, 100000));
+    r.stats.errors = static_cast<std::uint64_t>(rng.uniform_int(0, 500));
+    r.stats.cache_hits = static_cast<std::uint64_t>(rng.uniform_int(0, 9999));
+    r.stats.cache_hit_rate = rng.uniform(0.0, 1.0);
+    r.stats.latency_p50_ms = rng.uniform(0.0, 50.0);
+    r.stats.latency_p95_ms = rng.uniform(0.0, 500.0);
+    r.stats.verb_latency[2].count =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 100));
+    r.stats.verb_latency[2].p95_ms = rng.uniform(0.0, 10.0);
+    r.stats.online_enabled = rng.uniform_int(0, 1) != 0;
+    r.stats.online.reports = static_cast<std::uint64_t>(rng.uniform_int(0, 99));
+    r.stats.online.rolling_mape = rng.uniform(0.0, 3.0);
+  }
+  return r;
+}
+
+const unsigned char* bytes_of(const std::string& s) {
+  return reinterpret_cast<const unsigned char*>(s.data());
+}
+
+void expect_request_eq(const Request& a, const Request& b, int i) {
+  EXPECT_EQ(static_cast<int>(a.op), static_cast<int>(b.op)) << i;
+  EXPECT_EQ(a.id, b.id) << i;
+  EXPECT_EQ(a.machine, b.machine) << i;
+  EXPECT_EQ(a.model, b.model) << i;
+  EXPECT_EQ(a.o, b.o) << i;
+  EXPECT_EQ(a.v, b.v) << i;
+  EXPECT_EQ(a.nodes, b.nodes) << i;
+  EXPECT_EQ(a.tile, b.tile) << i;
+  EXPECT_EQ(a.max_node_hours, b.max_node_hours) << i;  // bit-exact
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms) << i;
+  EXPECT_EQ(a.wall_times, b.wall_times) << i;
+}
+
+TEST(WireFuzzTest, RequestFramesRoundTripExactly) {
+  Rng rng(20250809);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Request> batch;
+    for (int k = rng.uniform_int(1, 16); k > 0; --k) {
+      batch.push_back(random_wire_request(rng));
+    }
+    const std::string frame = wire::encode_request_frame(batch);
+    wire::FrameHeader header;
+    std::string error;
+    ASSERT_EQ(wire::probe_frame(bytes_of(frame), frame.size(), &header, &error),
+              wire::FrameStatus::kHeader)
+        << error;
+    ASSERT_EQ(frame.size(), wire::kHeaderBytes + header.payload_bytes);
+    const auto decoded =
+        wire::decode_request_frame(header, bytes_of(frame) + wire::kHeaderBytes);
+    ASSERT_EQ(decoded.size(), batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      SCOPED_TRACE("iteration " + std::to_string(i));
+      expect_request_eq(batch[k], decoded[k], static_cast<int>(k));
+    }
+  }
+}
+
+TEST(WireFuzzTest, ResponseFramesRoundTripToIdenticalJson) {
+  // The bench's bit-identity gate compares format_response() of a decoded
+  // binary answer against the JSON the server would have sent — so the
+  // round trip must preserve every field the formatter renders.
+  Rng rng(777);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Response> batch;
+    for (int k = rng.uniform_int(1, 8); k > 0; --k) {
+      batch.push_back(random_wire_response(rng));
+    }
+    const std::string frame = wire::encode_response_frame(batch);
+    wire::FrameHeader header;
+    std::string error;
+    ASSERT_EQ(wire::probe_frame(bytes_of(frame), frame.size(), &header, &error),
+              wire::FrameStatus::kHeader)
+        << error;
+    const auto decoded = wire::decode_response_frame(
+        header, bytes_of(frame) + wire::kHeaderBytes);
+    ASSERT_EQ(decoded.size(), batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      SCOPED_TRACE("iteration " + std::to_string(i) + " record " +
+                   std::to_string(k));
+      EXPECT_EQ(format_response(decoded[k]), format_response(batch[k]));
+    }
+  }
+}
+
+TEST(WireFuzzTest, TruncatedPrefixesAskForMoreNeverCrash) {
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const std::string frame =
+        wire::encode_request_frame({random_wire_request(rng)});
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      SCOPED_TRACE("iteration " + std::to_string(i) + " cut " +
+                   std::to_string(cut));
+      wire::FrameHeader header;
+      std::string error;
+      const auto status =
+          wire::probe_frame(bytes_of(frame), cut, &header, &error);
+      // A prefix of a valid frame is never malformed: either the header is
+      // incomplete (kNeedMore) or complete and valid (kHeader).
+      if (cut < wire::kHeaderBytes) {
+        EXPECT_EQ(status, wire::FrameStatus::kNeedMore) << error;
+      } else {
+        EXPECT_EQ(status, wire::FrameStatus::kHeader) << error;
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, OversizedDeclaredLengthsRejectedFromHeaderAlone) {
+  const auto header_with = [](std::uint16_t count, std::uint32_t payload) {
+    std::string h(wire::kHeaderBytes, '\0');
+    h[0] = static_cast<char>(0xC3);
+    h[1] = 'C';
+    h[2] = 'P';
+    h[3] = 'B';
+    h[4] = static_cast<char>(wire::kVersion);
+    h[5] = 0;  // request
+    h[6] = static_cast<char>(count & 0xff);
+    h[7] = static_cast<char>(count >> 8);
+    h[8] = static_cast<char>(payload & 0xff);
+    h[9] = static_cast<char>((payload >> 8) & 0xff);
+    h[10] = static_cast<char>((payload >> 16) & 0xff);
+    h[11] = static_cast<char>((payload >> 24) & 0xff);
+    return h;
+  };
+  wire::FrameHeader header;
+  std::string error;
+
+  // A payload over the cap is rejected with ONLY the 12 header bytes
+  // buffered — no attacker can make the server allocate it.
+  const std::string huge = header_with(1, wire::kMaxFramePayload + 1);
+  EXPECT_EQ(wire::probe_frame(bytes_of(huge), huge.size(), &header, &error),
+            wire::FrameStatus::kBad);
+  EXPECT_FALSE(error.empty());
+
+  const std::string too_many = header_with(wire::kMaxFrameRecords + 1, 64);
+  EXPECT_EQ(
+      wire::probe_frame(bytes_of(too_many), too_many.size(), &header, &error),
+      wire::FrameStatus::kBad);
+
+  // count > 0 with an empty payload cannot encode any record.
+  const std::string empty_payload = header_with(3, 0);
+  EXPECT_EQ(wire::probe_frame(bytes_of(empty_payload), empty_payload.size(),
+                              &header, &error),
+            wire::FrameStatus::kBad);
+
+  // Wrong magic / version / kind are all header-only rejections too.
+  std::string bad = header_with(1, 64);
+  bad[2] = 'X';
+  EXPECT_EQ(wire::probe_frame(bytes_of(bad), bad.size(), &header, &error),
+            wire::FrameStatus::kBad);
+  bad = header_with(1, 64);
+  bad[4] = 9;  // unknown version
+  EXPECT_EQ(wire::probe_frame(bytes_of(bad), bad.size(), &header, &error),
+            wire::FrameStatus::kBad);
+  bad = header_with(1, 64);
+  bad[5] = 7;  // unknown kind
+  EXPECT_EQ(wire::probe_frame(bytes_of(bad), bad.size(), &header, &error),
+            wire::FrameStatus::kBad);
+}
+
+TEST(WireFuzzTest, FirstByteDisambiguatesFromJsonExactly) {
+  for (int b = 0; b < 256; ++b) {
+    EXPECT_EQ(wire::starts_frame(static_cast<unsigned char>(b)), b == 0xC3);
+  }
+}
+
+TEST(WireFuzzTest, MutatedPayloadsThrowOnlyError) {
+  Rng rng(4242);
+  int decoded_ok = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<Request> batch;
+    for (int k = rng.uniform_int(1, 4); k > 0; --k) {
+      batch.push_back(random_wire_request(rng));
+    }
+    std::string frame = wire::encode_request_frame(batch);
+    // Corrupt payload bytes only: the header stays valid, so the decoder
+    // sees the full declared payload, exactly like the event loop does.
+    const int edits = static_cast<int>(rng.uniform_int(1, 6));
+    for (int e = 0; e < edits && frame.size() > wire::kHeaderBytes; ++e) {
+      const std::size_t pos = wire::kHeaderBytes +
+                              static_cast<std::size_t>(rng.uniform_int(
+                                  0, static_cast<int>(frame.size() -
+                                                      wire::kHeaderBytes - 1)));
+      frame[pos] = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    wire::FrameHeader header;
+    std::string error;
+    ASSERT_EQ(wire::probe_frame(bytes_of(frame), frame.size(), &header, &error),
+              wire::FrameStatus::kHeader);
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    try {
+      const auto reqs = wire::decode_request_frame(
+          header, bytes_of(frame) + wire::kHeaderBytes);
+      ++decoded_ok;  // mutation landed in a don't-care byte — fine
+      EXPECT_EQ(reqs.size(), batch.size());
+    } catch (const Error&) {
+      // the only exception the decoder may throw
+    }
+  }
+  // Sanity: the fuzz actually exercised both outcomes.
+  EXPECT_GT(decoded_ok, 0);
+  EXPECT_LT(decoded_ok, 2000);
+}
+
+TEST(WireFuzzTest, RandomBlobsNeverEscapeTheDecoder) {
+  Rng rng(31337);
+  for (int i = 0; i < 4000; ++i) {
+    std::string blob = random_bytes(rng, 200);
+    if (rng.uniform_int(0, 1) != 0 && !blob.empty()) {
+      blob[0] = static_cast<char>(0xC3);  // force the binary branch often
+    }
+    wire::FrameHeader header;
+    std::string error;
+    const auto status =
+        wire::probe_frame(bytes_of(blob), blob.size(), &header, &error);
+    if (status != wire::FrameStatus::kHeader) continue;
+    if (blob.size() < wire::kHeaderBytes + header.payload_bytes) continue;
+    SCOPED_TRACE("iteration " + std::to_string(i));
+    try {
+      (void)wire::decode_request_frame(header,
+                                       bytes_of(blob) + wire::kHeaderBytes);
+    } catch (const Error&) {
+      // only ccpred::Error may escape
+    }
   }
 }
 

@@ -6,22 +6,36 @@
 ///       Run a simulated trace-collection campaign, train the model and
 ///       publish the artifact as DIR/<machine>-<model>.model.
 ///   serve --artifacts DIR [--default-machine M] [--default-model gb|rf]
-///         [--threads N] [--cache N] [--port P] [--serial]
-///         [--max-queue N] [--fault-seed S] [--fault-artifact P]
+///         [--threads N] [--cache N] [--port P] [--backlog N] [--serial]
+///         [--fleet N] [--max-queue N] [--fault-seed S] [--fault-artifact P]
 ///         [--fault-sweep P] [--fault-sweep-ms MS] [--fault-stall P]
 ///         [--fault-stall-ms MS] [--fault-cache P] [--fault-cache-ms MS]
-///       Serve line-protocol requests (see serve/protocol.hpp) from stdin,
-///       one response line per request line, in request order. Requests are
-///       pipelined through the worker pool unless --serial is given. With
-///       --port, additionally listen on 127.0.0.1:P; every connection
-///       speaks the same protocol. EOF on stdin shuts the server down and
-///       prints a final stats line to stderr.
+///       Serve requests (see serve/protocol.hpp) from stdin, one response
+///       line per request line, in request order. Requests are pipelined
+///       through the worker pool unless --serial is given.
 ///
-///       --max-queue bounds the worker backlog: beyond it, requests are
-///       answered immediately with code="overloaded" (TCP connections
-///       retry a few times with jittered backoff before passing the
-///       rejection through). The --fault-* flags arm the deterministic
-///       FaultInjector for chaos drills; see serve/fault_injector.hpp.
+///       With --port, additionally listen on 127.0.0.1:P through the
+///       non-blocking epoll event loop (serve/event_loop.hpp). Every
+///       connection may speak line-JSON, the binary batch protocol
+///       (serve/wire.hpp), or interleave both — the server tells them
+///       apart from the first byte of each message. --backlog sets the
+///       listen(2) queue (default SOMAXCONN). EOF on stdin shuts the
+///       server down and prints a final stats line to stderr.
+///
+///       --fleet N forks N shard processes listening on ports P+1..P+N,
+///       each a full Server over the shared artifacts directory; the
+///       parent becomes a consistent-hash router on P, forwarding every
+///       request to the shard owning its (machine, model, O, V) key over
+///       pooled binary-wire connections, failing over to the next shard
+///       in ring order if a shard dies. Pre-train artifacts first so the
+///       shards start instantly and answer reproducibly. `stats` fans out
+///       to every live shard and aggregates.
+///
+///       --max-queue bounds each worker backlog: beyond it, requests are
+///       answered immediately with code="overloaded" (the event loop
+///       passes the rejection through; clients own the retry policy).
+///       The --fault-* flags arm the deterministic FaultInjector for
+///       chaos drills; see serve/fault_injector.hpp.
 ///
 ///       --online 1 activates the closed-loop online learner: the `report`
 ///       verb ingests measured runs, drift against served predictions
@@ -36,26 +50,33 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "ccpred/common/error.hpp"
-#include "ccpred/common/rng.hpp"
 #include "ccpred/common/strings.hpp"
+#include "ccpred/common/thread_pool.hpp"
+#include "ccpred/serve/event_loop.hpp"
 #include "ccpred/serve/fault_injector.hpp"
+#include "ccpred/serve/fleet.hpp"
 #include "ccpred/serve/model_registry.hpp"
 #include "ccpred/serve/server.hpp"
+#include "ccpred/serve/wire.hpp"
 
 namespace {
 
@@ -115,8 +136,8 @@ int cmd_train(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-/// One protocol line in, one response line out (used by both the stdin
-/// --serial path and TCP connections).
+/// One protocol line in, one response line out (used by the stdin
+/// --serial path).
 std::string answer_line(serve::Server& server, const std::string& line) {
   try {
     return serve::format_response(server.handle(serve::parse_request(line)));
@@ -124,127 +145,6 @@ std::string answer_line(serve::Server& server, const std::string& line) {
     return serve::format_response(serve::error_response(e.what()));
   }
 }
-
-/// Sleeps for a jittered exponential backoff: base 2^attempt ms, scaled by
-/// a uniform factor in [0.5, 1.5) so retry storms decorrelate.
-void backoff_sleep(Rng& rng, int attempt, double base_ms = 1.0) {
-  const double ms =
-      base_ms * static_cast<double>(1u << attempt) * rng.uniform(0.5, 1.5);
-  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
-}
-
-/// Answers one TCP request line through the bounded queue, retrying shed
-/// requests a few times with jittered backoff before passing the
-/// overloaded response through to the client.
-std::string answer_line_with_retry(serve::Server& server,
-                                   const std::string& line, Rng& rng) {
-  serve::Request req;
-  try {
-    req = serve::parse_request(line);
-  } catch (const std::exception& e) {
-    return serve::format_response(serve::error_response(e.what()));
-  }
-  constexpr int kMaxRetries = 4;
-  serve::Response response;
-  for (int attempt = 0;; ++attempt) {
-    response = server.submit(req).get();
-    if (response.code != "overloaded" || attempt >= kMaxRetries) break;
-    server.record_retries(1);
-    backoff_sleep(rng, attempt);
-  }
-  return serve::format_response(response);
-}
-
-/// Serves one accepted TCP connection until the peer closes it.
-void serve_connection(serve::Server& server, int fd, std::uint64_t conn_id) {
-  // Per-connection backoff stream: deterministic given the connection id.
-  Rng rng(0x5e4d5ecull ^ conn_id);
-  std::string buffer;
-  char chunk[4096];
-  ssize_t got = 0;
-  while ((got = ::read(fd, chunk, sizeof chunk)) > 0) {
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    std::size_t nl = 0;
-    while ((nl = buffer.find('\n')) != std::string::npos) {
-      const std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
-      if (trim(line).empty()) continue;
-      const std::string out = answer_line_with_retry(server, line, rng) + "\n";
-      std::size_t sent = 0;
-      while (sent < out.size()) {
-        const ssize_t n = ::write(fd, out.data() + sent, out.size() - sent);
-        if (n <= 0) {
-          ::close(fd);
-          return;
-        }
-        sent += static_cast<std::size_t>(n);
-      }
-    }
-  }
-  ::close(fd);
-}
-
-/// Localhost TCP listener; accepts until the listening socket is closed.
-class TcpListener {
- public:
-  TcpListener(serve::Server& server, int port) : server_(server) {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    CCPRED_CHECK_MSG(listen_fd_ >= 0, "cannot create socket");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    CCPRED_CHECK_MSG(
-        ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
-            0,
-        "cannot bind 127.0.0.1:" << port);
-    CCPRED_CHECK_MSG(::listen(listen_fd_, 16) == 0, "cannot listen on port "
-                                                        << port);
-    accept_thread_ = std::thread([this] { accept_loop(); });
-  }
-
-  ~TcpListener() {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    if (accept_thread_.joinable()) accept_thread_.join();
-    for (auto& t : connections_) {
-      if (t.joinable()) t.join();
-    }
-  }
-
- private:
-  void accept_loop() {
-    Rng backoff_rng(0xacce97ull);
-    int failures = 0;
-    std::uint64_t conn_id = 0;
-    while (true) {
-      const int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) {
-        // Transient accept failures (fd exhaustion, aborted handshakes,
-        // signals) back off and retry instead of killing the listener; a
-        // closed listening socket (shutdown) returns for good.
-        const bool transient = errno == EINTR || errno == ECONNABORTED ||
-                               errno == EMFILE || errno == ENFILE ||
-                               errno == ENOBUFS || errno == ENOMEM;
-        if (!transient || failures >= 8) return;
-        ++failures;
-        backoff_sleep(backoff_rng, failures);
-        continue;
-      }
-      failures = 0;
-      const std::uint64_t id = conn_id++;
-      connections_.emplace_back(
-          [this, fd, id] { serve_connection(server_, fd, id); });
-    }
-  }
-
-  serve::Server& server_;
-  int listen_fd_ = -1;
-  std::thread accept_thread_;
-  std::vector<std::thread> connections_;
-};
 
 /// Builds the injector from --fault-* flags; nullptr when none are given.
 std::unique_ptr<serve::FaultInjector> fault_injector_from_flags(
@@ -305,11 +205,8 @@ serve::online::OnlineOptions online_options_from_flags(
   return opt;
 }
 
-int cmd_serve(const std::map<std::string, std::string>& flags) {
-  serve::ModelRegistry registry(need(flags, "artifacts"),
-                                registry_options(flags));
-  const auto fault = fault_injector_from_flags(flags);
-  registry.set_fault_injector(fault.get());
+serve::ServeOptions serve_options_from_flags(
+    const std::map<std::string, std::string>& flags) {
   serve::ServeOptions opt;
   opt.threads =
       static_cast<std::size_t>(parse_int(get_or(flags, "threads", "0")));
@@ -319,8 +216,528 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
       static_cast<std::size_t>(parse_int(get_or(flags, "max-queue", "0")));
   opt.default_machine = get_or(flags, "default-machine", "aurora");
   opt.default_model = get_or(flags, "default-model", "gb");
-  opt.fault_injector = fault.get();
   opt.online = online_options_from_flags(flags);
+  return opt;
+}
+
+serve::EventLoopOptions event_loop_options_from_flags(
+    const std::map<std::string, std::string>& flags, int port) {
+  serve::EventLoopOptions opt;
+  opt.port = port;
+  opt.backlog = static_cast<int>(parse_int(get_or(flags, "backlog", "-1")));
+  return opt;
+}
+
+/// Event-loop dispatch callbacks bound to one Server: single requests go
+/// through submit_with, whole binary frames through submit_batch_with (one
+/// pool hand-off per frame).
+serve::EventLoopServer::Dispatch make_dispatch(serve::Server& server) {
+  return [&server](serve::Request request,
+                   serve::EventLoopServer::Completion done) {
+    server.submit_with(std::move(request), std::move(done));
+  };
+}
+
+serve::EventLoopServer::BatchDispatch make_batch_dispatch(
+    serve::Server& server) {
+  return [&server](std::vector<serve::Request> batch,
+                   serve::EventLoopServer::BatchCompletion done) {
+    server.submit_batch_with(std::move(batch), std::move(done));
+  };
+}
+
+void print_loop_stats(const serve::EventLoopServer& listener) {
+  const serve::EventLoopStats ls = listener.stats();
+  std::fprintf(stderr,
+               "event loop: %llu connections, %llu requests (%llu frames, "
+               "%llu lines), %llu protocol errors, %llu overflow closes\n",
+               static_cast<unsigned long long>(ls.connections_accepted),
+               static_cast<unsigned long long>(ls.requests_in),
+               static_cast<unsigned long long>(ls.frames_in),
+               static_cast<unsigned long long>(ls.lines_in),
+               static_cast<unsigned long long>(ls.protocol_errors),
+               static_cast<unsigned long long>(ls.overflow_closes));
+}
+
+void print_final_stats(const serve::ServerStats& s) {
+  std::fprintf(stderr,
+               "served %llu requests (%llu errors), %llu sweeps, cache "
+               "hit rate %.2f, p50 %.2f ms, p95 %.2f ms\n",
+               static_cast<unsigned long long>(s.requests),
+               static_cast<unsigned long long>(s.errors),
+               static_cast<unsigned long long>(s.sweeps_computed),
+               s.cache_hit_rate, s.latency_p50_ms, s.latency_p95_ms);
+  if (s.deadline_exceeded + s.shed + s.stale_served + s.reload_failures +
+          s.retries >
+      0) {
+    std::fprintf(
+        stderr,
+        "degraded: %llu deadline, %llu shed, %llu stale, %llu reload "
+        "failures, %llu retries\n",
+        static_cast<unsigned long long>(s.deadline_exceeded),
+        static_cast<unsigned long long>(s.shed),
+        static_cast<unsigned long long>(s.stale_served),
+        static_cast<unsigned long long>(s.reload_failures),
+        static_cast<unsigned long long>(s.retries));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --fleet mode: shard child processes + parent consistent-hash router.
+
+/// Body of one forked shard process: a full Server on its own port. Blocks
+/// until the parent closes the shutdown pipe (EOF), then tears down. Never
+/// touches stdin/stdout — those belong to the parent.
+int run_fleet_child(const std::map<std::string, std::string>& flags,
+                    int shard_index, int port, int shutdown_fd) {
+  serve::ModelRegistry registry(need(flags, "artifacts"),
+                                registry_options(flags));
+  const auto fault = fault_injector_from_flags(flags);
+  registry.set_fault_injector(fault.get());
+  serve::ServeOptions opt = serve_options_from_flags(flags);
+  opt.fault_injector = fault.get();
+  serve::Server server(registry, opt);
+  serve::EventLoopServer listener(make_dispatch(server),
+                                  make_batch_dispatch(server),
+                                  event_loop_options_from_flags(flags, port));
+  std::fprintf(stderr, "ccpred_serverd shard %d listening on 127.0.0.1:%d\n",
+               shard_index, port);
+  char byte = 0;
+  while (true) {
+    const ssize_t n = ::read(shutdown_fd, &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF (or error): the parent is shutting down or gone.
+  }
+  ::close(shutdown_fd);
+  return 0;
+}
+
+/// Parent-side request router: forwards to shard processes over pooled
+/// binary-wire connections, one per shard, routed by the same consistent-
+/// hash ring the in-process ShardFleet uses (both sides derive the ring
+/// from the shard count alone, so they agree without coordination).
+///
+/// A shard that fails a round trip — connect timeout, mid-frame EOF,
+/// malformed reply — is treated as crashed: marked dead and skipped by
+/// every later request, which fails over to the next shard in ring order.
+/// Process respawn is an operator concern (the in-process fleet covers
+/// restart semantics); when every shard is dead, requests are answered
+/// code="unavailable".
+class FleetRouter {
+ public:
+  FleetRouter(std::vector<int> ports, std::string default_machine,
+              std::string default_model)
+      : default_machine_(std::move(default_machine)),
+        default_model_(std::move(default_model)) {
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      ring_.add(static_cast<int>(i));
+      remotes_.push_back(std::make_unique<Remote>(ports[i]));
+    }
+  }
+
+  ~FleetRouter() {
+    for (auto& remote : remotes_) {
+      std::lock_guard<std::mutex> lock(remote->mutex);
+      if (remote->fd >= 0) ::close(remote->fd);
+    }
+  }
+
+  /// Routes one request to its shard (stats fan out and aggregate).
+  serve::Response forward(const serve::Request& request) {
+    if (request.op == serve::Op::kStats) return stats_response(request);
+    std::vector<serve::Request> one(1, request);
+    std::vector<serve::Response> replies = forward_batch(std::move(one));
+    return replies.at(0);
+  }
+
+  /// Routes a whole frame by its first record's key — clients batch by
+  /// destination, so this preserves cache locality; mixed frames are still
+  /// answered correctly by whichever shard receives them.
+  std::vector<serve::Response> forward_batch(
+      std::vector<serve::Request> batch) {
+    if (batch.empty()) return {};
+    const std::uint64_t key = key_of(batch.front());
+    const std::vector<int> prefs = ring_.preference(key, remotes_.size());
+    for (std::size_t k = 0; k < prefs.size(); ++k) {
+      const auto shard = static_cast<std::size_t>(prefs[k]);
+      Remote& remote = *remotes_[shard];
+      if (!remote.alive.load(std::memory_order_acquire)) continue;
+      try {
+        std::vector<serve::Response> replies = exchange(remote, batch);
+        CCPRED_CHECK_MSG(replies.size() == batch.size(),
+                         "shard answered " << replies.size() << " records for "
+                                           << batch.size());
+        if (k > 0) failovers_.fetch_add(1, std::memory_order_relaxed);
+        forwarded_.fetch_add(batch.size(), std::memory_order_relaxed);
+        return replies;
+      } catch (const std::exception& e) {
+        mark_dead(shard, e.what());
+      }
+    }
+    std::vector<serve::Response> failed;
+    failed.reserve(batch.size());
+    for (const serve::Request& request : batch) {
+      failed.push_back(serve::error_response("no live shard",
+                                             serve::op_name(request.op),
+                                             request.id, "unavailable"));
+    }
+    return failed;
+  }
+
+  std::uint64_t forwarded() const {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Remote {
+    explicit Remote(int p) : port(p) {}
+    const int port;
+    std::mutex mutex;  ///< serializes the fd's request/response round trips
+    int fd = -1;       ///< pooled connection, opened lazily
+    std::atomic<bool> alive{true};
+  };
+
+  std::uint64_t key_of(const serve::Request& request) const {
+    const std::string& machine =
+        request.machine.empty() ? default_machine_ : request.machine;
+    const std::string& model =
+        request.model.empty() ? default_model_ : request.model;
+    return serve::HashRing::key_hash(machine, model, request.o, request.v);
+  }
+
+  void mark_dead(std::size_t shard, const char* why) {
+    Remote& remote = *remotes_[shard];
+    std::lock_guard<std::mutex> lock(remote.mutex);
+    if (remote.fd >= 0) ::close(remote.fd);
+    remote.fd = -1;
+    if (remote.alive.exchange(false, std::memory_order_acq_rel)) {
+      std::fprintf(stderr, "fleet router: shard on port %d marked dead: %s\n",
+                   remote.port, why);
+    }
+  }
+
+  /// One frame out, one frame back, under the remote's mutex. Throws on
+  /// any connect/IO/protocol failure; the caller turns that into a death.
+  std::vector<serve::Response> exchange(
+      Remote& remote, const std::vector<serve::Request>& batch) {
+    std::lock_guard<std::mutex> lock(remote.mutex);
+    if (remote.fd < 0) remote.fd = connect_with_retry(remote.port);
+    send_all(remote.fd, serve::wire::encode_request_frame(batch));
+    return read_response_frame(remote.fd);
+  }
+
+  /// Shards train missing artifacts on first use, so the first connect can
+  /// race a multi-second startup: retry for up to ~60 s before declaring
+  /// the shard dead.
+  static int connect_with_retry(int port) {
+    for (int attempt = 0;; ++attempt) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      CCPRED_CHECK_MSG(fd >= 0, "cannot create router socket");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return fd;
+      }
+      ::close(fd);
+      CCPRED_CHECK_MSG(attempt < 300,
+                       "cannot connect to shard on port " << port);
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  }
+
+  static void send_all(int fd, const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      CCPRED_CHECK_MSG(n > 0, "shard connection lost mid-send");
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  static std::vector<serve::Response> read_response_frame(int fd) {
+    std::string buf;
+    char chunk[65536];
+    serve::wire::FrameHeader header;
+    while (true) {
+      std::string error;
+      const serve::wire::FrameStatus status = serve::wire::probe_frame(
+          reinterpret_cast<const unsigned char*>(buf.data()), buf.size(),
+          &header, &error);
+      CCPRED_CHECK_MSG(status != serve::wire::FrameStatus::kBad,
+                       "shard protocol error: " << error);
+      if (status == serve::wire::FrameStatus::kHeader &&
+          buf.size() >= serve::wire::kHeaderBytes + header.payload_bytes) {
+        // Round trips are serialized per connection, so nothing may follow
+        // the frame.
+        CCPRED_CHECK_MSG(
+            buf.size() == serve::wire::kHeaderBytes + header.payload_bytes,
+            "unexpected bytes after shard response frame");
+        return serve::wire::decode_response_frame(
+            header, reinterpret_cast<const unsigned char*>(buf.data()) +
+                        serve::wire::kHeaderBytes);
+      }
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      CCPRED_CHECK_MSG(n > 0, "shard connection closed mid-frame");
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Fans a stats request out to every live shard and aggregates, mirroring
+  /// ShardFleet::aggregated_stats (shards own separate registries here, so
+  /// registry counters sum instead of being taken once).
+  serve::Response stats_response(const serve::Request& request) {
+    serve::Response out;
+    out.op = serve::op_name(serve::Op::kStats);
+    out.id = request.id;
+    serve::ServerStats& total = out.stats;
+    std::uint64_t latency_weight = 0;
+    std::uint64_t verb_weight[serve::kNumOps] = {};
+    bool any = false;
+    for (std::size_t shard = 0; shard < remotes_.size(); ++shard) {
+      Remote& remote = *remotes_[shard];
+      if (!remote.alive.load(std::memory_order_acquire)) continue;
+      std::vector<serve::Response> replies;
+      try {
+        replies = exchange(remote, {request});
+      } catch (const std::exception& e) {
+        mark_dead(shard, e.what());
+        continue;
+      }
+      if (replies.size() != 1 || !replies[0].ok || !replies[0].has_stats) {
+        continue;
+      }
+      any = true;
+      const serve::ServerStats& s = replies[0].stats;
+      total.requests += s.requests;
+      total.errors += s.errors;
+      total.sweeps_computed += s.sweeps_computed;
+      total.coalesced += s.coalesced;
+      total.cache_hits += s.cache_hits;
+      total.cache_misses += s.cache_misses;
+      total.cache_evictions += s.cache_evictions;
+      total.cache_size += s.cache_size;
+      total.queue_depth += s.queue_depth;
+      total.deadline_exceeded += s.deadline_exceeded;
+      total.shed += s.shed;
+      total.stale_served += s.stale_served;
+      total.reload_failures += s.reload_failures;
+      total.retries += s.retries;
+      total.models_loaded += s.models_loaded;
+      total.models_trained += s.models_trained;
+      total.latency_p50_ms +=
+          s.latency_p50_ms * static_cast<double>(s.requests);
+      total.latency_p95_ms +=
+          s.latency_p95_ms * static_cast<double>(s.requests);
+      total.latency_mean_ms +=
+          s.latency_mean_ms * static_cast<double>(s.requests);
+      latency_weight += s.requests;
+      for (std::size_t v = 0; v < serve::kNumOps; ++v) {
+        total.verb_latency[v].count += s.verb_latency[v].count;
+        total.verb_latency[v].p50_ms +=
+            s.verb_latency[v].p50_ms *
+            static_cast<double>(s.verb_latency[v].count);
+        total.verb_latency[v].p95_ms +=
+            s.verb_latency[v].p95_ms *
+            static_cast<double>(s.verb_latency[v].count);
+        verb_weight[v] += s.verb_latency[v].count;
+      }
+      if (s.online_enabled) {
+        total.online_enabled = true;
+        total.online.reports += s.online.reports;
+        total.online.measurements += s.online.measurements;
+        total.online.duplicates += s.online.duplicates;
+        total.online.rejected += s.online.rejected;
+        total.online.buffered += s.online.buffered;
+        total.online.rolling_mape =
+            std::max(total.online.rolling_mape, s.online.rolling_mape);
+        total.online.drift_events += s.online.drift_events;
+        total.online.incremental_updates += s.online.incremental_updates;
+        total.online.refits += s.online.refits;
+        total.online.shadow_evals += s.online.shadow_evals;
+        total.online.promotions += s.online.promotions;
+        total.online.promotions_rejected += s.online.promotions_rejected;
+        total.online.cache_invalidated += s.online.cache_invalidated;
+      }
+    }
+    if (!any) {
+      return serve::error_response("no live shard",
+                                   serve::op_name(serve::Op::kStats),
+                                   request.id, "unavailable");
+    }
+    if (latency_weight > 0) {
+      const double w = static_cast<double>(latency_weight);
+      total.latency_p50_ms /= w;
+      total.latency_p95_ms /= w;
+      total.latency_mean_ms /= w;
+    }
+    for (std::size_t v = 0; v < serve::kNumOps; ++v) {
+      if (verb_weight[v] == 0) continue;
+      const double w = static_cast<double>(verb_weight[v]);
+      total.verb_latency[v].p50_ms /= w;
+      total.verb_latency[v].p95_ms /= w;
+    }
+    if (total.cache_hits + total.cache_misses > 0) {
+      total.cache_hit_rate =
+          static_cast<double>(total.cache_hits) /
+          static_cast<double>(total.cache_hits + total.cache_misses);
+    }
+    out.ok = true;
+    out.has_stats = true;
+    return out;
+  }
+
+  const std::string default_machine_;
+  const std::string default_model_;
+  serve::HashRing ring_;
+  std::vector<std::unique_ptr<Remote>> remotes_;
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+};
+
+int cmd_serve_fleet(const std::map<std::string, std::string>& flags,
+                    int shards) {
+  CCPRED_CHECK_MSG(flags.count("port") != 0, "--fleet requires --port");
+  CCPRED_CHECK_MSG(shards >= 1 && shards <= 64,
+                   "--fleet wants 1..64 shards, got " << shards);
+  const int base_port = static_cast<int>(parse_int(flags.at("port")));
+
+  // Fork every shard BEFORE the parent creates any thread (router pool,
+  // event loop): forking a multithreaded process clones only the calling
+  // thread and leaves cloned locks in undefined states.
+  std::vector<pid_t> pids;
+  std::vector<int> child_ports;
+  std::vector<int> shutdown_fds;  // parent-held write ends
+  for (int i = 0; i < shards; ++i) {
+    int pipe_fds[2];
+    CCPRED_CHECK_MSG(::pipe(pipe_fds) == 0, "cannot create shutdown pipe");
+    const int child_port = base_port + 1 + i;
+    const pid_t pid = ::fork();
+    CCPRED_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      ::close(pipe_fds[1]);
+      for (const int fd : shutdown_fds) ::close(fd);
+      int code = 1;
+      try {
+        code = run_fleet_child(flags, i, child_port, pipe_fds[0]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "shard %d: fatal: %s\n", i, e.what());
+      }
+      // _Exit: a child must not run the parent's atexit/static teardown.
+      std::_Exit(code);
+    }
+    ::close(pipe_fds[0]);
+    shutdown_fds.push_back(pipe_fds[1]);
+    child_ports.push_back(child_port);
+    pids.push_back(pid);
+  }
+
+  FleetRouter router(child_ports, get_or(flags, "default-machine", "aurora"),
+                     get_or(flags, "default-model", "gb"));
+  {
+    // Forwarding blocks on child round trips, so it runs on a small pool,
+    // never on the loop thread. Pool before listener: dispatched tasks may
+    // outlive the listener's destructor, and completions landing after it
+    // are dropped by the loop's closed sink.
+    const auto threads =
+        static_cast<std::size_t>(parse_int(get_or(flags, "threads", "0")));
+    ThreadPool forward_pool(threads == 0 ? 4 : threads);
+    const auto dispatch = [&router, &forward_pool](
+                              serve::Request request,
+                              serve::EventLoopServer::Completion done) {
+      forward_pool.post([&router, request = std::move(request),
+                         done = std::move(done)]() mutable {
+        serve::Response response;
+        try {
+          response = router.forward(request);
+        } catch (const std::exception& e) {
+          response = serve::error_response(e.what(),
+                                           serve::op_name(request.op),
+                                           request.id, "internal");
+        }
+        done(std::move(response));
+      });
+    };
+    const auto batch_dispatch =
+        [&router, &forward_pool](
+            std::vector<serve::Request> batch,
+            serve::EventLoopServer::BatchCompletion done) {
+          forward_pool.post([&router, batch = std::move(batch),
+                             done = std::move(done)]() mutable {
+            std::vector<serve::Response> replies;
+            try {
+              replies = router.forward_batch(std::move(batch));
+            } catch (const std::exception& e) {
+              replies.assign(1, serve::error_response(e.what(), "", "",
+                                                      "internal"));
+            }
+            done(std::move(replies));
+          });
+        };
+    serve::EventLoopServer listener(
+        dispatch, batch_dispatch,
+        event_loop_options_from_flags(flags, base_port));
+    std::fprintf(stderr,
+                 "ccpred_serverd fleet router on 127.0.0.1:%d "
+                 "(%d shards on %d..%d)\n",
+                 base_port, shards, base_port + 1, base_port + shards);
+
+    // stdin side channel: route lines serially through the router.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (trim(line).empty()) continue;
+      serve::Response response;
+      try {
+        response = router.forward(serve::parse_request(line));
+      } catch (const std::exception& e) {
+        response = serve::error_response(e.what());
+      }
+      std::cout << serve::format_response(response) << '\n';
+    }
+    std::cout.flush();
+
+    serve::Request stats_request;
+    stats_request.op = serve::Op::kStats;
+    const serve::Response final_stats = router.forward(stats_request);
+    if (final_stats.has_stats) print_final_stats(final_stats.stats);
+    std::fprintf(stderr,
+                 "fleet router: %llu forwarded, %llu failovers\n",
+                 static_cast<unsigned long long>(router.forwarded()),
+                 static_cast<unsigned long long>(router.failovers()));
+    print_loop_stats(listener);
+    // Scope end: listener stops accepting, then the forward pool drains.
+  }
+
+  for (const int fd : shutdown_fds) ::close(fd);
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const int fleet = static_cast<int>(parse_int(get_or(flags, "fleet", "0")));
+  if (fleet > 0) return cmd_serve_fleet(flags, fleet);
+
+  serve::ModelRegistry registry(need(flags, "artifacts"),
+                                registry_options(flags));
+  const auto fault = fault_injector_from_flags(flags);
+  registry.set_fault_injector(fault.get());
+  serve::ServeOptions opt = serve_options_from_flags(flags);
+  opt.fault_injector = fault.get();
   serve::Server server(registry, opt);
   if (opt.online.enabled) {
     std::fprintf(stderr,
@@ -335,11 +752,16 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   }
   const bool serial = flags.count("serial") != 0;
 
-  std::unique_ptr<TcpListener> listener;
+  std::unique_ptr<serve::EventLoopServer> listener;
   if (flags.count("port")) {
     const int port = static_cast<int>(parse_int(flags.at("port")));
-    listener = std::make_unique<TcpListener>(server, port);
-    std::fprintf(stderr, "ccpred_serverd listening on 127.0.0.1:%d\n", port);
+    listener = std::make_unique<serve::EventLoopServer>(
+        make_dispatch(server), make_batch_dispatch(server),
+        event_loop_options_from_flags(flags, port));
+    std::fprintf(stderr,
+                 "ccpred_serverd listening on 127.0.0.1:%d "
+                 "(epoll, JSON + binary frames)\n",
+                 listener->port());
   }
 
   // stdin/stdout loop: submit each line to the pool and flush completed
@@ -378,29 +800,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   }
   flush_ready(true);
 
-  const auto final_stats = server.stats();
-  std::fprintf(stderr,
-               "served %llu requests (%llu errors), %llu sweeps, cache "
-               "hit rate %.2f, p50 %.2f ms, p95 %.2f ms\n",
-               static_cast<unsigned long long>(final_stats.requests),
-               static_cast<unsigned long long>(final_stats.errors),
-               static_cast<unsigned long long>(final_stats.sweeps_computed),
-               final_stats.cache_hit_rate, final_stats.latency_p50_ms,
-               final_stats.latency_p95_ms);
-  if (final_stats.deadline_exceeded + final_stats.shed +
-          final_stats.stale_served + final_stats.reload_failures +
-          final_stats.retries >
-      0) {
-    std::fprintf(
-        stderr,
-        "degraded: %llu deadline, %llu shed, %llu stale, %llu reload "
-        "failures, %llu retries\n",
-        static_cast<unsigned long long>(final_stats.deadline_exceeded),
-        static_cast<unsigned long long>(final_stats.shed),
-        static_cast<unsigned long long>(final_stats.stale_served),
-        static_cast<unsigned long long>(final_stats.reload_failures),
-        static_cast<unsigned long long>(final_stats.retries));
-  }
+  print_final_stats(server.stats());
+  if (listener != nullptr) print_loop_stats(*listener);
   return 0;
 }
 
@@ -411,7 +812,8 @@ int usage() {
                "[--rows N] [--seed S] [--estimators N]\n"
                "  serve --artifacts DIR [--default-machine M] "
                "[--default-model gb|rf] [--threads N] [--cache N] "
-               "[--port P] [--serial 1] [--max-queue N]\n"
+               "[--port P] [--backlog N] [--fleet N] [--serial 1] "
+               "[--max-queue N]\n"
                "        [--fault-seed S] [--fault-artifact P] "
                "[--fault-sweep P] [--fault-sweep-ms MS] [--fault-stall P] "
                "[--fault-stall-ms MS] [--fault-cache P] "
@@ -430,6 +832,9 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The router and event loop handle write-to-closed-peer as EPIPE; a
+  // default-disposition SIGPIPE would kill the daemon instead.
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
