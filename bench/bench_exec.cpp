@@ -1,0 +1,274 @@
+/// Executor-layer allocation bench: proves the exec arena/cache rewiring
+/// actually removed the malloc traffic, not just the wall time.
+///
+/// This translation unit interposes the global allocation operators with
+/// counting wrappers (atomic, thread-safe — pool workers allocate too), so
+/// every `new` anywhere in the process is observed. Two workloads, each
+/// run under the reference engine and the fast engine:
+///
+///   - campaign generation: the figure pipeline's generate_dataset, where
+///     the fast path batches through the memoized SimEngine and keeps its
+///     grouping scratch in a per-thread Arena
+///   - STQ/BQ true-optima sweeps across evaluation rounds: the fast engine
+///     serves repeat rounds from its ShardedMemoCache instead of
+///     re-simulating (and re-allocating) every round
+///
+/// Gates (exit nonzero on failure):
+///   - fast allocates >= 5x fewer times than reference on both workloads
+///   - fast results bit-identical (operator==) to the reference results
+///
+/// Wall-time/QPS regressions are covered by bench_sim_engine and
+/// bench_serve_fleet; this binary gates only allocation counts, which are
+/// deterministic per build and immune to a noisy host.
+///
+/// Emits the measurements to BENCH_exec.json.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "ccpred/common/table.hpp"
+#include "ccpred/common/thread_pool.hpp"
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/problems.hpp"
+#include "ccpred/guidance/optimal.hpp"
+#include "ccpred/sim/sim_engine.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting allocator interposition (whole process, all threads)
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  void* p = std::aligned_alloc(a, ((size == 0 ? 1 : size) + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using namespace ccpred;
+
+/// Allocation count of one callable, as a delta of the process counter.
+template <typename Fn>
+std::uint64_t allocations_of(Fn&& fn) {
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  fn();
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+bool datasets_identical(const data::Dataset& a, const data::Dataset& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a.config(i) == b.config(i))) return false;
+    if (a.target(i) != b.target(i)) return false;
+  }
+  return true;
+}
+
+bool sweeps_identical(const std::vector<guide::TrueOptimaSweep>& a,
+                      const std::vector<guide::TrueOptimaSweep>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].o != b[i].o || a[i].v != b[i].v) return false;
+    if (a[i].points.size() != b[i].points.size()) return false;
+    for (std::size_t j = 0; j < a[i].points.size(); ++j) {
+      if (!(a[i].points[j].config == b[i].points[j].config)) return false;
+      if (a[i].points[j].time_s != b[i].points[j].time_s) return false;
+      if (a[i].points[j].value != b[i].points[j].value) return false;
+    }
+    if (!(a[i].best.config == b[i].best.config)) return false;
+    if (a[i].best.value != b[i].best.value) return false;
+  }
+  return true;
+}
+
+/// The k smallest problems by O*V work proxy (cheapest sweep surfaces).
+std::vector<data::Problem> smallest_problems(std::vector<data::Problem> all,
+                                             std::size_t k) {
+  std::sort(all.begin(), all.end(),
+            [](const data::Problem& a, const data::Problem& b) {
+              return static_cast<double>(a.o) * a.v <
+                     static_cast<double>(b.o) * b.v;
+            });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  const bool fast_mode = bench::fast_mode();
+  const auto simulator = bench::make_simulator("aurora");
+  const auto& problems = data::problems_for("aurora");
+  const std::size_t threads = ThreadPool::global().size();
+
+  std::printf(
+      "== Executor-layer allocation counts (aurora, %zu threads%s) ==\n\n",
+      threads, fast_mode ? ", fast mode" : "");
+
+  // ---- workload A: campaign generation ----
+  const int regens = 2;
+  const auto campaign_problems =
+      fast_mode ? smallest_problems(problems, 6) : problems;
+  data::GeneratorOptions ref_opt;
+  ref_opt.seed = 2025;
+  ref_opt.target_total = fast_mode ? data::paper_total_rows("aurora") / 4
+                                   : data::paper_total_rows("aurora");
+  ref_opt.engine_mode = sim::SimEngineMode::kReference;
+
+  data::Dataset ref_campaign;
+  const std::uint64_t campaign_ref_allocs = allocations_of([&] {
+    for (int r = 0; r < regens; ++r) {
+      ref_campaign =
+          data::generate_dataset(simulator, campaign_problems, ref_opt);
+    }
+  });
+
+  data::GeneratorOptions fast_opt = ref_opt;
+  fast_opt.engine_mode = sim::SimEngineMode::kFast;
+  sim::SimEngine shared_engine(simulator);
+  fast_opt.shared_engine = &shared_engine;
+
+  data::Dataset fast_campaign;
+  const std::uint64_t campaign_fast_allocs = allocations_of([&] {
+    for (int r = 0; r < regens; ++r) {
+      fast_campaign =
+          data::generate_dataset(simulator, campaign_problems, fast_opt);
+    }
+  });
+  const double campaign_ratio =
+      static_cast<double>(campaign_ref_allocs) /
+      static_cast<double>(std::max<std::uint64_t>(1, campaign_fast_allocs));
+  const bool campaign_identical =
+      datasets_identical(ref_campaign, fast_campaign);
+
+  // ---- workload B: STQ/BQ true-optima sweeps across rounds ----
+  const int rounds = 4;
+  const auto sweep_problems = smallest_problems(problems, fast_mode ? 3 : 6);
+
+  sim::SimEngine ref_engine(simulator,
+                            {.mode = sim::SimEngineMode::kReference});
+  std::vector<guide::TrueOptimaSweep> ref_stq, ref_bq;
+  const std::uint64_t sweep_ref_allocs = allocations_of([&] {
+    for (int r = 0; r < rounds; ++r) {
+      ref_stq = guide::true_optima_sweeps(ref_engine, sweep_problems,
+                                          guide::Objective::kShortestTime);
+      ref_bq = guide::true_optima_sweeps(ref_engine, sweep_problems,
+                                         guide::Objective::kNodeHours);
+    }
+  });
+
+  sim::SimEngine fast_engine(simulator);
+  std::vector<guide::TrueOptimaSweep> fast_stq, fast_bq;
+  const std::uint64_t sweep_fast_allocs = allocations_of([&] {
+    for (int r = 0; r < rounds; ++r) {
+      fast_stq = guide::true_optima_sweeps(fast_engine, sweep_problems,
+                                           guide::Objective::kShortestTime);
+      fast_bq = guide::true_optima_sweeps(fast_engine, sweep_problems,
+                                          guide::Objective::kNodeHours);
+    }
+  });
+  const double sweep_ratio =
+      static_cast<double>(sweep_ref_allocs) /
+      static_cast<double>(std::max<std::uint64_t>(1, sweep_fast_allocs));
+  const bool sweep_identical =
+      sweeps_identical(ref_stq, fast_stq) && sweeps_identical(ref_bq, fast_bq);
+
+  TextTable table({"workload", "path", "allocations", "ratio"},
+                  "Global operator-new counts");
+  table.add_row({"campaign x2", "reference",
+                 std::to_string(campaign_ref_allocs), "1.0x"});
+  table.add_row({"campaign x2", "fast (arena+cache)",
+                 std::to_string(campaign_fast_allocs),
+                 TextTable::cell(campaign_ratio, 1) + "x"});
+  table.add_row({"STQ/BQ sweep x4", "reference",
+                 std::to_string(sweep_ref_allocs), "1.0x"});
+  table.add_row({"STQ/BQ sweep x4", "fast (memoized)",
+                 std::to_string(sweep_fast_allocs),
+                 TextTable::cell(sweep_ratio, 1) + "x"});
+  table.print();
+
+  const bool campaign_ok = campaign_ratio >= 5.0;
+  const bool sweep_ok = sweep_ratio >= 5.0;
+  const bool identical_ok = campaign_identical && sweep_identical;
+  std::printf(
+      "\ncampaign rows %zu x%d regens\n"
+      "campaign allocation ratio %.1fx (target >= 5x): %s\n"
+      "STQ/BQ sweep allocation ratio %.1fx (target >= 5x): %s\n"
+      "fast vs reference bit-identity (campaign %s, sweeps %s): %s\n",
+      ref_campaign.size(), regens, campaign_ratio,
+      campaign_ok ? "PASS" : "FAIL", sweep_ratio, sweep_ok ? "PASS" : "FAIL",
+      campaign_identical ? "yes" : "NO", sweep_identical ? "yes" : "NO",
+      identical_ok ? "PASS" : "FAIL");
+
+  const bool pass = campaign_ok && sweep_ok && identical_ok;
+  std::FILE* json = std::fopen("BENCH_exec.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"machine\": \"aurora\",\n"
+        "  \"fast_mode\": %s,\n"
+        "  \"threads\": %zu,\n"
+        "  \"campaign\": {\"rows\": %zu, \"regens\": %d,\n"
+        "    \"reference_allocations\": %llu, \"fast_allocations\": %llu,\n"
+        "    \"ratio\": %.3f, \"identical\": %s},\n"
+        "  \"sweeps\": {\"problems\": %zu, \"rounds\": %d,\n"
+        "    \"reference_allocations\": %llu, \"fast_allocations\": %llu,\n"
+        "    \"ratio\": %.3f, \"identical\": %s},\n"
+        "  \"pass\": %s,\n"
+        "  \"provenance\": %s\n"
+        "}\n",
+        fast_mode ? "true" : "false", threads, ref_campaign.size(), regens,
+        static_cast<unsigned long long>(campaign_ref_allocs),
+        static_cast<unsigned long long>(campaign_fast_allocs), campaign_ratio,
+        campaign_identical ? "true" : "false", sweep_problems.size(), rounds,
+        static_cast<unsigned long long>(sweep_ref_allocs),
+        static_cast<unsigned long long>(sweep_fast_allocs), sweep_ratio,
+        sweep_identical ? "true" : "false", pass ? "true" : "false",
+        bench::provenance_json().c_str());
+    std::fclose(json);
+    std::printf("\nwrote BENCH_exec.json\n");
+  }
+  return pass ? 0 : 1;
+}

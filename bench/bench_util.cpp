@@ -35,11 +35,12 @@ sim::CcsdSimulator make_simulator(const std::string& machine) {
                                 : sim::MachineModel::frontier());
 }
 
-PaperData load_paper_data(const std::string& machine, std::uint64_t seed) {
+PaperData load_paper_data(const std::string& machine, std::uint64_t seed,
+                          bool full_rows) {
   PaperData out{.simulator = make_simulator(machine), .full = {}, .split = {}};
   std::size_t total = data::paper_total_rows(machine);
   std::size_t test = data::paper_test_rows(machine);
-  if (fast_mode()) {
+  if (fast_mode() && !full_rows) {
     total /= 4;
     test /= 4;
   }

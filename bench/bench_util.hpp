@@ -24,7 +24,10 @@ sim::CcsdSimulator make_simulator(const std::string& machine);
 
 /// The paper's campaign for one machine, already split 75/25 with
 /// configuration coverage (Table 1 sizes: aurora 1746/583, frontier
-/// 1840/614). In fast mode the dataset is ~4x smaller.
+/// 1840/614). In fast mode the dataset is ~4x smaller unless `full_rows`
+/// is set — speedup-ratio gates calibrated at full campaign size should
+/// pass `full_rows = true` so fast mode does not shift the ratio they
+/// measure (histogram-vs-exact fit cost is not scale-free in n).
 struct PaperData {
   sim::CcsdSimulator simulator;
   data::Dataset full;
@@ -32,7 +35,7 @@ struct PaperData {
 };
 
 PaperData load_paper_data(const std::string& machine,
-                          std::uint64_t seed = 2025);
+                          std::uint64_t seed = 2025, bool full_rows = false);
 
 /// One-line JSON object fragment recording where a bench number came from:
 /// detected CPU features (avx2/fma), the SIMD dispatch mode the run

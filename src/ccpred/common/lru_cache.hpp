@@ -77,6 +77,19 @@ class LruCache {
     }
   }
 
+  /// True when `key` is present. Neither counters nor recency are touched —
+  /// the probe the sharded memo cache's first-writer-wins insert needs.
+  bool contains(const K& key) const { return index_.find(key) != index_.end(); }
+
+  /// Counter- and recency-neutral read: the value if present, else nullopt.
+  /// Used by coalesced single-flight waiters, whose call already counted
+  /// toward the coalesced statistic — a get() here would double-count.
+  std::optional<V> peek(const K& key) const {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    return it->second->second;
+  }
+
   std::size_t size() const { return index_.size(); }
   std::size_t capacity() const { return capacity_; }
   const CacheCounters& counters() const { return counters_; }
@@ -85,6 +98,9 @@ class LruCache {
     order_.clear();
     index_.clear();
   }
+
+  /// Zeroes the hit/miss/eviction counters (entries are untouched).
+  void reset_counters() { counters_ = CacheCounters{}; }
 
   /// Erases every entry whose key satisfies `pred`; returns how many were
   /// dropped. Targeted invalidation (e.g. a promoted model dropping its

@@ -128,8 +128,12 @@ void TaskGroup::wait() {
 }
 
 namespace {
-thread_local bool in_parallel_region = false;
+thread_local bool in_parallel_region_flag = false;
 }  // namespace
+
+bool in_parallel_region() { return in_parallel_region_flag; }
+
+void set_in_parallel_region(bool value) { in_parallel_region_flag = value; }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
@@ -140,7 +144,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   const std::size_t workers = std::min(pool->size(), n);
 
-  if (workers <= 1 || in_parallel_region) {
+  if (workers <= 1 || in_parallel_region_flag) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -152,9 +156,9 @@ void parallel_for(std::size_t begin, std::size_t end,
     const std::size_t hi = std::min(end, lo + chunk);
     if (lo >= hi) break;
     group.run([lo, hi, &body] {
-      in_parallel_region = true;
+      in_parallel_region_flag = true;
       for (std::size_t i = lo; i < hi; ++i) body(i);
-      in_parallel_region = false;
+      in_parallel_region_flag = false;
     });
   }
   group.wait();  // rethrows the first chunk exception, if any

@@ -114,4 +114,14 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   ThreadPool* pool = nullptr);
 
+/// True on a thread currently running inside a parallel_for (or TaskScope)
+/// chunk. Data-parallel constructs check this and run serially when nested,
+/// because nested fan-out on a fixed-size pool would deadlock.
+bool in_parallel_region();
+
+/// Marks/unmarks the calling thread as inside a parallel chunk. Exposed for
+/// the executor layer's TaskScope, which shares parallel_for's nested-
+/// execution rule; application code has no reason to call it.
+void set_in_parallel_region(bool value);
+
 }  // namespace ccpred

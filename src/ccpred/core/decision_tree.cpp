@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "ccpred/common/error.hpp"
+#include "ccpred/exec/arena.hpp"
 #include "ccpred/simd/simd.hpp"
 
 namespace ccpred::ml {
@@ -228,19 +229,11 @@ int DecisionTreeRegressor::build(BuildContext& ctx,
 
 /// Per-node gradient histogram: (count, target-sum) per bin, flattened over
 /// all features via FeatureBins offsets. Filling and subtraction dispatch
-/// through simd::ops().
+/// through simd::ops(). Storage lives in the fit's Arena (total_bins wide),
+/// so acquiring one is a pointer bump, never a malloc.
 struct DecisionTreeRegressor::Histogram {
-  std::vector<double> sum;
-  std::vector<std::uint32_t> count;
-
-  explicit Histogram(int total_bins)
-      : sum(static_cast<std::size_t>(total_bins), 0.0),
-        count(static_cast<std::size_t>(total_bins), 0) {}
-
-  void zero() {
-    std::fill(sum.begin(), sum.end(), 0.0);
-    std::fill(count.begin(), count.end(), 0);
-  }
+  double* sum = nullptr;
+  std::uint32_t* count = nullptr;
 };
 
 struct DecisionTreeRegressor::HistContext {
@@ -251,19 +244,26 @@ struct DecisionTreeRegressor::HistContext {
   int max_features = 0;
   Rng rng{1};
 
-  // Per-fit scratch, allocated once (the old per-node row vectors and
+  /// Bump allocator owning every fit-scratch buffer below. Reset at fit
+  /// entry; reused across fits (the ensembles pass one arena per task), so
+  /// repeated fits re-hand out the same cache-line-aligned memory.
+  exec::Arena* mem = nullptr;
+  int total_bins = 0;
+
+  // Per-fit scratch, bump-allocated once (the old per-node row vectors and
   // histogram allocations were ~half the fit wall time):
-  std::vector<std::uint32_t> arena;    ///< row indices, partitioned in place
-  std::vector<std::uint32_t> scratch;  ///< right-half staging for partition
-  std::vector<int> offsets;            ///< per-feature flat bin offsets
-  std::vector<std::size_t> all_features;  ///< 0..d-1, reused when not sampling
+  std::uint32_t* rows = nullptr;     ///< row indices, partitioned in place
+  std::size_t n_rows = 0;
+  std::uint32_t* scratch = nullptr;  ///< right-half staging for partition
+  int* offsets = nullptr;            ///< per-feature flat bin offsets
+  std::size_t* all_features = nullptr;  ///< 0..d-1, reused when not sampling
   const simd::Ops* ops = nullptr;
-  double* train_pred = nullptr;        ///< optional per-row leaf values
+  double* train_pred = nullptr;      ///< optional per-row leaf values
 
   // Direct-mode per-feature scan buffers: full flattened width, zeroed once
   // per fit; each direct node re-zeroes only the bins its rows touched.
-  std::vector<double> fsum;
-  std::vector<std::uint32_t> fcount;
+  double* fsum = nullptr;
+  std::uint32_t* fcount = nullptr;
 
   // Inclusive per-feature code bounds of the current hist-mode node,
   // threaded down the recursion: a split on f at bin b bounds the left
@@ -271,27 +271,34 @@ struct DecisionTreeRegressor::HistContext {
   // features inherit the parent's (outer) bounds. Bins outside the bounds
   // hold exactly +0.0 in subtracted histograms, so range-restricted scans
   // see the values the full scan would.
-  std::vector<int> fr_lo;
-  std::vector<int> fr_hi;
+  int* fr_lo = nullptr;
+  int* fr_hi = nullptr;
 
   // Direct-mode per-feature code bounds of the current node (exact, from
   // the fused scatter pass).
-  std::vector<std::uint16_t> dmin;
-  std::vector<std::uint16_t> dmax;
+  std::uint16_t* dmin = nullptr;
+  std::uint16_t* dmax = nullptr;
 
-  /// Histogram freelist; at most depth + 1 are live at once.
-  std::vector<std::unique_ptr<Histogram>> pool;
+  /// Histogram freelist; at most depth + 1 are live at once, so the arena
+  /// hands out at most that many total_bins-wide buffer pairs per fit.
+  std::vector<Histogram> pool;
 
-  std::unique_ptr<Histogram> acquire(int total_bins) {
+  Histogram acquire() {
+    Histogram h;
     if (!pool.empty()) {
-      auto h = std::move(pool.back());
+      h = pool.back();
       pool.pop_back();
-      h->zero();
-      return h;
+    } else {
+      const auto tb = static_cast<std::size_t>(total_bins);
+      h.sum = mem->alloc_array<double>(tb);
+      h.count = mem->alloc_array<std::uint32_t>(tb);
     }
-    return std::make_unique<Histogram>(total_bins);
+    const auto tb = static_cast<std::size_t>(total_bins);
+    std::fill(h.sum, h.sum + tb, 0.0);
+    std::fill(h.count, h.count + tb, 0u);
+    return h;
   }
-  void release(std::unique_ptr<Histogram> h) { pool.push_back(std::move(h)); }
+  void release(Histogram h) { pool.push_back(h); }
 };
 
 int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
@@ -309,7 +316,7 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
   // the raw split "x <= upper_edge", so routing matches predict_row).
   const auto emit_leaf = [&] {
     if (ctx.train_pred != nullptr) {
-      const std::uint32_t* r = ctx.arena.data() + lo;
+      const std::uint32_t* r = ctx.rows + lo;
       for (std::size_t i = 0; i < n; ++i) ctx.train_pred[r[i]] = mean;
     }
   };
@@ -341,8 +348,8 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
     // arithmetic and selection order (only the boundary at the smaller code
     // is valid, its left prefix is that row's target, nl = nr = 1 so the
     // /nl and /nr divides are identities).
-    const std::uint32_t ra = ctx.arena[lo];
-    const std::uint32_t rb = ctx.arena[lo + 1];
+    const std::uint32_t ra = ctx.rows[lo];
+    const std::uint32_t rb = ctx.rows[lo + 1];
     if (min_leaf <= 1) {
       const double tt_n = sum * sum / 2.0;
       for (std::size_t f = 0; f < bins.cols(); ++f) {
@@ -369,8 +376,8 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
     const std::uint16_t ca = bins.code(ra, best_feature);
     const std::uint16_t cb = bins.code(rb, best_feature);
     if (cb < ca) {  // stable partition: the left (smaller-code) row first
-      ctx.arena[lo] = rb;
-      ctx.arena[lo + 1] = ra;
+      ctx.rows[lo] = rb;
+      ctx.rows[lo + 1] = ra;
     }
     // Emit the two single-row leaves inline: a 1-row recursion would push
     // the same node (mean = child_sum / 1.0 == child_sum bitwise) and
@@ -381,8 +388,8 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
     const int right = static_cast<int>(nodes_.size());
     nodes_.push_back(TreeNode{.value = right_sum});
     if (ctx.train_pred != nullptr) {
-      ctx.train_pred[ctx.arena[lo]] = best_left_sum;
-      ctx.train_pred[ctx.arena[lo + 1]] = right_sum;
+      ctx.train_pred[ctx.rows[lo]] = best_left_sum;
+      ctx.train_pred[ctx.rows[lo + 1]] = right_sum;
     }
     nodes_[node_index].feature = static_cast<int>(best_feature);
     nodes_[node_index].threshold = bins.upper_edge(best_feature, best_bin);
@@ -399,7 +406,7 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
   // bit-identical sums.
   const std::size_t d = bins.cols();
   if (hist == nullptr) {
-    const std::uint32_t* rw = ctx.arena.data() + lo;
+    const std::uint32_t* rw = ctx.rows + lo;
     const std::uint16_t* first = bins.row_codes(rw[0]);
     for (std::size_t f = 0; f < d; ++f) {
       ctx.dmin[f] = first[f];
@@ -430,9 +437,10 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
   if (!use_all) {
     sampled = candidate_features(bins.cols(), ctx.max_features, ctx.rng);
   }
-  const std::vector<std::size_t>& features =
-      use_all ? ctx.all_features : sampled;
-  for (auto f : features) {
+  const std::size_t* features = use_all ? ctx.all_features : sampled.data();
+  const std::size_t n_features = use_all ? bins.cols() : sampled.size();
+  for (std::size_t fi = 0; fi < n_features; ++fi) {
+    const std::size_t f = features[fi];
     const int off = ctx.offsets[f];
     const int m = bins.bin_count(f) - 1;  // candidate boundaries
     if (m <= 0) continue;
@@ -444,8 +452,8 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
       const int b0 = ctx.fr_lo[f];
       const int mend = ctx.fr_hi[f] < m ? ctx.fr_hi[f] : m;
       if (mend > b0 &&
-          ops.split_scan(hist->sum.data() + off + b0,
-                         hist->count.data() + off + b0, mend - b0, sum, n,
+          ops.split_scan(hist->sum + off + b0,
+                         hist->count + off + b0, mend - b0, sum, n,
                          min_leaf, &best_gain, &bin, &ls, &lc)) {
         bin += b0;
         found = true;
@@ -460,8 +468,8 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
       const std::uint16_t cmin = ctx.dmin[f];
       const std::uint16_t cmax = ctx.dmax[f];
       if (cmax > cmin) {
-        double* s = ctx.fsum.data() + off;
-        std::uint32_t* c = ctx.fcount.data() + off;
+        double* s = ctx.fsum + off;
+        std::uint32_t* c = ctx.fcount + off;
         const int mend = cmax < m ? static_cast<int>(cmax) : m;
         if (ops.split_scan(s + cmin, c + cmin, mend - cmin, sum, n, min_leaf,
                            &best_gain, &bin, &ls, &lc)) {
@@ -490,7 +498,7 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
   };
   if (best_bin < 0 || best_gain <= 1e-12) {
     if (hist == nullptr) {
-      const std::uint32_t* rw = ctx.arena.data() + lo;
+      const std::uint32_t* rw = ctx.rows + lo;
       for (std::size_t i = 0; i < n; ++i) rezero_touched(bins.row_codes(rw[i]));
     }
     emit_leaf();
@@ -504,8 +512,8 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
   // children keep the parent's relative row order (same histogram
   // accumulation order as the old per-node vectors) with no per-node
   // allocation.
-  std::uint32_t* rows = ctx.arena.data() + lo;
-  std::uint32_t* scr = ctx.scratch.data();
+  std::uint32_t* rows = ctx.rows + lo;
+  std::uint32_t* scr = ctx.scratch;
   std::size_t nl = 0;
   std::size_t nr = 0;
   if (hist == nullptr) {
@@ -558,16 +566,15 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
     // Sibling-subtraction trick: scan only the smaller child's rows; the
     // larger child's histogram is parent - smaller, reusing parent storage.
     const bool left_is_small = nl <= nr;
-    auto small = ctx.acquire(bins.total_bins());
-    ops.hist_accumulate(bins.row_codes(0), bins.cols(), ctx.offsets.data(),
+    const auto tb = static_cast<std::size_t>(ctx.total_bins);
+    Histogram small = ctx.acquire();
+    ops.hist_accumulate(bins.row_codes(0), bins.cols(), ctx.offsets,
                         left_is_small ? rows : rows + nl,
                         left_is_small ? nl : nr, ctx.y->data(),
-                        small->sum.data(), small->count.data(),
-                        small->sum.size());
-    ops.hist_subtract(hist->sum.data(), hist->count.data(), small->sum.data(),
-                      small->count.data(), hist->sum.size());
-    Histogram* left_hist = left_is_small ? small.get() : hist;
-    Histogram* right_hist = left_is_small ? hist : small.get();
+                        small.sum, small.count, tb);
+    ops.hist_subtract(hist->sum, hist->count, small.sum, small.count, tb);
+    Histogram* left_hist = left_is_small ? &small : hist;
+    Histogram* right_hist = left_is_small ? hist : &small;
 
     const int save_lo = ctx.fr_lo[best_feature];
     const int save_hi = ctx.fr_hi[best_feature];
@@ -577,7 +584,7 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
     ctx.fr_lo[best_feature] = best_bin + 1;
     right = build_hist(ctx, lo + nl, hi, right_sum, right_hist, depth + 1);
     ctx.fr_lo[best_feature] = save_lo;
-    ctx.release(std::move(small));
+    ctx.release(small);
   }
   nodes_[node_index].feature = static_cast<int>(best_feature);
   nodes_[node_index].threshold = threshold;
@@ -589,7 +596,8 @@ int DecisionTreeRegressor::build_hist(HistContext& ctx, std::size_t lo,
 void DecisionTreeRegressor::fit_binned(const FeatureBins& bins,
                                        const std::vector<double>& y,
                                        const std::vector<std::size_t>& rows,
-                                       double* train_pred) {
+                                       double* train_pred,
+                                       exec::Arena* arena) {
   CCPRED_CHECK_MSG(bins.rows() == y.size(), "bins/y row mismatch");
   CCPRED_CHECK_MSG(!rows.empty(), "cannot fit tree on zero rows");
   for (auto r : rows) {
@@ -597,6 +605,16 @@ void DecisionTreeRegressor::fit_binned(const FeatureBins& bins,
   }
   CCPRED_CHECK_MSG(bins.rows() <= 0xffffffffu,
                    "histogram mode indexes rows as 32-bit");
+
+  // All fit scratch bump-allocates from one arena — the caller's (the
+  // ensembles pass a reused per-task arena) or a reused thread-local one —
+  // so repeated fits stop touching the heap.
+  exec::Arena* mem = arena;
+  if (mem == nullptr) {
+    thread_local exec::Arena fallback;
+    mem = &fallback;
+  }
+  mem->reset();
 
   nodes_.clear();
   HistContext ctx;
@@ -609,38 +627,48 @@ void DecisionTreeRegressor::fit_binned(const FeatureBins& bins,
   ctx.rng = Rng(options_.seed);
   ctx.ops = &simd::ops();
   ctx.train_pred = train_pred;
+  ctx.mem = mem;
+  ctx.total_bins = bins.total_bins();
 
-  ctx.arena.reserve(rows.size());
-  for (auto r : rows) ctx.arena.push_back(static_cast<std::uint32_t>(r));
-  ctx.scratch.resize(rows.size());
+  const std::size_t d = bins.cols();
   const auto total_bins = static_cast<std::size_t>(bins.total_bins());
-  ctx.offsets.resize(bins.cols());
-  ctx.all_features.resize(bins.cols());
-  ctx.fr_lo.assign(bins.cols(), 0);
-  ctx.fr_hi.resize(bins.cols());
-  for (std::size_t f = 0; f < bins.cols(); ++f) {
+  ctx.n_rows = rows.size();
+  ctx.rows = mem->alloc_array<std::uint32_t>(ctx.n_rows);
+  for (std::size_t i = 0; i < ctx.n_rows; ++i) {
+    ctx.rows[i] = static_cast<std::uint32_t>(rows[i]);
+  }
+  ctx.scratch = mem->alloc_array<std::uint32_t>(ctx.n_rows);
+  ctx.offsets = mem->alloc_array<int>(d);
+  ctx.all_features = mem->alloc_array<std::size_t>(d);
+  ctx.fr_lo = mem->alloc_array<int>(d);
+  ctx.fr_hi = mem->alloc_array<int>(d);
+  for (std::size_t f = 0; f < d; ++f) {
     ctx.offsets[f] = bins.offset(f);
     ctx.all_features[f] = f;
+    ctx.fr_lo[f] = 0;
     ctx.fr_hi[f] = bins.bin_count(f) - 1;
   }
 
-  ctx.fsum.assign(total_bins, 0.0);
-  ctx.fcount.assign(total_bins, 0);
-  ctx.dmin.assign(bins.cols(), 0);
-  ctx.dmax.assign(bins.cols(), 0);
+  ctx.fsum = mem->alloc_array<double>(total_bins);
+  ctx.fcount = mem->alloc_array<std::uint32_t>(total_bins);
+  std::fill(ctx.fsum, ctx.fsum + total_bins, 0.0);
+  std::fill(ctx.fcount, ctx.fcount + total_bins, 0u);
+  ctx.dmin = mem->alloc_array<std::uint16_t>(d);
+  ctx.dmax = mem->alloc_array<std::uint16_t>(d);
+  std::fill(ctx.dmin, ctx.dmin + d, static_cast<std::uint16_t>(0));
+  std::fill(ctx.dmax, ctx.dmax + d, static_cast<std::uint16_t>(0));
 
   double root_sum = 0.0;
-  for (auto r : ctx.arena) root_sum += y[r];
-  if (ctx.arena.size() * bins.cols() < 2 * total_bins) {
+  for (std::size_t i = 0; i < ctx.n_rows; ++i) root_sum += y[ctx.rows[i]];
+  if (ctx.n_rows * d < 2 * total_bins) {
     // Fit is small relative to the histogram width: direct mode throughout.
-    build_hist(ctx, 0, ctx.arena.size(), root_sum, nullptr, 0);
+    build_hist(ctx, 0, ctx.n_rows, root_sum, nullptr, 0);
   } else {
-    Histogram root(bins.total_bins());
-    ctx.ops->hist_accumulate(bins.row_codes(0), bins.cols(),
-                             ctx.offsets.data(), ctx.arena.data(),
-                             ctx.arena.size(), y.data(), root.sum.data(),
-                             root.count.data(), total_bins);
-    build_hist(ctx, 0, ctx.arena.size(), root_sum, &root, 0);
+    Histogram root = ctx.acquire();
+    ctx.ops->hist_accumulate(bins.row_codes(0), d, ctx.offsets, ctx.rows,
+                             ctx.n_rows, y.data(), root.sum, root.count,
+                             total_bins);
+    build_hist(ctx, 0, ctx.n_rows, root_sum, &root, 0);
   }
   importance_ = std::move(ctx.importance);
 }

@@ -25,6 +25,10 @@
 #include "ccpred/common/rng.hpp"
 #include "ccpred/core/regressor.hpp"
 
+namespace ccpred::exec {
+class Arena;
+}
+
 namespace ccpred::ml {
 
 /// Split-finding strategy for tree training.
@@ -128,9 +132,15 @@ class DecisionTreeRegressor : public Regressor {
   /// partition, so they equal predict_row on the same row bit-for-bit —
   /// gradient boosting uses them to update residuals without re-walking
   /// the tree per row per stage.
+  /// All fit scratch (row partitions, flattened histograms, scan buffers)
+  /// bump-allocates from `arena` when one is passed — the ensembles hand in
+  /// a reused per-task arena so repeated fits stop calling malloc. The
+  /// arena is reset by this call: it must not hold the caller's live
+  /// allocations. When null, a reused thread-local arena is used.
   void fit_binned(const FeatureBins& bins, const std::vector<double>& y,
                   const std::vector<std::size_t>& rows,
-                  double* train_pred = nullptr);
+                  double* train_pred = nullptr,
+                  exec::Arena* arena = nullptr);
 
   std::vector<double> predict(const linalg::Matrix& x) const override;
   std::unique_ptr<Regressor> clone() const override;

@@ -34,10 +34,9 @@ void GaussianProcessRegression::fit_with_gamma(double gamma) {
 
 void GaussianProcessRegression::factor_and_score(linalg::Matrix k) {
   k.add_diagonal(noise_ + 1e-10);
-  chol_ = std::make_unique<linalg::Cholesky>(
-      std::move(k), engine_ == Engine::kFast
-                        ? linalg::Cholesky::Method::kBlocked
-                        : linalg::Cholesky::Method::kReference);
+  // Engine and Cholesky::Method are the same exec::EngineMode, so the GP's
+  // mode selects the factorization path directly.
+  chol_ = std::make_unique<linalg::Cholesky>(std::move(k), engine_);
   alpha_ = chol_->solve(yz_);
   // log p(y | X) = -1/2 y^T K^{-1} y - 1/2 log|K| - n/2 log(2 pi)
   const double n = static_cast<double>(yz_.size());

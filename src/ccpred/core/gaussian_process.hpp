@@ -12,6 +12,7 @@
 #include "ccpred/core/kernels.hpp"
 #include "ccpred/core/regressor.hpp"
 #include "ccpred/data/scaler.hpp"
+#include "ccpred/exec/engine_mode.hpp"
 #include "ccpred/linalg/cholesky.hpp"
 
 namespace ccpred::ml {
@@ -33,7 +34,8 @@ namespace ccpred::ml {
 /// per-candidate / per-row path, kept for tests and the speedup gates.
 class GaussianProcessRegression : public UncertaintyRegressor {
  public:
-  enum class Engine { kFast, kReference };
+  /// The executor layer's shared reference-vs-fast convention.
+  using Engine = exec::EngineMode;
 
   explicit GaussianProcessRegression(double gamma = 0.5, double noise = 1e-4,
                                      bool optimize = true,

@@ -6,6 +6,7 @@
 #include "ccpred/common/rng.hpp"
 #include "ccpred/common/thread_pool.hpp"
 #include "ccpred/core/compiled_ensemble.hpp"
+#include "ccpred/exec/arena.hpp"
 
 namespace ccpred::ml {
 
@@ -62,6 +63,11 @@ void GradientBoostingRegressor::fit(const linalg::Matrix& x,
   const bool use_train_pred = histogram && subsample_ >= 1.0;
   if (use_train_pred) train_pred.resize(n);
 
+  // One arena reused across every stage's tree fit: fit_binned resets it
+  // and bump-allocates all its scratch, so the boosting loop stops calling
+  // malloc per stage.
+  exec::Arena stage_arena;
+
   for (int stage = 0; stage < n_estimators_; ++stage) {
     TreeOptions opt = tree_options_;
     opt.seed = rng.next();
@@ -75,7 +81,8 @@ void GradientBoostingRegressor::fit(const linalg::Matrix& x,
             : all_rows;
     if (histogram) {
       tree.fit_binned(bins, residual, rows,
-                      use_train_pred ? train_pred.data() : nullptr);
+                      use_train_pred ? train_pred.data() : nullptr,
+                      &stage_arena);
     } else {
       tree.fit_rows(x, residual, rows);
     }

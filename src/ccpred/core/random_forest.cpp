@@ -3,8 +3,8 @@
 #include <cmath>
 
 #include "ccpred/common/error.hpp"
-#include "ccpred/common/thread_pool.hpp"
 #include "ccpred/core/compiled_ensemble.hpp"
+#include "ccpred/exec/task_scope.hpp"
 
 namespace ccpred::ml {
 
@@ -51,11 +51,18 @@ void RandomForestRegressor::fit(const linalg::Matrix& x,
     }
   }
 
-  parallel_for(0, n, [&](std::size_t t) {
+  // Structured fan-out with a per-chunk arena: every member tree's fit
+  // scratch bump-allocates from its chunk's reused arena instead of the
+  // heap. Per-tree randomness derives only from tree_seeds[t], so the
+  // result is independent of chunking and iteration order (the determinism
+  // suite shuffles this loop and asserts bit-identical forests).
+  exec::TaskScope scope;
+  scope.parallel_for(0, n, [&](std::size_t t, exec::Arena& arena) {
     Rng rng(tree_seeds[t]);
     if (histogram) {
       trees_[t].fit_binned(
-          bins, y, bootstrap_ ? rng.bootstrap_indices(x.rows()) : all_rows);
+          bins, y, bootstrap_ ? rng.bootstrap_indices(x.rows()) : all_rows,
+          nullptr, &arena);
     } else if (bootstrap_) {
       trees_[t].fit_rows(x, y, rng.bootstrap_indices(x.rows()));
     } else {

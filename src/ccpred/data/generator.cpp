@@ -5,6 +5,7 @@
 
 #include "ccpred/common/error.hpp"
 #include "ccpred/common/thread_pool.hpp"
+#include "ccpred/exec/task_scope.hpp"
 #include "ccpred/sim/contraction.hpp"
 
 namespace ccpred::data {
@@ -164,9 +165,12 @@ Dataset generate_dataset(const sim::CcsdSimulator& simulator,
       series[it.problem][it.config] = engine.measured_series(
           per_problem[it.problem][it.config], options.seed, it.reps);
     };
+    // Each item draws only from its own config's measurement stream, so
+    // the fan-out is order-independent (the determinism suite shuffles it).
     if (engine.options().parallel &&
         items.size() >= engine.options().min_parallel_batch) {
-      parallel_for(0, items.size(), label);
+      exec::TaskScope scope;
+      scope.parallel_for(0, items.size(), label);
     } else {
       for (std::size_t i = 0; i < items.size(); ++i) label(i);
     }

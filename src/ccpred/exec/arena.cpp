@@ -1,0 +1,62 @@
+#include "ccpred/exec/arena.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "ccpred/common/error.hpp"
+
+namespace ccpred::exec {
+
+namespace {
+
+bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Arena::Arena(std::size_t capacity_bytes) : buffer_(capacity_bytes) {}
+
+Arena::~Arena() { reset(); }
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  CCPRED_CHECK_MSG(is_pow2(align), "Arena alignment must be a power of two");
+  if (align < kCacheLineAlign) align = kCacheLineAlign;
+
+  const std::size_t aligned_off = (offset_ + align - 1) & ~(align - 1);
+  // buffer_.data() is kCacheLineAlign-aligned, and align is a multiple of
+  // it only when align <= kCacheLineAlign; for larger alignments align the
+  // absolute address instead of the offset.
+  if (align <= kCacheLineAlign && aligned_off <= buffer_.size() &&
+      bytes <= buffer_.size() - aligned_off) {
+    void* p = buffer_.data() + aligned_off;
+    offset_ = aligned_off + bytes;
+    return p;
+  }
+  if (align > kCacheLineAlign && !buffer_.empty()) {
+    const auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
+    const std::uintptr_t want = (base + offset_ + align - 1) & ~(align - 1);
+    const std::size_t off = static_cast<std::size_t>(want - base);
+    if (off <= buffer_.size() && bytes <= buffer_.size() - off) {
+      offset_ = off + bytes;
+      return reinterpret_cast<void*>(want);
+    }
+  }
+
+  // Heap fallback: the request does not fit. Zero-size requests still get a
+  // distinct valid pointer so callers never branch on n == 0.
+  ++heap_fallbacks_;
+  const std::size_t n = bytes == 0 ? align : bytes;
+  void* p = ::operator new(((n + align - 1) / align) * align,
+                           std::align_val_t{align});
+  overflow_.emplace_back(p, align);
+  return p;
+}
+
+void Arena::reset() {
+  offset_ = 0;
+  for (auto& [ptr, align] : overflow_) {
+    ::operator delete(ptr, std::align_val_t{align});
+  }
+  overflow_.clear();
+}
+
+}  // namespace ccpred::exec

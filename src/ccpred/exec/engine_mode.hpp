@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file engine_mode.hpp
+/// The one reference-vs-fast switch shared by every engine in ccpred.
+///
+/// PRs 2/3/5 each grew a private two-state enum for "the original serial
+/// path we gate against" vs "the optimized path we ship": the simulation
+/// engine's SimEngineMode, the Gaussian-process Engine and the Cholesky
+/// Method. They all mean the same thing — kReference preserves the original
+/// computation as ground truth, kFast is the memoized / blocked / batched
+/// path whose outputs must stay bit-identical (or within the engine's
+/// documented agreement bound) — so they are now one enum, aliased under
+/// the old names where call sites predate the executor layer.
+
+#include <cstddef>
+
+namespace ccpred::exec {
+
+/// Engine execution strategy. Every engine keeps its original computation
+/// reachable under kReference; bench gates compare kFast against it.
+enum class EngineMode {
+  kReference,  ///< the original serial/scalar path (ground truth)
+  kFast,       ///< memoized / batched / blocked / parallel
+};
+
+inline const char* engine_mode_name(EngineMode mode) {
+  return mode == EngineMode::kFast ? "fast" : "reference";
+}
+
+/// Default shard count for the executor's sharded caches. SimCache and
+/// SweepCache used to hardcode their shard counts independently (16 and 8);
+/// both now derive from this constant, and the cache template accepts any
+/// positive count so tests can exercise non-default sharding.
+inline constexpr std::size_t kDefaultShards = 16;
+
+}  // namespace ccpred::exec

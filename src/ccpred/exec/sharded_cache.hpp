@@ -1,0 +1,226 @@
+#pragma once
+
+/// \file sharded_cache.hpp
+/// The executor layer's generic sharded memo cache.
+///
+/// One template replaces the three hand-rolled sharded caches that PRs 1/3/5
+/// grew independently: the simulation engine's SimCache (unbounded memo of
+/// simulated times), the serving layer's SweepCache (bounded LRU of advisor
+/// sweeps) and the ad-hoc single-flight logic in front of them. Each shard
+/// is an LruCache under its own mutex; keys are distributed by a mixed hash
+/// so shard choice and bucket choice stay uncorrelated. A per-shard
+/// in-flight set gives get_or_compute() single-flight coalescing: concurrent
+/// callers of the same missing key run the compute function once and share
+/// the result.
+///
+/// Capacity semantics: `per_shard_capacity == 0` means unbounded (memo
+/// table, inserts never evict); a positive value bounds each shard with LRU
+/// eviction. Shard count defaults to exec::kDefaultShards but any positive
+/// count works, which is what the property tests exercise.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "ccpred/common/error.hpp"
+#include "ccpred/common/lru_cache.hpp"
+#include "ccpred/exec/engine_mode.hpp"
+
+namespace ccpred::exec {
+
+/// splitmix64 finalizer: the strong 64-bit mix shared by shard selection,
+/// task-seed derivation and the simulation engine's stream seeding.
+inline std::uint64_t splitmix64(std::uint64_t z) {
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z;
+}
+
+inline constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+/// Aggregated counters of one sharded cache.
+struct MemoCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t coalesced = 0;  ///< get_or_compute calls that waited on a peer
+  std::size_t entries = 0;
+};
+
+/// Thread-safe sharded memo cache; see the file comment for semantics.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedMemoCache {
+ public:
+  explicit ShardedMemoCache(std::size_t shards = kDefaultShards,
+                            std::size_t per_shard_capacity = 0) {
+    CCPRED_CHECK_MSG(shards > 0, "ShardedMemoCache needs at least one shard");
+    const std::size_t cap = per_shard_capacity == 0
+                                ? std::numeric_limits<std::size_t>::max()
+                                : per_shard_capacity;
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(cap));
+    }
+  }
+
+  /// Returns true and fills `*value` on a hit (refreshing LRU recency);
+  /// counts the miss otherwise.
+  bool lookup(const K& key, V* value) const {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (lock_hook_) lock_hook_();
+    auto hit = s.cache.get(key);
+    if (!hit) return false;
+    *value = std::move(*hit);
+    return true;
+  }
+
+  /// First writer wins: inserts only when the key is absent (racing writers
+  /// compute identical values by construction, so dropping the second write
+  /// is safe). Counters are untouched.
+  void insert(const K& key, V value) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (lock_hook_) lock_hook_();
+    if (!s.cache.contains(key)) s.cache.put(key, std::move(value));
+  }
+
+  /// Inserts or overwrites, making the key most recent.
+  void put(const K& key, V value) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (lock_hook_) lock_hook_();
+    s.cache.put(key, std::move(value));
+  }
+
+  /// Single-flight memoization: returns the cached value, or runs `fn` and
+  /// caches its result. Concurrent callers of the same missing key coalesce
+  /// onto one compute; the losers block until the winner publishes (or
+  /// rethrows, in which case one waiter retries the compute).
+  ///
+  /// Accounting: every call resolves as exactly one of a hit (served from
+  /// the cache), a miss (this caller computed), or a coalesced wait (got
+  /// the value another caller was already computing) — so
+  /// hits + misses + coalesced equals the number of calls.
+  template <typename Fn>
+  V get_or_compute(const K& key, Fn&& fn) {
+    Shard& s = shard_for(key);
+    std::unique_lock<std::mutex> lock(s.mutex);
+    if (lock_hook_) lock_hook_();
+    if (s.inflight.count(key) == 0) {
+      if (auto hit = s.cache.get(key)) return std::move(*hit);
+      s.inflight.insert(key);  // cold key: the get above counted our miss
+    } else {
+      ++s.coalesced;
+      do {
+        s.cv.wait(lock);
+      } while (s.inflight.count(key) != 0);
+      if (auto hit = s.cache.peek(key)) return std::move(*hit);
+      // The compute we waited on threw; take over ownership and retry.
+      s.inflight.insert(key);
+    }
+    lock.unlock();
+    V value;
+    try {
+      value = fn();
+    } catch (...) {
+      lock.lock();
+      s.inflight.erase(key);
+      s.cv.notify_all();
+      throw;
+    }
+    lock.lock();
+    s.cache.put(key, value);
+    s.inflight.erase(key);
+    s.cv.notify_all();
+    return value;
+  }
+
+  /// Erases every entry whose key satisfies `pred` across all shards;
+  /// returns how many were dropped (not counted as evictions).
+  template <typename Pred>
+  std::size_t erase_if(Pred pred) {
+    std::size_t erased = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      if (lock_hook_) lock_hook_();
+      erased += s->cache.erase_if(pred);
+    }
+    return erased;
+  }
+
+  void clear() {
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      s->cache.clear();
+      s->cache.reset_counters();
+      s->coalesced = 0;
+    }
+  }
+
+  MemoCacheStats stats() const {
+    MemoCacheStats total;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      const CacheCounters& c = s->cache.counters();
+      total.hits += c.hits;
+      total.misses += c.misses;
+      total.evictions += c.evictions;
+      total.coalesced += s->coalesced;
+      total.entries += s->cache.size();
+    }
+    return total;
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mutex);
+      total += s->cache.size();
+    }
+    return total;
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Test/chaos hook invoked while a shard mutex is held on every cache
+  /// operation (the SweepCache kCacheShard fault point). Pass an empty
+  /// function to disarm. Not thread-safe against concurrent cache use —
+  /// arm before sharing the cache.
+  void set_lock_hook(std::function<void()> hook) {
+    lock_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t capacity) : cache(capacity) {}
+    mutable std::mutex mutex;
+    mutable std::condition_variable cv;
+    mutable LruCache<K, V, Hash> cache;
+    std::unordered_set<K, Hash> inflight;
+    mutable std::uint64_t coalesced = 0;
+  };
+
+  Shard& shard_for(const K& key) const {
+    // A different mix than the bucket hash so shard choice and bucket
+    // choice are uncorrelated.
+    const std::uint64_t h = splitmix64(
+        static_cast<std::uint64_t>(Hash{}(key)) + kGoldenGamma);
+    return *shards_[h % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::function<void()> lock_hook_;
+};
+
+}  // namespace ccpred::exec

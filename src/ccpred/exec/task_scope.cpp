@@ -1,0 +1,106 @@
+#include "ccpred/exec/task_scope.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "ccpred/exec/sharded_cache.hpp"  // splitmix64, kGoldenGamma
+
+namespace ccpred::exec {
+
+namespace {
+
+std::atomic<std::uint64_t> shuffle_seed{0};
+
+}  // namespace
+
+TaskScope::TaskScope(ThreadPool* pool)
+    : pool_(pool == nullptr ? &ThreadPool::global() : pool), group_(*pool_) {}
+
+void TaskScope::fork(std::function<void()> task) {
+  group_.run(std::move(task));
+}
+
+void TaskScope::wait() { group_.wait(); }
+
+std::uint64_t TaskScope::task_seed(std::uint64_t base, std::uint64_t index) {
+  // base advanced along the splitmix64 stream by (index + 1) gammas; the +1
+  // keeps task 0's seed distinct from the base itself.
+  return splitmix64(base + (index + 1) * kGoldenGamma);
+}
+
+void TaskScope::set_shuffle_for_testing(std::uint64_t seed) {
+  shuffle_seed.store(seed, std::memory_order_relaxed);
+}
+
+std::vector<std::size_t> TaskScope::iteration_order(std::size_t begin,
+                                                    std::size_t end) {
+  std::vector<std::size_t> order(end - begin);
+  std::iota(order.begin(), order.end(), begin);
+  const std::uint64_t seed = shuffle_seed.load(std::memory_order_relaxed);
+  if (seed != 0 && order.size() > 1) {
+    // Fisher–Yates driven by the splitmix64 stream of the knob's seed.
+    std::uint64_t state = seed;
+    for (std::size_t i = order.size() - 1; i > 0; --i) {
+      state += kGoldenGamma;
+      std::swap(order[i], order[splitmix64(state) % (i + 1)]);
+    }
+  }
+  return order;
+}
+
+void TaskScope::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& body) {
+  run_loop(begin, end, [&body](std::size_t i, Arena*) { body(i); },
+           /*with_arenas=*/false);
+}
+
+void TaskScope::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, Arena&)>& body) {
+  run_loop(begin, end,
+           [&body](std::size_t i, Arena* arena) { body(i, *arena); },
+           /*with_arenas=*/true);
+}
+
+void TaskScope::run_loop(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, Arena*)>& body, bool with_arenas) {
+  if (begin >= end) return;
+  const std::vector<std::size_t> order = iteration_order(begin, end);
+  const std::size_t n = order.size();
+  const std::size_t workers = std::min(pool_->size(), n);
+
+  // Arenas are created lazily (only the arena overload pays for them) and
+  // reused — reset, not reallocated — across calls on the same scope.
+  const auto chunk_arena = [this, with_arenas](std::size_t w) -> Arena* {
+    if (!with_arenas) return nullptr;
+    while (arenas_.size() <= w) arenas_.push_back(std::make_unique<Arena>());
+    Arena* arena = arenas_[w].get();
+    arena->reset();
+    return arena;
+  };
+
+  if (workers <= 1 || in_parallel_region()) {
+    Arena* arena = chunk_arena(0);
+    for (const std::size_t i : order) body(i, arena);
+    return;
+  }
+
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = w * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    if (lo >= hi) break;
+    Arena* arena = chunk_arena(w);
+    group_.run([lo, hi, arena, &order, &body] {
+      set_in_parallel_region(true);
+      for (std::size_t k = lo; k < hi; ++k) body(order[k], arena);
+      set_in_parallel_region(false);
+    });
+  }
+  group_.wait();  // rethrows the first chunk exception, if any
+}
+
+}  // namespace ccpred::exec

@@ -363,7 +363,7 @@ void for_each_col_stripe(Matrix& y, const Solver& solver) {
 
 Cholesky::Cholesky(Matrix a, Method method) {
   CCPRED_CHECK_MSG(a.rows() == a.cols(), "Cholesky requires a square matrix");
-  if (method == Method::kBlocked) {
+  if (method == Method::kFast) {
     l_ = std::move(a);
     factor_blocked(l_);
   } else {

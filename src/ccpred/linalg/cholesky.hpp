@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "ccpred/exec/engine_mode.hpp"
 #include "ccpred/linalg/matrix.hpp"
 
 namespace ccpred::linalg {
@@ -23,17 +24,17 @@ namespace ccpred::linalg {
 /// or a whole right-hand-side matrix per blocked sweep.
 class Cholesky {
  public:
-  /// Factorization algorithm selection.
-  enum class Method {
-    kBlocked,    ///< right-looking panels + parallel trailing updates
-    kReference,  ///< scalar left-looking columns (the original path)
-  };
+  /// Factorization algorithm selection — the executor layer's shared
+  /// reference-vs-fast convention. kFast is the blocked right-looking
+  /// algorithm (panels + parallel trailing updates); kReference the scalar
+  /// left-looking column algorithm (the original path).
+  using Method = exec::EngineMode;
 
   /// Factorizes `a` (must be square, symmetric, positive definite).
   /// Taken by value: the blocked path factorizes in place, so moving in a
   /// matrix the caller no longer needs skips a copy.
   /// Throws ccpred::Error if a non-positive pivot is encountered.
-  explicit Cholesky(Matrix a, Method method = Method::kBlocked);
+  explicit Cholesky(Matrix a, Method method = Method::kFast);
 
   std::size_t order() const { return l_.rows(); }
 

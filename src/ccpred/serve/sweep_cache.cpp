@@ -1,67 +1,61 @@
 #include "ccpred/serve/sweep_cache.hpp"
 
+#include <utility>
+
 #include "ccpred/common/error.hpp"
 
 namespace ccpred::serve {
 
-SweepCache::SweepCache(std::size_t capacity, std::size_t shards) {
+namespace {
+
+std::size_t clamp_shards(std::size_t capacity, std::size_t shards) {
   CCPRED_CHECK_MSG(capacity > 0, "SweepCache capacity must be > 0");
   CCPRED_CHECK_MSG(shards > 0, "SweepCache needs at least one shard");
-  if (shards > capacity) shards = capacity;
-  const std::size_t per_shard = (capacity + shards - 1) / shards;
-  shards_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(per_shard));
-  }
+  return shards > capacity ? capacity : shards;
 }
 
-SweepCache::Shard& SweepCache::shard_for(const SweepKey& key) {
-  return *shards_[SweepKeyHash()(key) % shards_.size()];
-}
+}  // namespace
+
+SweepCache::SweepCache(std::size_t capacity, std::size_t shards)
+    : cache_(clamp_shards(capacity, shards),
+             (capacity + clamp_shards(capacity, shards) - 1) /
+                 clamp_shards(capacity, shards)) {}
 
 SweepPtr SweepCache::get(const SweepKey& key) {
-  Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kCacheShard);
-  auto hit = shard.cache.get(key);
-  return hit ? *hit : nullptr;
+  SweepPtr sweep;
+  if (!cache_.lookup(key, &sweep)) return nullptr;
+  return sweep;
 }
 
 void SweepCache::put(const SweepKey& key, SweepPtr sweep) {
-  Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  if (fault_ != nullptr) fault_->maybe_delay(FaultPoint::kCacheShard);
-  shard.cache.put(key, std::move(sweep));
+  cache_.put(key, std::move(sweep));
 }
 
 std::size_t SweepCache::invalidate(const std::string& machine,
                                    const std::string& kind) {
-  std::size_t erased = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
-    erased += shard->cache.erase_if([&](const SweepKey& key) {
-      return key.machine == machine && key.kind == kind;
-    });
-  }
-  return erased;
+  return cache_.erase_if([&](const SweepKey& key) {
+    return key.machine == machine && key.kind == kind;
+  });
 }
 
 CacheCounters SweepCache::counters() const {
+  const exec::MemoCacheStats st = cache_.stats();
   CacheCounters total;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->cache.counters();
-  }
+  total.hits = st.hits;
+  total.misses = st.misses;
+  total.evictions = st.evictions;
   return total;
 }
 
-std::size_t SweepCache::size() const {
-  std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->cache.size();
+std::size_t SweepCache::size() const { return cache_.size(); }
+
+void SweepCache::set_fault_injector(FaultInjector* fault) {
+  if (fault == nullptr) {
+    cache_.set_lock_hook(nullptr);
+    return;
   }
-  return total;
+  cache_.set_lock_hook(
+      [fault] { fault->maybe_delay(FaultPoint::kCacheShard); });
 }
 
 }  // namespace ccpred::serve

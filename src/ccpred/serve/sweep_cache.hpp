@@ -6,14 +6,18 @@
 /// about that problem size, so caching it turns repeat questions — the
 /// common case for a guidance service — into a hash lookup. Keys include
 /// the model version: a hot-reloaded model invalidates by construction.
+///
+/// The sharded machinery itself is the executor layer's ShardedMemoCache;
+/// this facade keeps the serving vocabulary (SweepKey, invalidate,
+/// FaultInjector arming) and derives its default shard count from
+/// exec::kDefaultShards instead of a private constant.
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <vector>
 
 #include "ccpred/common/lru_cache.hpp"
+#include "ccpred/exec/sharded_cache.hpp"
 #include "ccpred/guidance/advisor.hpp"
 #include "ccpred/serve/fault_injector.hpp"
 
@@ -45,14 +49,16 @@ struct SweepKeyHash {
 /// holds every feasible point — other objectives re-derive from it).
 using SweepPtr = std::shared_ptr<const guide::Recommendation>;
 
-/// Thread-safe sharded LRU: each shard is an LruCache under its own mutex;
-/// keys are distributed by hash, so concurrent lookups for different
-/// problems rarely contend.
+/// Thread-safe sharded LRU over exec::ShardedMemoCache: each shard is an
+/// LruCache under its own mutex; keys are distributed by hash, so
+/// concurrent lookups for different problems rarely contend.
 class SweepCache {
  public:
   /// `capacity` is total across shards (each shard gets its even share,
-  /// at least 1).
-  explicit SweepCache(std::size_t capacity, std::size_t shards = 8);
+  /// at least 1). The shard count is clamped to the capacity so every
+  /// shard holds at least one sweep.
+  explicit SweepCache(std::size_t capacity,
+                      std::size_t shards = exec::kDefaultShards);
 
   /// Returns the cached sweep or nullptr; refreshes LRU recency on hit.
   SweepPtr get(const SweepKey& key);
@@ -72,24 +78,15 @@ class SweepCache {
   /// Cached sweeps right now.
   std::size_t size() const;
 
-  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_count() const { return cache_.shard_count(); }
 
   /// Arms the kCacheShard injection point: get()/put() hold the shard
   /// mutex for the injected extra time, simulating shard contention.
   /// The injector must outlive the cache; pass nullptr to disarm.
-  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+  void set_fault_injector(FaultInjector* fault);
 
  private:
-  struct Shard {
-    explicit Shard(std::size_t capacity) : cache(capacity) {}
-    mutable std::mutex mutex;
-    LruCache<SweepKey, SweepPtr, SweepKeyHash> cache;
-  };
-
-  Shard& shard_for(const SweepKey& key);
-
-  std::vector<std::unique_ptr<Shard>> shards_;
-  FaultInjector* fault_ = nullptr;
+  exec::ShardedMemoCache<SweepKey, SweepPtr, SweepKeyHash> cache_;
 };
 
 }  // namespace ccpred::serve

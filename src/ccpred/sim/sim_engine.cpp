@@ -1,35 +1,45 @@
 #include "ccpred/sim/sim_engine.hpp"
 
-#include <map>
+#include <algorithm>
+#include <numeric>
 #include <tuple>
 #include <utility>
 
 #include "ccpred/common/error.hpp"
 #include "ccpred/common/thread_pool.hpp"
+#include "ccpred/exec/arena.hpp"
+#include "ccpred/exec/task_scope.hpp"
 #include "ccpred/sim/noise.hpp"
 
 namespace ccpred::sim {
 namespace {
 
-/// splitmix64 finalizer: a strong 64-bit mix, the same one Rng's seeding
-/// uses, so stream seeds inherit its avalanche properties.
-std::uint64_t mix64(std::uint64_t z) {
-  z ^= z >> 30;
-  z *= 0xbf58476d1ce4e5b9ULL;
-  z ^= z >> 27;
-  z *= 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return z;
-}
-
-constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+using exec::kGoldenGamma;
+using exec::splitmix64;
 
 /// Cache seed of the rep-th measurement of a stream. Never 0 (0 is the
 /// noise-free key).
 std::uint64_t rep_seed(std::uint64_t stream, int rep) {
-  const std::uint64_t h =
-      mix64(stream + kGolden * (static_cast<std::uint64_t>(rep) + 1));
+  const std::uint64_t h = splitmix64(
+      stream + kGoldenGamma * (static_cast<std::uint64_t>(rep) + 1));
   return h == 0 ? 1 : h;
+}
+
+/// Per-thread scratch for simulate_batch's dedupe/grouping pass, reused
+/// across calls so batching itself stops hitting the heap. Thread-local
+/// because one engine may serve concurrent batch calls (the serving layer
+/// does exactly that).
+exec::Arena& batch_arena() {
+  thread_local exec::Arena arena;
+  return arena;
+}
+
+std::tuple<int, int, int, int> sort_key(const RunConfig& c) {
+  return {c.o, c.v, c.tile, c.nodes};
+}
+
+bool same_group(const RunConfig& a, const RunConfig& b) {
+  return a.o == b.o && a.v == b.v && a.tile == b.tile;
 }
 
 }  // namespace
@@ -37,10 +47,10 @@ std::uint64_t rep_seed(std::uint64_t stream, int rep) {
 std::uint64_t measurement_stream_seed(std::uint64_t campaign_seed,
                                       const RunConfig& cfg) {
   std::uint64_t h = campaign_seed ^ 0x6a09e667f3bcc909ULL;
-  h = mix64(h + kGolden * static_cast<std::uint64_t>(cfg.o));
-  h = mix64(h + kGolden * static_cast<std::uint64_t>(cfg.v));
-  h = mix64(h + kGolden * static_cast<std::uint64_t>(cfg.nodes));
-  h = mix64(h + kGolden * static_cast<std::uint64_t>(cfg.tile));
+  h = splitmix64(h + kGoldenGamma * static_cast<std::uint64_t>(cfg.o));
+  h = splitmix64(h + kGoldenGamma * static_cast<std::uint64_t>(cfg.v));
+  h = splitmix64(h + kGoldenGamma * static_cast<std::uint64_t>(cfg.nodes));
+  h = splitmix64(h + kGoldenGamma * static_cast<std::uint64_t>(cfg.tile));
   return h;
 }
 
@@ -56,58 +66,12 @@ std::uint64_t SimCache::machine_tag(const std::string& name) {
 
 std::size_t SimCache::KeyHash::operator()(const Key& k) const {
   std::uint64_t h = k.machine;
-  h = mix64(h + kGolden * static_cast<std::uint64_t>(k.o));
-  h = mix64(h + kGolden * static_cast<std::uint64_t>(k.v));
-  h = mix64(h + kGolden * static_cast<std::uint64_t>(k.nodes));
-  h = mix64(h + kGolden * static_cast<std::uint64_t>(k.tile));
-  h = mix64(h + k.seed);
+  h = splitmix64(h + kGoldenGamma * static_cast<std::uint64_t>(k.o));
+  h = splitmix64(h + kGoldenGamma * static_cast<std::uint64_t>(k.v));
+  h = splitmix64(h + kGoldenGamma * static_cast<std::uint64_t>(k.nodes));
+  h = splitmix64(h + kGoldenGamma * static_cast<std::uint64_t>(k.tile));
+  h = splitmix64(h + k.seed);
   return static_cast<std::size_t>(h);
-}
-
-SimCache::Shard& SimCache::shard_for(const Key& key) const {
-  // A different mix than KeyHash so shard choice and bucket choice are
-  // uncorrelated.
-  const std::uint64_t h = mix64(KeyHash{}(key) + kGolden);
-  return shards_[h % kShards];
-}
-
-bool SimCache::lookup(const Key& key, double* value) const {
-  Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  const auto it = s.map.find(key);
-  if (it == s.map.end()) {
-    ++s.misses;
-    return false;
-  }
-  ++s.hits;
-  *value = it->second;
-  return true;
-}
-
-void SimCache::insert(const Key& key, double value) {
-  Shard& s = shard_for(key);
-  std::lock_guard<std::mutex> lock(s.mutex);
-  s.map.emplace(key, value);
-}
-
-SimCache::Stats SimCache::stats() const {
-  Stats st;
-  for (const Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    st.hits += s.hits;
-    st.misses += s.misses;
-    st.entries += s.map.size();
-  }
-  return st;
-}
-
-void SimCache::clear() {
-  for (Shard& s : shards_) {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    s.map.clear();
-    s.hits = 0;
-    s.misses = 0;
-  }
 }
 
 SimEngine::SimEngine(const CcsdSimulator& simulator, SimEngineOptions options)
@@ -131,26 +95,19 @@ SimEngineStats SimEngine::stats() const {
 }
 
 double SimEngine::iteration_time(const RunConfig& cfg) {
-  if (!fast()) {
+  const auto simulate = [this, &cfg] {
+    // breakdown(cfg) routes through build_task_graph + breakdown(graph,
+    // nodes), so this is bit-identical to the batched path.
     const double t = simulator_->iteration_time(cfg);
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.graph_builds;
     ++stats_.evaluations;
     return t;
-  }
-  const SimCache::Key key = key_for(cfg);
-  double value = 0.0;
-  if (options_.use_cache && cache_.lookup(key, &value)) return value;
-  // breakdown(cfg) routes through build_task_graph + breakdown(graph,
-  // nodes), so this is bit-identical to the batched path.
-  value = simulator_->iteration_time(cfg);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.graph_builds;
-    ++stats_.evaluations;
-  }
-  if (options_.use_cache) cache_.insert(key, value);
-  return value;
+  };
+  if (!fast() || !options_.use_cache) return simulate();
+  // Single-flight: concurrent callers of the same uncached config coalesce
+  // onto one simulation instead of duplicating the graph build.
+  return cache_.get_or_compute(key_for(cfg), simulate);
 }
 
 std::vector<double> SimEngine::simulate_batch(
@@ -168,67 +125,87 @@ std::vector<double> SimEngine::simulate_batch(
     return out;
   }
 
+  // All grouping scratch bump-allocates from a reused per-thread arena —
+  // the batching layer itself does not touch the heap.
+  exec::Arena& arena = batch_arena();
+  arena.reset();
+  const std::size_t n = configs.size();
+
+  // Sorting by (O, V, tile, nodes) makes duplicates adjacent and keeps
+  // every unique of one (O, V, tile) group contiguous, so dedupe and
+  // grouping are both single sorted walks.
+  std::size_t* order = arena.alloc_array<std::size_t>(n);
+  std::iota(order, order + n, std::size_t{0});
+  std::sort(order, order + n, [&configs](std::size_t a, std::size_t b) {
+    return sort_key(configs[a]) < sort_key(configs[b]);
+  });
+
   // Dedupe: one evaluation per distinct configuration.
-  using Key4 = std::tuple<int, int, int, int>;
-  std::map<Key4, std::size_t> uniq;
-  std::vector<RunConfig> ucfg;
-  std::vector<std::size_t> uid(configs.size());
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    const auto& c = configs[i];
-    const auto [it, inserted] =
-        uniq.emplace(Key4{c.o, c.v, c.nodes, c.tile}, ucfg.size());
-    if (inserted) ucfg.push_back(c);
-    uid[i] = it->second;
+  std::size_t* uid = arena.alloc_array<std::size_t>(n);   // config -> unique
+  std::size_t* urep = arena.alloc_array<std::size_t>(n);  // unique -> config
+  std::size_t nu = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = order[k];
+    if (k == 0 || !(configs[order[k - 1]] == configs[i])) urep[nu++] = i;
+    uid[i] = nu - 1;
   }
 
-  std::vector<double> uval(ucfg.size(), 0.0);
-  std::vector<char> have(ucfg.size(), 0);
+  double* uval = arena.alloc_array<double>(nu);
+  unsigned char* have = arena.alloc_array<unsigned char>(nu);
+  std::fill(have, have + nu, static_cast<unsigned char>(0));
   if (options_.use_cache) {
-    for (std::size_t u = 0; u < ucfg.size(); ++u) {
-      have[u] = cache_.lookup(key_for(ucfg[u]), &uval[u]) ? 1 : 0;
+    for (std::size_t u = 0; u < nu; ++u) {
+      have[u] = cache_.lookup(key_for(configs[urep[u]]), &uval[u]) ? 1 : 0;
     }
   }
 
   // Group cache misses by (O, V, tile): one task-graph build per group,
-  // evaluated at each of the group's node counts.
-  using Key3 = std::tuple<int, int, int>;
-  std::map<Key3, std::vector<std::size_t>> groups;
+  // evaluated at each of the group's node counts. Uniques are in sorted
+  // order, so a group is a run of consecutive uncached uniques sharing
+  // (O, V, tile).
+  std::size_t* gmember = arena.alloc_array<std::size_t>(nu);
+  std::size_t* gstart = arena.alloc_array<std::size_t>(nu + 1);
+  std::size_t ngroups = 0;
   std::size_t evaluated = 0;
-  for (std::size_t u = 0; u < ucfg.size(); ++u) {
+  for (std::size_t u = 0; u < nu; ++u) {
     if (have[u]) continue;
-    groups[Key3{ucfg[u].o, ucfg[u].v, ucfg[u].tile}].push_back(u);
-    ++evaluated;
+    if (evaluated == 0 ||
+        !same_group(configs[urep[gmember[evaluated - 1]]],
+                    configs[urep[u]])) {
+      gstart[ngroups++] = evaluated;
+    }
+    gmember[evaluated++] = u;
   }
-  std::vector<const std::vector<std::size_t>*> glist;
-  glist.reserve(groups.size());
-  for (const auto& [key, members] : groups) glist.push_back(&members);
+  gstart[ngroups] = evaluated;
 
   const auto eval_group = [&](std::size_t gi) {
-    const auto& members = *glist[gi];
-    const auto& c0 = ucfg[members.front()];
+    const auto& c0 = configs[urep[gmember[gstart[gi]]]];
     const TaskGraph graph = simulator_->build_task_graph(c0.o, c0.v, c0.tile);
-    for (const std::size_t u : members) {
-      uval[u] = simulator_->breakdown(graph, ucfg[u].nodes).total_s();
+    for (std::size_t m = gstart[gi]; m < gstart[gi + 1]; ++m) {
+      const std::size_t u = gmember[m];
+      uval[u] = simulator_->breakdown(graph, configs[urep[u]].nodes).total_s();
     }
   };
-  if (options_.parallel && glist.size() >= options_.min_parallel_batch) {
-    parallel_for(0, glist.size(), eval_group);
+  if (options_.parallel && ngroups >= options_.min_parallel_batch) {
+    exec::TaskScope scope;
+    scope.parallel_for(0, ngroups, eval_group);
   } else {
-    for (std::size_t gi = 0; gi < glist.size(); ++gi) eval_group(gi);
+    for (std::size_t gi = 0; gi < ngroups; ++gi) eval_group(gi);
   }
 
   if (options_.use_cache) {
-    for (std::size_t u = 0; u < ucfg.size(); ++u) {
-      if (!have[u]) cache_.insert(key_for(ucfg[u]), uval[u]);
+    for (std::size_t m = 0; m < evaluated; ++m) {
+      const std::size_t u = gmember[m];
+      cache_.insert(key_for(configs[urep[u]]), uval[u]);
     }
   }
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.graph_builds += glist.size();
+    stats_.graph_builds += ngroups;
     stats_.evaluations += evaluated;
   }
 
-  for (std::size_t i = 0; i < configs.size(); ++i) out[i] = uval[uid[i]];
+  for (std::size_t i = 0; i < n; ++i) out[i] = uval[uid[i]];
   return out;
 }
 

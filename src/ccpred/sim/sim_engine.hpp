@@ -10,12 +10,14 @@
 /// changing a single bit of the results:
 ///
 ///  * SimCache — a sharded, thread-safe memo table keyed on
-///    (machine, O, V, nodes, tile, noise-seed). Seed 0 stores the
-///    noise-free iteration time; measurement keys carry a per-(config,
-///    repeat) stream seed.
+///    (machine, O, V, nodes, tile, noise-seed), an instantiation of the
+///    executor layer's ShardedMemoCache. Seed 0 stores the noise-free
+///    iteration time; measurement keys carry a per-(config, repeat)
+///    stream seed.
 ///  * simulate_batch — dedupes a config list, groups it by (O, V, tile) so
 ///    the tiling/task-graph decomposition is built once per group instead
 ///    of once per point, and fans the groups over the shared ThreadPool.
+///    Grouping scratch lives in a reused per-thread Arena, not the heap.
 ///  * measurement_stream_seed — a per-config RNG stream derivation, so a
 ///    config's noise draws do not depend on which other configs are
 ///    simulated, in which order, or on how many threads ran them. Serial,
@@ -27,18 +29,16 @@
 
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "ccpred/exec/engine_mode.hpp"
+#include "ccpred/exec/sharded_cache.hpp"
 #include "ccpred/sim/ccsd_simulator.hpp"
 
 namespace ccpred::sim {
 
-/// Engine execution strategy.
-enum class SimEngineMode {
-  kFast,       ///< memoized + batched + parallel
-  kReference,  ///< serial from-scratch per point (ground truth)
-};
+/// Engine execution strategy — the executor layer's shared convention.
+using SimEngineMode = exec::EngineMode;
 
 /// Engine tuning knobs.
 struct SimEngineOptions {
@@ -59,11 +59,13 @@ struct SimEngineOptions {
 std::uint64_t measurement_stream_seed(std::uint64_t campaign_seed,
                                       const RunConfig& cfg);
 
-/// Sharded, thread-safe memo table for simulated times.
+/// Sharded, thread-safe memo table for simulated times — a thin facade over
+/// exec::ShardedMemoCache that keeps the engine-facing Key/Stats vocabulary.
 ///
 /// Keys carry a machine tag so one cache may serve several machines'
 /// engines; seed 0 marks the noise-free iteration time, any other value a
-/// specific measurement stream draw.
+/// specific measurement stream draw. The shard count derives from
+/// exec::kDefaultShards (overridable for the property tests).
 class SimCache {
  public:
   struct Key {
@@ -77,40 +79,47 @@ class SimCache {
     friend bool operator==(const Key&, const Key&) = default;
   };
 
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::size_t entries = 0;
   };
 
+  explicit SimCache(std::size_t shards = exec::kDefaultShards)
+      : cache_(shards) {}
+
   /// FNV-1a tag of a machine name (stable within and across processes).
   static std::uint64_t machine_tag(const std::string& name);
 
   /// Returns true and fills `*value` on a hit; counts the miss otherwise.
-  bool lookup(const Key& key, double* value) const;
+  bool lookup(const Key& key, double* value) const {
+    return cache_.lookup(key, value);
+  }
 
   /// Inserts (first writer wins on a race; values are identical anyway).
-  void insert(const Key& key, double value);
+  void insert(const Key& key, double value) { cache_.insert(key, value); }
 
-  Stats stats() const;
-  void clear();
+  /// Single-flight memoized compute; see ShardedMemoCache::get_or_compute.
+  template <typename Fn>
+  double get_or_compute(const Key& key, Fn&& fn) {
+    return cache_.get_or_compute(key, std::forward<Fn>(fn));
+  }
+
+  Stats stats() const {
+    const exec::MemoCacheStats st = cache_.stats();
+    return Stats{st.hits, st.misses, st.entries};
+  }
+
+  void clear() { cache_.clear(); }
+
+  std::size_t shard_count() const { return cache_.shard_count(); }
 
  private:
-  static constexpr std::size_t kShards = 16;
-
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
-  };
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<Key, double, KeyHash> map;
-    mutable std::uint64_t hits = 0;
-    mutable std::uint64_t misses = 0;
-  };
-
-  Shard& shard_for(const Key& key) const;
-
-  mutable Shard shards_[kShards];
+  mutable exec::ShardedMemoCache<Key, double, KeyHash> cache_;
 };
 
 /// Work counters for one engine (monotonic; read for bench reporting).

@@ -1,0 +1,588 @@
+/// \file exec_test.cpp
+/// Executor-layer lockdown: differential/property tests for
+/// exec::ShardedMemoCache against a single-map reference model (serial and
+/// 8-thread, TSAN-clean), single-flight semantics, TaskScope structure
+/// (coverage, exception propagation, per-chunk arenas, seed derivation),
+/// the shuffle-injection determinism suite for every engine rewired onto
+/// the layer (campaign generation, STQ/BQ sweeps, RF fits), Arena edge
+/// cases, and the kDefaultShards derivation shared by SimCache and
+/// SweepCache — including behavior at non-default shard counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <latch>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "ccpred/data/generator.hpp"
+#include "ccpred/data/problems.hpp"
+#include "ccpred/exec/arena.hpp"
+#include "ccpred/exec/engine_mode.hpp"
+#include "ccpred/exec/sharded_cache.hpp"
+#include "ccpred/exec/task_scope.hpp"
+#include "ccpred/guidance/optimal.hpp"
+#include "ccpred/core/random_forest.hpp"
+#include "ccpred/serve/sweep_cache.hpp"
+#include "ccpred/sim/sim_engine.hpp"
+#include "ccpred/simd/simd.hpp"
+
+namespace ccpred {
+namespace {
+
+using exec::Arena;
+using exec::ShardedMemoCache;
+using exec::TaskScope;
+
+/// Restores the no-shuffle default even when a test assertion fails.
+struct ShuffleGuard {
+  explicit ShuffleGuard(std::uint64_t seed) {
+    TaskScope::set_shuffle_for_testing(seed);
+  }
+  ~ShuffleGuard() { TaskScope::set_shuffle_for_testing(0); }
+};
+
+// ---------------------------------------------------------------------------
+// ShardedMemoCache vs single-map reference model
+// ---------------------------------------------------------------------------
+
+/// Serial differential test: a randomized interleaving of every cache
+/// operation must leave the sharded cache observably identical to a plain
+/// unordered_map driven by the same semantics (insert = first writer wins,
+/// put = overwrite, get_or_compute = memoize).
+TEST(ShardedMemoCacheTest, DifferentialAgainstReferenceModel) {
+  ShardedMemoCache<std::uint64_t, double> cache(4);
+  std::unordered_map<std::uint64_t, double> model;
+
+  std::uint64_t state = 42;
+  const auto next = [&state] { return exec::splitmix64(state += 1); };
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t key = next() % 257;  // small key space forces hits
+    const double value = static_cast<double>(step);
+    switch (next() % 5) {
+      case 0: {  // insert: first writer wins
+        cache.insert(key, value);
+        model.emplace(key, value);
+        break;
+      }
+      case 1: {  // put: overwrite
+        cache.put(key, value);
+        model[key] = value;
+        break;
+      }
+      case 2: {  // lookup
+        double got = 0.0;
+        const bool hit = cache.lookup(key, &got);
+        const auto it = model.find(key);
+        ASSERT_EQ(hit, it != model.end()) << "key " << key;
+        if (hit) {
+          ASSERT_EQ(got, it->second) << "key " << key;
+        }
+        break;
+      }
+      case 3: {  // get_or_compute: memoize
+        const double got = cache.get_or_compute(key, [&] { return value; });
+        const auto [it, inserted] = model.emplace(key, value);
+        ASSERT_EQ(got, it->second) << "key " << key;
+        (void)inserted;
+        break;
+      }
+      default: {  // erase_if on a key-range predicate
+        const std::uint64_t cut = next() % 257;
+        const auto pred = [cut](const std::uint64_t& k) {
+          return k % 17 == cut % 17;
+        };
+        const std::size_t dropped = cache.erase_if(pred);
+        std::size_t expected = 0;
+        for (auto it = model.begin(); it != model.end();) {
+          if (pred(it->first)) {
+            it = model.erase(it);
+            ++expected;
+          } else {
+            ++it;
+          }
+        }
+        ASSERT_EQ(dropped, expected);
+        break;
+      }
+    }
+    ASSERT_EQ(cache.size(), model.size());
+  }
+
+  // Full sweep: every surviving key agrees; no phantom entries.
+  for (const auto& [key, value] : model) {
+    double got = 0.0;
+    ASSERT_TRUE(cache.lookup(key, &got));
+    ASSERT_EQ(got, value);
+  }
+}
+
+/// 8-thread differential test (run under TSAN in CI). Values are derived
+/// from keys, so every interleaving must converge to the same map; the
+/// reference model is checked post-join.
+TEST(ShardedMemoCacheTest, EightThreadMixedWorkloadConverges) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 101;
+  const auto value_of = [](std::uint64_t k) {
+    return static_cast<double>(exec::splitmix64(k));
+  };
+
+  ShardedMemoCache<std::uint64_t, double> cache(exec::kDefaultShards);
+  std::atomic<std::uint64_t> mismatches{0};
+  std::latch start(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      std::uint64_t state = 1000 + static_cast<std::uint64_t>(t);
+      for (int step = 0; step < 4000; ++step) {
+        const std::uint64_t key = exec::splitmix64(state += 1) % kKeys;
+        switch (exec::splitmix64(state += 1) % 3) {
+          case 0:
+            cache.insert(key, value_of(key));
+            break;
+          case 1: {
+            double got = 0.0;
+            if (cache.lookup(key, &got) && got != value_of(key)) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          default: {
+            const double got =
+                cache.get_or_compute(key, [&] { return value_of(key); });
+            if (got != value_of(key)) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_LE(cache.size(), static_cast<std::size_t>(kKeys));
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    double got = 0.0;
+    if (cache.lookup(k, &got)) {
+      EXPECT_EQ(got, value_of(k));
+    }
+  }
+  const auto st = cache.stats();
+  EXPECT_EQ(st.entries, cache.size());
+  EXPECT_GT(st.hits, 0u);
+}
+
+/// Single-flight: concurrent get_or_compute for one cold key runs the
+/// compute exactly once; every other caller either coalesces onto the
+/// in-flight computation or hits the freshly inserted entry.
+TEST(ShardedMemoCacheTest, SingleFlightComputesOnce) {
+  constexpr int kThreads = 8;
+  ShardedMemoCache<int, double> cache;
+  std::atomic<int> invocations{0};
+  std::latch start(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::vector<double> results(kThreads, 0.0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      start.arrive_and_wait();
+      results[t] = cache.get_or_compute(7, [&] {
+        invocations.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        return 3.5;
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(invocations.load(), 1);
+  for (double r : results) EXPECT_EQ(r, 3.5);
+  const auto st = cache.stats();
+  // One miss computed; the other callers were hits or coalesced waiters.
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.hits + st.coalesced, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+/// A throwing compute must not wedge the in-flight slot: the exception
+/// propagates to the computing caller and the key stays computable.
+TEST(ShardedMemoCacheTest, GetOrComputeSurvivesThrowingCompute) {
+  ShardedMemoCache<int, double> cache;
+  EXPECT_THROW(cache.get_or_compute(
+                   1, []() -> double { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.get_or_compute(1, [] { return 2.0; }), 2.0);
+  double got = 0.0;
+  EXPECT_TRUE(cache.lookup(1, &got));
+  EXPECT_EQ(got, 2.0);
+}
+
+/// Observable behavior must not depend on the shard count: the same
+/// operation sequence against 1, 5 and 16 shards yields identical results.
+TEST(ShardedMemoCacheTest, ShardCountIsNotObservable) {
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{5},
+                                   exec::kDefaultShards}) {
+    ShardedMemoCache<std::uint64_t, double> cache(shards);
+    ASSERT_EQ(cache.shard_count(), shards);
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      cache.insert(k, static_cast<double>(k) * 1.5);
+    }
+    cache.erase_if([](const std::uint64_t& k) { return k % 3 == 0; });
+    std::size_t present = 0;
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      double got = 0.0;
+      if (cache.lookup(k, &got)) {
+        ASSERT_NE(k % 3, 0u);
+        ASSERT_EQ(got, static_cast<double>(k) * 1.5);
+        ++present;
+      }
+    }
+    ASSERT_EQ(cache.size(), present);
+    ASSERT_EQ(present, 64u - 22u);  // 22 multiples of 3 in [0, 64)
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared shard-count derivation (exec::kDefaultShards)
+// ---------------------------------------------------------------------------
+
+TEST(DefaultShardsTest, SimCacheAndSweepCacheDeriveFromOneConstant) {
+  EXPECT_EQ(sim::SimCache().shard_count(), exec::kDefaultShards);
+  EXPECT_EQ(serve::SweepCache(64).shard_count(), exec::kDefaultShards);
+  // SweepCache clamps shards to capacity so every shard holds >= 1 sweep.
+  EXPECT_EQ(serve::SweepCache(4).shard_count(), 4u);
+  // Explicit overrides are honored.
+  EXPECT_EQ(sim::SimCache(5).shard_count(), 5u);
+  EXPECT_EQ(serve::SweepCache(64, 3).shard_count(), 3u);
+}
+
+TEST(DefaultShardsTest, SimCacheBehavesIdenticallyAtNonDefaultShards) {
+  sim::SimCache::Key key;
+  key.machine = sim::SimCache::machine_tag("aurora");
+  std::vector<sim::SimCache::Key> keys;
+  for (int o = 10; o < 30; ++o) {
+    key.o = o;
+    key.v = 4 * o;
+    key.nodes = o % 7 + 1;
+    key.tile = 20 + o % 3;
+    keys.push_back(key);
+  }
+  sim::SimCache def;  // 16 shards
+  sim::SimCache odd(5);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    def.insert(keys[i], static_cast<double>(i));
+    odd.insert(keys[i], static_cast<double>(i));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    double a = -1.0;
+    double b = -2.0;
+    ASSERT_TRUE(def.lookup(keys[i], &a));
+    ASSERT_TRUE(odd.lookup(keys[i], &b));
+    ASSERT_EQ(a, b);
+  }
+  EXPECT_EQ(def.stats().entries, odd.stats().entries);
+}
+
+TEST(DefaultShardsTest, SweepCacheInvalidateAtNonDefaultShards) {
+  // Per-shard capacity is the even share (72 / 3 = 24), so even if every
+  // key hashed to one shard nothing could be evicted mid-test.
+  serve::SweepCache cache(72, 3);
+  ASSERT_EQ(cache.shard_count(), 3u);
+  const auto sweep = std::make_shared<const guide::Recommendation>();
+  std::size_t aurora_gb = 0;
+  for (int o = 0; o < 6; ++o) {
+    for (const char* machine : {"aurora", "frontier"}) {
+      for (const char* kind : {"gb", "rf"}) {
+        serve::SweepKey key{machine, kind, 1, 10 + o, 40 + o};
+        cache.put(key, sweep);
+        if (std::string(machine) == "aurora" && std::string(kind) == "gb") {
+          ++aurora_gb;
+        }
+      }
+    }
+  }
+  const std::size_t before = cache.size();
+  ASSERT_EQ(before, 24u);
+  ASSERT_EQ(aurora_gb, 6u);
+  EXPECT_EQ(cache.invalidate("aurora", "gb"), aurora_gb);
+  EXPECT_EQ(cache.size(), before - aurora_gb);
+  EXPECT_EQ(cache.get(serve::SweepKey{"aurora", "gb", 1, 10, 40}), nullptr);
+  EXPECT_NE(cache.get(serve::SweepKey{"aurora", "rf", 1, 10, 40}), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// TaskScope
+// ---------------------------------------------------------------------------
+
+TEST(TaskScopeTest, ParallelForCoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  TaskScope scope;
+  scope.parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(TaskScopeTest, ParallelForPropagatesExceptions) {
+  TaskScope scope;
+  EXPECT_THROW(scope.parallel_for(0, 64,
+                                  [&](std::size_t i) {
+                                    if (i == 33) {
+                                      throw std::runtime_error("task 33");
+                                    }
+                                  }),
+               std::runtime_error);
+}
+
+TEST(TaskScopeTest, ArenaOverloadHandsOutWritableArenas) {
+  constexpr std::size_t kN = 64;
+  std::vector<double> sums(kN, 0.0);
+  TaskScope scope;
+  scope.parallel_for(0, kN, [&](std::size_t i, Arena& arena) {
+    double* scratch = arena.alloc_array<double>(128);
+    for (int j = 0; j < 128; ++j) {
+      scratch[j] = static_cast<double>(i + static_cast<std::size_t>(j));
+    }
+    double s = 0.0;
+    for (int j = 0; j < 128; ++j) s += scratch[j];
+    sums[i] = s;
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(sums[i], 128.0 * static_cast<double>(i) + 8128.0);
+  }
+}
+
+TEST(TaskScopeTest, TaskSeedsAreStableAndDistinct) {
+  const std::uint64_t base = 2025;
+  EXPECT_EQ(TaskScope::task_seed(base, 0),
+            exec::splitmix64(base + exec::kGoldenGamma));
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 256; ++i) {
+    seeds.push_back(TaskScope::task_seed(base, i));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::unique(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(TaskScopeTest, ShuffledParallelForStillCoversEveryIndex) {
+  constexpr std::size_t kN = 500;
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    ShuffleGuard guard(seed);
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    TaskScope scope;
+    scope.parallel_for(0, kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism suite: shuffled executor runs vs serial reference
+// ---------------------------------------------------------------------------
+
+/// Campaign generation must be bit-identical between the serial reference
+/// engine and the fast engine with an adversarially shuffled task order.
+TEST(ExecDeterminismTest, ShuffledCampaignMatchesReference) {
+  const sim::CcsdSimulator simulator{sim::MachineModel::aurora()};
+  const auto& problems = data::problems_for("aurora");
+
+  data::GeneratorOptions ref_opt;
+  ref_opt.target_total = 400;
+  ref_opt.engine_mode = sim::SimEngineMode::kReference;
+  const data::Dataset reference =
+      data::generate_dataset(simulator, problems, ref_opt);
+
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    ShuffleGuard guard(seed);
+    data::GeneratorOptions fast_opt = ref_opt;
+    fast_opt.engine_mode = sim::SimEngineMode::kFast;
+    const data::Dataset shuffled =
+        data::generate_dataset(simulator, problems, fast_opt);
+    ASSERT_EQ(shuffled.size(), reference.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(shuffled.config(i), reference.config(i))
+          << "seed " << seed << " row " << i;
+      ASSERT_EQ(shuffled.target(i), reference.target(i))
+          << "seed " << seed << " row " << i;
+    }
+  }
+}
+
+/// STQ/BQ objective sweeps must not depend on the shuffled fan-out order.
+TEST(ExecDeterminismTest, ShuffledSweepsMatchReference) {
+  const sim::CcsdSimulator simulator{sim::MachineModel::aurora()};
+  data::GeneratorOptions opt;
+  opt.target_total = 400;
+  const data::Dataset dataset =
+      data::generate_dataset(simulator, data::problems_for("aurora"), opt);
+  // The parallel sweep path only engages at >= 8 problem groups.
+  ASSERT_GE(dataset.problems().size(), 8u);
+
+  for (const auto objective :
+       {guide::Objective::kShortestTime, guide::Objective::kNodeHours}) {
+    const auto reference =
+        guide::sweep_optimal_values(dataset, dataset.targets(), objective);
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+      ShuffleGuard guard(seed);
+      const auto shuffled =
+          guide::sweep_optimal_values(dataset, dataset.targets(), objective);
+      ASSERT_EQ(shuffled.size(), reference.size());
+      for (std::size_t g = 0; g < reference.size(); ++g) {
+        ASSERT_EQ(shuffled[g].o, reference[g].o);
+        ASSERT_EQ(shuffled[g].v, reference[g].v);
+        ASSERT_EQ(shuffled[g].rows, reference[g].rows);
+        ASSERT_EQ(shuffled[g].values, reference[g].values);
+        ASSERT_EQ(shuffled[g].best.row, reference[g].best.row);
+        ASSERT_EQ(shuffled[g].best.value, reference[g].best.value);
+      }
+    }
+  }
+}
+
+/// Random-forest fits fan member trees over TaskScope; per-tree randomness
+/// derives only from the member's seed, so a shuffled fit must produce a
+/// bit-identical forest.
+TEST(ExecDeterminismTest, ShuffledForestFitMatchesReference) {
+  const sim::CcsdSimulator simulator{sim::MachineModel::aurora()};
+  data::GeneratorOptions opt;
+  opt.target_total = 300;
+  const data::Dataset dataset =
+      data::generate_dataset(simulator, data::problems_for("aurora"), opt);
+  const linalg::Matrix x = dataset.features();
+  const std::vector<double>& y = dataset.targets();
+
+  ml::TreeOptions tree_opt;
+  tree_opt.max_depth = 6;
+  tree_opt.split_mode = ml::SplitMode::kHistogram;
+  ml::RandomForestRegressor reference(16, tree_opt);
+  reference.fit(x, y);
+  const auto ref_pred = reference.predict(x);
+  const auto ref_imp = reference.feature_importances();
+
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    ShuffleGuard guard(seed);
+    ml::RandomForestRegressor shuffled(16, tree_opt);
+    shuffled.fit(x, y);
+    ASSERT_EQ(shuffled.predict(x), ref_pred) << "seed " << seed;
+    ASSERT_EQ(shuffled.feature_importances(), ref_imp) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena edge cases
+// ---------------------------------------------------------------------------
+
+TEST(ArenaTest, ZeroSizeAllocationsAreValidAndFree) {
+  Arena arena(1024);
+  void* a = arena.allocate(0);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % kCacheLineAlign, 0u);
+  EXPECT_EQ(arena.used(), 0u);
+  void* b = arena.allocate(0);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(arena.heap_fallbacks(), 0u);
+}
+
+TEST(ArenaTest, DefaultAlignmentIsCacheLine) {
+  Arena arena;
+  for (int i = 0; i < 10; ++i) {
+    void* p = arena.allocate(24);  // deliberately not a multiple of 64
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLineAlign, 0u);
+  }
+  double* d = arena.alloc_array<double>(7);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % kCacheLineAlign, 0u);
+}
+
+TEST(ArenaTest, LargeAlignmentsAreHonored) {
+  Arena arena(1 << 14);
+  for (const std::size_t align : {std::size_t{128}, std::size_t{256},
+                                  std::size_t{512}}) {
+    void* p = arena.allocate(100, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << align;
+  }
+  EXPECT_EQ(arena.heap_fallbacks(), 0u);
+}
+
+TEST(ArenaTest, OverCapacityFallsBackToHeap) {
+  Arena arena(256);
+  // Fits in the buffer: no fallback.
+  void* small = arena.allocate(64);
+  ASSERT_NE(small, nullptr);
+  EXPECT_EQ(arena.heap_fallbacks(), 0u);
+  // Does not fit: heap fallback, still aligned and fully writable.
+  auto* big = static_cast<unsigned char*>(arena.allocate(4096, 128));
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 128, 0u);
+  for (int i = 0; i < 4096; ++i) big[i] = static_cast<unsigned char>(i);
+  EXPECT_EQ(arena.heap_fallbacks(), 1u);
+  // reset() frees the overflow block; the counter stays cumulative.
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  ASSERT_NE(arena.allocate(4096), nullptr);
+  EXPECT_EQ(arena.heap_fallbacks(), 2u);
+}
+
+TEST(ArenaTest, ResetReplaysIdenticalPointerSequence) {
+  Arena arena(1 << 12);
+  const auto take = [&arena] {
+    std::vector<void*> ptrs;
+    ptrs.push_back(arena.allocate(100));
+    ptrs.push_back(arena.alloc_array<double>(33));
+    ptrs.push_back(arena.allocate(1, 256));
+    ptrs.push_back(arena.alloc_array<std::uint32_t>(9));
+    return ptrs;
+  };
+  const auto first = take();
+  const std::size_t used = arena.used();
+  arena.reset();
+  const auto second = take();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.used(), used);
+}
+
+/// Arena storage feeds SIMD kernels directly (histogram scratch, batch
+/// buffers), so kernels must agree bit-for-bit between modes on
+/// arena-allocated memory — this exercises the >= 64B alignment guarantee
+/// end to end. (simd_test.cpp runs the same check from the kernel side.)
+TEST(ArenaTest, SimdKernelsAgreeOnArenaBuffers) {
+  Arena arena;
+  constexpr std::size_t kBins = 777;  // odd size: exercises vector tails
+  double* sum_a = arena.alloc_array<double>(kBins);
+  double* sum_b = arena.alloc_array<double>(kBins);
+  std::uint32_t* cnt_a = arena.alloc_array<std::uint32_t>(kBins);
+  std::uint32_t* cnt_b = arena.alloc_array<std::uint32_t>(kBins);
+  double* osum = arena.alloc_array<double>(kBins);
+  std::uint32_t* ocnt = arena.alloc_array<std::uint32_t>(kBins);
+  for (std::size_t i = 0; i < kBins; ++i) {
+    const double v = static_cast<double>(exec::splitmix64(i)) / 1e18;
+    sum_a[i] = sum_b[i] = 10.0 + v;
+    cnt_a[i] = cnt_b[i] = static_cast<std::uint32_t>(i * 3 + 7);
+    osum[i] = v;
+    ocnt[i] = static_cast<std::uint32_t>(i);
+  }
+  simd::ops_for(simd::Mode::kScalar)
+      .hist_subtract(sum_a, cnt_a, osum, ocnt, kBins);
+  simd::ops_for(simd::Mode::kAvx2)
+      .hist_subtract(sum_b, cnt_b, osum, ocnt, kBins);
+  for (std::size_t i = 0; i < kBins; ++i) {
+    ASSERT_EQ(sum_a[i], sum_b[i]) << i;
+    ASSERT_EQ(cnt_a[i], cnt_b[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ccpred

@@ -279,7 +279,7 @@ TEST_P(CholeskyBlockedSizes, MatchesReference) {
   const int n = GetParam();
   Rng rng(static_cast<std::uint64_t>(100 + n));
   const Matrix a = random_spd(static_cast<std::size_t>(n), rng);
-  const Cholesky fast(a, Cholesky::Method::kBlocked);
+  const Cholesky fast(a, Cholesky::Method::kFast);
   const Cholesky ref(a, Cholesky::Method::kReference);
   double scale = 0.0;
   for (std::size_t i = 0; i < a.rows(); ++i) scale = std::max(scale, a(i, i));
@@ -293,7 +293,7 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyBlockedSizes,
 TEST(CholeskyTest, BlockedPreservesPositiveDefiniteMessage) {
   Matrix m = {{1, 0}, {0, -1}};
   for (auto method :
-       {Cholesky::Method::kBlocked, Cholesky::Method::kReference}) {
+       {Cholesky::Method::kFast, Cholesky::Method::kReference}) {
     try {
       const Cholesky chol(m, method);
       FAIL() << "expected indefinite matrix to throw";

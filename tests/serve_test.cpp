@@ -676,8 +676,10 @@ TEST(SweepCachePropertyTest, RandomOpsMatchShardedReferenceModel) {
     CacheCounters counters;
   };
   std::vector<RefShard> ref(kShards);
+  // Shard assignment mirrors exec::ShardedMemoCache: the bucket hash is
+  // re-mixed so shard choice and bucket choice stay uncorrelated.
   const auto shard_of = [&](const SweepKey& k) {
-    return SweepKeyHash()(k) % kShards;
+    return exec::splitmix64(SweepKeyHash()(k) + exec::kGoldenGamma) % kShards;
   };
 
   Rng rng(123);

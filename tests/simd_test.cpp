@@ -26,6 +26,7 @@
 
 #include "ccpred/common/aligned.hpp"
 #include "ccpred/core/decision_tree.hpp"
+#include "ccpred/exec/arena.hpp"
 #include "ccpred/core/gradient_boosting.hpp"
 #include "ccpred/core/serialize.hpp"
 #include "ccpred/linalg/matrix.hpp"
@@ -404,6 +405,36 @@ TEST(AlignedStorage, AlignedVectorStaysAlignedAcrossGrowth) {
   AlignedVector<simd::TravNode> nodes(37);
   EXPECT_EQ(reinterpret_cast<std::uintptr_t>(nodes.data()) % kCacheLineAlign,
             0u);
+}
+
+TEST(AlignedStorage, ArenaBuffersSatisfyKernelAlignment) {
+  // The executor layer's Arena feeds SIMD kernels directly (histogram
+  // scratch in fit_binned, batch buffers in simulate_batch): every
+  // allocation must be at least cache-line aligned, and kernels must agree
+  // bit-for-bit across modes on arena-backed memory. exec_test checks the
+  // same property from the arena side; this pins it at the kernel level.
+  exec::Arena arena;
+  const auto& sc = simd::ops_for(Mode::kScalar);
+  const auto& vx = simd::ops_for(Mode::kAvx2);
+  for (const std::size_t n : kRaggedSizes) {
+    double* x = arena.alloc_array<double>(n);
+    std::uint16_t* out_s = arena.alloc_array<std::uint16_t>(n);
+    std::uint16_t* out_v = arena.alloc_array<std::uint16_t>(n);
+    ASSERT_EQ(reinterpret_cast<std::uintptr_t>(x) % kCacheLineAlign, 0u);
+    ASSERT_EQ(reinterpret_cast<std::uintptr_t>(out_s) % kCacheLineAlign, 0u);
+    for (std::size_t r = 0; r < n; ++r) {
+      x[r] = 0.25 * static_cast<double>(r) - 2.0;
+    }
+    std::vector<double> edges = {-3.0, -1.0, 0.0, 0.5, 2.5};
+    sc.bin_codes(x, n, 1, edges.data(), static_cast<int>(edges.size()),
+                 out_s, 1);
+    vx.bin_codes(x, n, 1, edges.data(), static_cast<int>(edges.size()),
+                 out_v, 1);
+    for (std::size_t r = 0; r < n; ++r) {
+      ASSERT_EQ(out_s[r], out_v[r]) << "n=" << n << " r=" << r;
+    }
+    arena.reset();
+  }
 }
 
 TEST(AlignedStorage, SerializationBytesUnchangedByAlignedStorage) {
