@@ -15,12 +15,19 @@ double LatencyHistogram::bucket_lower(std::size_t i) const {
   return kMinSeconds * std::pow(kGrowth, static_cast<double>(i));
 }
 
-void LatencyHistogram::record(double seconds) {
+void LatencyHistogram::record(double seconds) { record_n(seconds, 1); }
+
+void LatencyHistogram::record_n(double seconds, std::uint64_t n) {
+  if (n == 0) return;
   if (seconds < 0.0) seconds = 0.0;
-  buckets_[bucket_for(seconds)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
-                    std::memory_order_relaxed);
+  buckets_[bucket_for(seconds)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  const auto ns = static_cast<std::uint64_t>(seconds * 1e9);
+  sum_ns_.fetch_add(ns * n, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
 }
 
 std::uint64_t LatencyHistogram::count() const {
@@ -62,10 +69,15 @@ double LatencyHistogram::quantile(double q) const {
   return bucket_lower(kBuckets - 1) * kGrowth;
 }
 
+double LatencyHistogram::max() const {
+  return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e9;
+}
+
 void LatencyHistogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ccpred

@@ -26,6 +26,12 @@ class LatencyHistogram {
   /// Records one observation (thread-safe, wait-free).
   void record(double seconds);
 
+  /// Records `n` observations of the same value in one shot — four atomic
+  /// adds and one CAS total, instead of per-observation bookkeeping. Used
+  /// by the batch dispatch path, where every member of a flush completes
+  /// at the same instant.
+  void record_n(double seconds, std::uint64_t n);
+
   /// Number of recorded observations.
   std::uint64_t count() const;
 
@@ -37,6 +43,11 @@ class LatencyHistogram {
   /// Mean of recorded observations (0 when empty).
   double mean() const;
 
+  /// Largest recorded observation in seconds (0 when empty). Exact, not
+  /// bucket-quantized — tail buckets are wide, so the p99/max pair tells
+  /// apart "one slow request" from "a slow tail".
+  double max() const;
+
   void reset();
 
  private:
@@ -47,6 +58,8 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> count_{0};
   /// Sum in nanoseconds so the mean survives atomic accumulation.
   std::atomic<std::uint64_t> sum_ns_{0};
+  /// Max in nanoseconds, maintained with a CAS loop.
+  std::atomic<std::uint64_t> max_ns_{0};
 };
 
 }  // namespace ccpred

@@ -55,19 +55,47 @@ Advisor::Advisor(const ml::Regressor& model,
   CCPRED_CHECK_MSG(model.is_fitted(), "Advisor needs a fitted model");
 }
 
-Recommendation Advisor::recommend(int o, int v, Objective objective) const {
-  CCPRED_CHECK_MSG(o > 0 && v > 0, "orbital counts must be positive");
+namespace {
 
-  // Enumerate feasible candidates.
+/// Enumerates the feasible (nodes, tile) grid for one problem; throws when
+/// nothing fits the machine.
+std::vector<sim::RunConfig> feasible_candidates(
+    const sim::CcsdSimulator& simulator, int o, int v) {
+  CCPRED_CHECK_MSG(o > 0 && v > 0, "orbital counts must be positive");
   std::vector<sim::RunConfig> candidates;
-  for (int n : simulator_.machine().node_menu()) {
-    for (int t : simulator_.machine().tile_menu()) {
+  for (int n : simulator.machine().node_menu()) {
+    for (int t : simulator.machine().tile_menu()) {
       const sim::RunConfig cfg{.o = o, .v = v, .nodes = n, .tile = t};
-      if (simulator_.feasible(cfg)) candidates.push_back(cfg);
+      if (simulator.feasible(cfg)) candidates.push_back(cfg);
     }
   }
   CCPRED_CHECK_MSG(!candidates.empty(), "no feasible configuration for O="
                                             << o << " V=" << v);
+  return candidates;
+}
+
+/// Predictions -> sweep points for one problem's candidate slice.
+std::vector<SweepPoint> sweep_from_predictions(
+    const std::vector<sim::RunConfig>& candidates,
+    const std::vector<double>& times, std::size_t offset) {
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    SweepPoint pt;
+    pt.config = candidates[i];
+    pt.predicted_time_s = times[offset + i];
+    pt.predicted_node_hours =
+        sim::CcsdSimulator::node_hours(candidates[i], times[offset + i]);
+    sweep.push_back(pt);
+  }
+  return sweep;
+}
+
+}  // namespace
+
+Recommendation Advisor::recommend(int o, int v, Objective objective) const {
+  const std::vector<sim::RunConfig> candidates =
+      feasible_candidates(simulator_, o, v);
 
   // One batched prediction over the whole sweep.
   linalg::Matrix x(candidates.size(), data::kNumFeatures);
@@ -78,42 +106,73 @@ Recommendation Advisor::recommend(int o, int v, Objective objective) const {
     x(i, data::kFeatTile) = candidates[i].tile;
   }
   const auto times = model_.predict(x);
+  return from_sweep(sweep_from_predictions(candidates, times, 0), objective);
+}
 
-  std::vector<SweepPoint> sweep;
-  sweep.reserve(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    SweepPoint pt;
-    pt.config = candidates[i];
-    pt.predicted_time_s = times[i];
-    pt.predicted_node_hours =
-        sim::CcsdSimulator::node_hours(candidates[i], times[i]);
-    sweep.push_back(pt);
+std::vector<Recommendation> Advisor::recommend_batch(
+    const std::vector<std::pair<int, int>>& problems,
+    Objective objective) const {
+  // Enumerate every problem's grid first so the matrix is sized once.
+  std::vector<std::vector<sim::RunConfig>> grids;
+  grids.reserve(problems.size());
+  std::size_t rows = 0;
+  for (const auto& [o, v] : problems) {
+    grids.push_back(feasible_candidates(simulator_, o, v));
+    rows += grids.back().size();
   }
-  return from_sweep(std::move(sweep), objective);
+
+  linalg::Matrix x(rows, data::kNumFeatures);
+  std::size_t row = 0;
+  for (const auto& grid : grids) {
+    for (const auto& cfg : grid) {
+      x(row, data::kFeatO) = cfg.o;
+      x(row, data::kFeatV) = cfg.v;
+      x(row, data::kFeatNodes) = cfg.nodes;
+      x(row, data::kFeatTile) = cfg.tile;
+      ++row;
+    }
+  }
+  const auto times = model_.predict(x);
+
+  std::vector<Recommendation> out;
+  out.reserve(problems.size());
+  std::size_t offset = 0;
+  for (const auto& grid : grids) {
+    out.push_back(
+        from_sweep(sweep_from_predictions(grid, times, offset), objective));
+    offset += grid.size();
+  }
+  return out;
 }
 
 Recommendation Advisor::from_sweep(std::vector<SweepPoint> sweep,
                                    Objective objective) {
-  CCPRED_CHECK_MSG(!sweep.empty(), "cannot recommend from an empty sweep");
-  check_sweep_finite(sweep);
   Recommendation rec;
   rec.objective = objective;
   rec.sweep = std::move(sweep);
-  bool first = true;
-  double best = 0.0;
-  for (const auto& pt : rec.sweep) {
+  const SweepPoint& pt = pick_best(rec.sweep, objective);
+  rec.config = pt.config;
+  rec.predicted_time_s = pt.predicted_time_s;
+  rec.predicted_node_hours = pt.predicted_node_hours;
+  return rec;
+}
+
+const SweepPoint& Advisor::pick_best(const std::vector<SweepPoint>& sweep,
+                                     Objective objective) {
+  CCPRED_CHECK_MSG(!sweep.empty(), "cannot recommend from an empty sweep");
+  check_sweep_finite(sweep);
+  const SweepPoint* best = nullptr;
+  double best_value = 0.0;
+  for (const auto& pt : sweep) {
     const double value = objective == Objective::kShortestTime
                              ? pt.predicted_time_s
                              : pt.predicted_node_hours;
-    if (first || value < best) {
-      best = value;
-      rec.config = pt.config;
-      rec.predicted_time_s = pt.predicted_time_s;
-      rec.predicted_node_hours = pt.predicted_node_hours;
-      first = false;
+    if (best == nullptr || value < best_value) {
+      best_value = value;
+      best = &pt;
     }
   }
-  return rec;
+  return *best;
 }
 
 Recommendation Advisor::fastest_within_budget(int o, int v,
@@ -125,27 +184,34 @@ Recommendation Advisor::fastest_within_budget(int o, int v,
 
 Recommendation Advisor::fastest_within_budget(const Recommendation& base,
                                               double max_node_hours) {
-  CCPRED_CHECK_MSG(max_node_hours > 0.0, "budget must be positive");
-  check_sweep_finite(base.sweep);
+  const SweepPoint& pt = pick_within_budget(base, max_node_hours);
   Recommendation rec = base;
   rec.objective = Objective::kShortestTime;
-  bool found = false;
+  rec.config = pt.config;
+  rec.predicted_time_s = pt.predicted_time_s;
+  rec.predicted_node_hours = pt.predicted_node_hours;
+  return rec;
+}
+
+const SweepPoint& Advisor::pick_within_budget(const Recommendation& base,
+                                              double max_node_hours) {
+  CCPRED_CHECK_MSG(max_node_hours > 0.0, "budget must be positive");
+  check_sweep_finite(base.sweep);
+  const SweepPoint* best = nullptr;
   double best_time = 0.0;
-  for (const auto& pt : rec.sweep) {
+  for (const auto& pt : base.sweep) {
     if (pt.predicted_node_hours > max_node_hours) continue;
-    if (!found || pt.predicted_time_s < best_time) {
+    if (best == nullptr || pt.predicted_time_s < best_time) {
       best_time = pt.predicted_time_s;
-      rec.config = pt.config;
-      rec.predicted_time_s = pt.predicted_time_s;
-      rec.predicted_node_hours = pt.predicted_node_hours;
-      found = true;
+      best = &pt;
     }
   }
-  CCPRED_CHECK_MSG(found, "no swept configuration for O="
-                              << rec.config.o << " V=" << rec.config.v
-                              << " fits within " << max_node_hours
-                              << " node-hours");
-  return rec;
+  CCPRED_CHECK_MSG(best != nullptr, "no swept configuration for O="
+                                        << base.config.o
+                                        << " V=" << base.config.v
+                                        << " fits within " << max_node_hours
+                                        << " node-hours");
+  return *best;
 }
 
 }  // namespace ccpred::guide

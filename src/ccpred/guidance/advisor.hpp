@@ -7,6 +7,7 @@
 /// exactly the iterative-querying procedure the paper describes.
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "ccpred/core/regressor.hpp"
@@ -50,6 +51,17 @@ class Advisor {
   /// full tile menu.
   Recommendation recommend(int o, int v, Objective objective) const;
 
+  /// Batched recommend(): concatenates every problem's candidate grid into
+  /// ONE feature matrix and runs ONE model predict over it, so the wide
+  /// batch kernels see cross-request batches instead of per-request ones.
+  /// Row predictions are independent of their neighbours, so each returned
+  /// Recommendation is bit-identical to recommend(o, v, objective) — the
+  /// serving layer's batch lane relies on this. Throws (like recommend)
+  /// if any problem has no feasible configuration.
+  std::vector<Recommendation> recommend_batch(
+      const std::vector<std::pair<int, int>>& problems,
+      Objective objective) const;
+
   /// Shortest-time question.
   Recommendation shortest_time(int o, int v) const {
     return recommend(o, v, Objective::kShortestTime);
@@ -82,6 +94,18 @@ class Advisor {
   /// (NaN/Inf) predicted time or cost.
   static Recommendation from_sweep(std::vector<SweepPoint> sweep,
                                    Objective objective);
+
+  /// The argmin point from_sweep would pick, without materializing a
+  /// Recommendation (and so without copying the swept grid). Same
+  /// validation and tie-breaking as from_sweep; the serving layer's batch
+  /// lane uses this to answer BQ members straight off a cached sweep.
+  static const SweepPoint& pick_best(const std::vector<SweepPoint>& sweep,
+                                     Objective objective);
+
+  /// The point fastest_within_budget would pick from `base`, without
+  /// copying the grid. Same validation and error text.
+  static const SweepPoint& pick_within_budget(const Recommendation& base,
+                                              double max_node_hours);
 
  private:
   const ml::Regressor& model_;

@@ -88,6 +88,13 @@ struct EventLoopServer::Connection {
   bool idle() const { return next_seq == next_flush && out_sent == out.size(); }
 };
 
+std::size_t EventLoopOptions::effective_inbuf_bytes() const {
+  if (max_inbuf_bytes > 0) return max_inbuf_bytes;
+  // Derived default: one unterminated line plus two max-size wire frames
+  // of lookahead — the pre-PR-10 hardcoded formula.
+  return max_line_bytes + wire::kMaxFramePayload * 2;
+}
+
 EventLoopServer::EventLoopServer(Dispatch dispatch, BatchDispatch batch_dispatch,
                                  EventLoopOptions options)
     : dispatch_(std::move(dispatch)),
@@ -417,7 +424,7 @@ void EventLoopServer::parse_input(Connection* conn) {
   }
   if (conn->dead) return;
   conn->in.erase(0, pos);
-  if (conn->in.size() > options_.max_line_bytes + (wire::kMaxFramePayload * 2)) {
+  if (conn->in.size() > options_.effective_inbuf_bytes()) {
     // Defense in depth: nothing parseable should ever grow this far.
     overflow_closes_.fetch_add(1, std::memory_order_relaxed);
     retire(conn);

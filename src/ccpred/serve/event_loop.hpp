@@ -44,6 +44,13 @@ struct EventLoopOptions {
   int backlog = -1;  ///< listen(2) backlog; < 0 = SOMAXCONN
   std::size_t max_line_bytes = 1u << 20;    ///< longest unterminated line
   std::size_t max_outbuf_bytes = 16u << 20;  ///< per-connection write cap
+  /// Per-connection read-buffer cap; a connection exceeding it is closed
+  /// and counted in overflow_closes. 0 = derived default
+  /// (max_line_bytes + two max-size wire frames).
+  std::size_t max_inbuf_bytes = 0;
+
+  /// The effective read-buffer cap after resolving the 0 default.
+  std::size_t effective_inbuf_bytes() const;
 };
 
 /// Loop-side counters (request/error accounting lives in the Server).

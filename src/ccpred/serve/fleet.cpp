@@ -321,12 +321,28 @@ ServerStats ShardFleet::aggregated_stats() const {
     total.latency_p95_ms += s.latency_p95_ms * static_cast<double>(s.requests);
     total.latency_mean_ms += s.latency_mean_ms * static_cast<double>(s.requests);
     latency_weight += s.requests;
+    // Batch-scheduler counters sum; the size quantiles are weighted by
+    // each shard's dispatch count (flushes + bypasses).
+    total.batched_requests += s.batched_requests;
+    total.batch_flushes += s.batch_flushes;
+    total.batch_bypass += s.batch_bypass;
+    const auto dispatches =
+        static_cast<double>(s.batch_flushes + s.batch_bypass);
+    total.batch_size_p50 += s.batch_size_p50 * dispatches;
+    total.batch_size_p95 += s.batch_size_p95 * dispatches;
+    total.overflow_closed += s.overflow_closed;
     for (std::size_t v = 0; v < kNumOps; ++v) {
       total.verb_latency[v].count += s.verb_latency[v].count;
       total.verb_latency[v].p50_ms += s.verb_latency[v].p50_ms *
                                       static_cast<double>(s.verb_latency[v].count);
       total.verb_latency[v].p95_ms += s.verb_latency[v].p95_ms *
                                       static_cast<double>(s.verb_latency[v].count);
+      total.verb_latency[v].p99_ms += s.verb_latency[v].p99_ms *
+                                      static_cast<double>(s.verb_latency[v].count);
+      // The fleet's worst observation is the max of the shard maxima —
+      // exact, unlike the weighted quantile means.
+      total.verb_latency[v].max_ms =
+          std::max(total.verb_latency[v].max_ms, s.verb_latency[v].max_ms);
       verb_weight[v] += s.verb_latency[v].count;
     }
     if (s.online_enabled) {
@@ -358,7 +374,15 @@ ServerStats ShardFleet::aggregated_stats() const {
       const double w = static_cast<double>(verb_weight[v]);
       total.verb_latency[v].p50_ms /= w;
       total.verb_latency[v].p95_ms /= w;
+      total.verb_latency[v].p99_ms /= w;
     }
+  }
+  const std::uint64_t total_dispatches =
+      total.batch_flushes + total.batch_bypass;
+  if (total_dispatches > 0) {
+    const double w = static_cast<double>(total_dispatches);
+    total.batch_size_p50 /= w;
+    total.batch_size_p95 /= w;
   }
   const std::uint64_t lookups = total.cache_hits + total.cache_misses;
   total.cache_hit_rate = lookups == 0

@@ -388,14 +388,22 @@ std::string format_response(const Response& r) {
        << ",\"models_trained\":" << s.models_trained
        << ",\"latency_p50_ms\":" << number(s.latency_p50_ms)
        << ",\"latency_p95_ms\":" << number(s.latency_p95_ms)
-       << ",\"latency_mean_ms\":" << number(s.latency_mean_ms);
+       << ",\"latency_mean_ms\":" << number(s.latency_mean_ms)
+       << ",\"batched_requests\":" << s.batched_requests
+       << ",\"batch_flushes\":" << s.batch_flushes
+       << ",\"batch_bypass\":" << s.batch_bypass
+       << ",\"batch_size_p50\":" << number(s.batch_size_p50)
+       << ",\"batch_size_p95\":" << number(s.batch_size_p95)
+       << ",\"overflow_closed\":" << s.overflow_closed;
     for (std::size_t i = 0; i < kNumOps; ++i) {
       const VerbLatency& vl = s.verb_latency[i];
       if (vl.count == 0) continue;  // only verbs actually served
       const char* verb = op_name(static_cast<Op>(i));
       os << ",\"lat_" << verb << "_count\":" << vl.count << ",\"lat_" << verb
          << "_p50_ms\":" << number(vl.p50_ms) << ",\"lat_" << verb
-         << "_p95_ms\":" << number(vl.p95_ms);
+         << "_p95_ms\":" << number(vl.p95_ms) << ",\"lat_" << verb
+         << "_p99_ms\":" << number(vl.p99_ms) << ",\"lat_" << verb
+         << "_max_ms\":" << number(vl.max_ms);
     }
     if (s.online_enabled) {
       const OnlineStats& o = s.online;

@@ -41,7 +41,9 @@
 #include <vector>
 
 #include "ccpred/common/latency_histogram.hpp"
+#include "ccpred/common/stopwatch.hpp"
 #include "ccpred/common/thread_pool.hpp"
+#include "ccpred/serve/batch_scheduler.hpp"
 #include "ccpred/serve/fault_injector.hpp"
 #include "ccpred/serve/model_registry.hpp"
 #include "ccpred/serve/online/online_trainer.hpp"
@@ -63,6 +65,11 @@ struct ServeOptions {
   /// Online learning loop (report verb). Disabled by default — a report
   /// against a disabled loop answers code="bad_request".
   online::OnlineOptions online;
+  /// Dynamic micro-batching across connections (see batch_scheduler.hpp).
+  /// When enabled, submit()/submit_with()/submit_batch_with() route
+  /// through the BatchScheduler; handle() stays serial. Answers are
+  /// bit-identical either way.
+  BatchOptions batch;
 };
 
 /// See file comment. The registry must outlive the server.
@@ -93,6 +100,13 @@ class Server {
   void submit_batch_with(std::vector<Request> batch,
                          std::function<void(std::vector<Response>)> done);
 
+  /// Handles a whole batch synchronously through the grouped batch lane:
+  /// members are grouped by (machine, kind, verb), each group acquires its
+  /// model handle once, batch-probes the sweep cache, and dedups identical
+  /// (O, V) keys into one single-flight sweep. Answers are bit-identical
+  /// to calling handle() per request. Deadline clocks start here.
+  std::vector<Response> dispatch_batch(const std::vector<Request>& batch);
+
   /// Point-in-time statistics snapshot.
   ServerStats stats() const;
 
@@ -102,6 +116,12 @@ class Server {
     retries_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// The daemon reports its event loop's overflow-closed connections
+  /// through this callback so `stats` can surface them beside the server
+  /// counters (mirrors record_retries). Install before serving traffic;
+  /// the callback must stay valid for the server's lifetime.
+  void set_overflow_source(std::function<std::uint64_t()> source);
+
   const ServeOptions& options() const { return options_; }
   const SweepCache& cache() const { return cache_; }
 
@@ -110,12 +130,32 @@ class Server {
   online::OnlineTrainer* online() { return online_.get(); }
 
  private:
+  /// The scheduler reaches into the pools, admission counters and
+  /// handle_batch; it is a serve-layer sibling, not an external client.
+  friend class BatchScheduler;
+
   using Clock = std::chrono::steady_clock;
 
   /// handle() with an absolute deadline (Clock::time_point::max() = none).
   Response handle_until(const Request& request, Clock::time_point deadline);
 
   Response dispatch(const Request& request, Clock::time_point deadline);
+
+  /// dispatch_batch() with per-request absolute deadlines: the batch lane
+  /// shared by dispatch_batch and the BatchScheduler's flushes.
+  std::vector<Response> handle_batch(
+      const std::vector<Request>& batch,
+      const std::vector<Clock::time_point>& deadlines);
+
+  /// Answers one (machine, kind) group of STQ/BQ/budget members inside a
+  /// batch: one model handle, one cache probe per unique (O, V) key, one
+  /// single-flight sweep per cold key (all cold keys of the group share
+  /// ONE batched recommend).
+  void answer_group(const std::string& machine, const std::string& kind,
+                    const std::vector<std::size_t>& members,
+                    const std::vector<Request>& batch,
+                    const std::vector<Clock::time_point>& deadlines,
+                    const Stopwatch& timer, std::vector<Response>* out);
 
   /// Absolute deadline for a request whose clock starts now.
   static Clock::time_point deadline_for(const Request& request) {
@@ -175,12 +215,20 @@ class Server {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::size_t> queue_depth_{0};
 
-  // The pools are the last members so their destructors run first: they
-  // drain and join while every field their tasks touch is still alive.
-  // sweep_pool_ is last of all — request workers block on sweep futures,
-  // so sweeps must drain before the request pool joins.
+  mutable std::mutex overflow_mutex_;
+  std::function<std::uint64_t()> overflow_source_;  ///< may be empty
+
+  // The pools are among the last members so their destructors run first:
+  // they drain and join while every field their tasks touch is still
+  // alive. sweep_pool_ follows pool_ — request workers block on sweep
+  // futures, so sweeps must drain before the request pool joins.
   ThreadPool pool_;
   ThreadPool sweep_pool_;
+
+  /// Very last member: destroyed FIRST, so the scheduler stops its flusher
+  /// and drains its queue while the pools it posts to are still alive.
+  /// Null unless options_.batch.enabled.
+  std::unique_ptr<BatchScheduler> batcher_;
 };
 
 }  // namespace ccpred::serve

@@ -20,6 +20,8 @@ struct VerbLatency {
   std::uint64_t count = 0;  ///< requests of this verb handled
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;  ///< exact worst observation, not bucket-quantized
 };
 
 /// Observable state of the online learning loop (zero when disabled).
@@ -62,6 +64,15 @@ struct ServerStats {
   double latency_p95_ms = 0.0;       ///< tail request latency
   double latency_mean_ms = 0.0;      ///< mean request latency
   VerbLatency verb_latency[kNumOps];  ///< per-verb quantiles, Op order
+  /// Dynamic micro-batching (BatchScheduler; all zero when disabled).
+  std::uint64_t batched_requests = 0;  ///< requests dispatched in flushes >= 2
+  std::uint64_t batch_flushes = 0;     ///< flushes of 2+ coalesced requests
+  std::uint64_t batch_bypass = 0;      ///< size-1 dispatches (empty-queue path)
+  double batch_size_p50 = 0.0;         ///< median dispatch size (incl. bypass)
+  double batch_size_p95 = 0.0;         ///< tail dispatch size
+  /// Connections the event loop closed for exceeding a buffer cap (fed by
+  /// the daemon through Server::set_overflow_source).
+  std::uint64_t overflow_closed = 0;
   bool online_enabled = false;        ///< online learning loop active
   OnlineStats online;
 };

@@ -177,10 +177,18 @@ void encode_stats(Writer& w, const ServerStats& s) {
   w.f64(s.latency_p50_ms);
   w.f64(s.latency_p95_ms);
   w.f64(s.latency_mean_ms);
+  w.u64(s.batched_requests);
+  w.u64(s.batch_flushes);
+  w.u64(s.batch_bypass);
+  w.f64(s.batch_size_p50);
+  w.f64(s.batch_size_p95);
+  w.u64(s.overflow_closed);
   for (std::size_t i = 0; i < kNumOps; ++i) {
     w.u64(s.verb_latency[i].count);
     w.f64(s.verb_latency[i].p50_ms);
     w.f64(s.verb_latency[i].p95_ms);
+    w.f64(s.verb_latency[i].p99_ms);
+    w.f64(s.verb_latency[i].max_ms);
   }
   w.u8(s.online_enabled ? 1 : 0);
   if (!s.online_enabled) return;
@@ -221,10 +229,18 @@ void decode_stats(Reader& rd, ServerStats* s) {
   s->latency_p50_ms = rd.f64();
   s->latency_p95_ms = rd.f64();
   s->latency_mean_ms = rd.f64();
+  s->batched_requests = rd.u64();
+  s->batch_flushes = rd.u64();
+  s->batch_bypass = rd.u64();
+  s->batch_size_p50 = rd.f64();
+  s->batch_size_p95 = rd.f64();
+  s->overflow_closed = rd.u64();
   for (std::size_t i = 0; i < kNumOps; ++i) {
     s->verb_latency[i].count = rd.u64();
     s->verb_latency[i].p50_ms = rd.f64();
     s->verb_latency[i].p95_ms = rd.f64();
+    s->verb_latency[i].p99_ms = rd.f64();
+    s->verb_latency[i].max_ms = rd.f64();
   }
   s->online_enabled = rd.u8() != 0;
   if (!s->online_enabled) return;

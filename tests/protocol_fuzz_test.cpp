@@ -334,6 +334,15 @@ Response random_wire_response(Rng& rng) {
     r.stats.verb_latency[2].count =
         static_cast<std::uint64_t>(rng.uniform_int(0, 100));
     r.stats.verb_latency[2].p95_ms = rng.uniform(0.0, 10.0);
+    r.stats.verb_latency[2].p99_ms = rng.uniform(0.0, 20.0);
+    r.stats.verb_latency[2].max_ms = rng.uniform(0.0, 50.0);
+    r.stats.batched_requests =
+        static_cast<std::uint64_t>(rng.uniform_int(0, 5000));
+    r.stats.batch_flushes = static_cast<std::uint64_t>(rng.uniform_int(0, 999));
+    r.stats.batch_bypass = static_cast<std::uint64_t>(rng.uniform_int(0, 999));
+    r.stats.batch_size_p50 = rng.uniform(0.0, 64.0);
+    r.stats.batch_size_p95 = rng.uniform(0.0, 64.0);
+    r.stats.overflow_closed = static_cast<std::uint64_t>(rng.uniform_int(0, 9));
     r.stats.online_enabled = rng.uniform_int(0, 1) != 0;
     r.stats.online.reports = static_cast<std::uint64_t>(rng.uniform_int(0, 99));
     r.stats.online.rolling_mape = rng.uniform(0.0, 3.0);

@@ -633,5 +633,181 @@ TEST(ServeChaosTest, ShardStormSeed1) { run_shard_chaos_at_seed(1); }
 TEST(ServeChaosTest, ShardStormSeed7) { run_shard_chaos_at_seed(7); }
 TEST(ServeChaosTest, ShardStormSeed42) { run_shard_chaos_at_seed(42); }
 
+// ------------------------------------------------------------- batch storm
+//
+// Dynamic batching under fire: half the client threads route through the
+// BatchScheduler (submit_with) while the other half stay on the serial
+// handle() path, sharing the cache and single-flight map, with worker
+// stalls and sweep delays injected. Properties: every request is answered
+// exactly once (a double completion double-sets a promise and throws),
+// every answer is bit-identical to the unbatched fault-free serial
+// baseline, and the scheduler's counters reconcile exactly with what the
+// clients pushed through it.
+
+void run_batch_storm_at_seed(std::uint64_t seed) {
+  SCOPED_TRACE("batch seed " + std::to_string(seed));
+  FaultOptions fopt;
+  fopt.seed = seed;
+  fopt.worker_stall = 0.3;
+  fopt.worker_stall_ms = 5.0;
+  fopt.sweep_delay = 0.3;
+  fopt.sweep_delay_ms = 5.0;
+  FaultInjector fault(fopt);
+
+  ServeOptions opt;
+  opt.threads = 4;
+  opt.cache_capacity = 64;
+  opt.fault_injector = &fault;
+  opt.batch.enabled = true;
+  opt.batch.max_batch = 16;
+  opt.batch.max_hold_us = 1000;
+  ChaosFixture f("batch_seed_" + std::to_string(seed), opt);
+
+  const int per_thread = per_thread_requests();
+  const int total = kClientThreads * per_thread;
+  std::vector<Response> responses(static_cast<std::size_t>(total));
+  std::atomic<std::uint64_t> scheduled{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int j = 0; j < per_thread; ++j) {
+        const int i = t * per_thread + j;
+        Request req = make_request(i);
+        req.deadline_ms = 0;  // hold-vs-deadline is covered in serve_test
+        if (t % 2 == 0) {
+          // Batched client. Exactly-once is load-bearing: if a flush ever
+          // answered a member twice the second set_value would throw.
+          std::promise<Response> promise;
+          auto future = promise.get_future();
+          f.server->submit_with(std::move(req), [&promise](Response r) {
+            promise.set_value(std::move(r));
+          });
+          scheduled.fetch_add(1, std::memory_order_relaxed);
+          responses[static_cast<std::size_t>(i)] = future.get();
+        } else {
+          // Unbatched client on the serial path, concurrently.
+          responses[static_cast<std::size_t>(i)] = f.server->handle(req);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  for (int i = 0; i < total; ++i) {
+    const Response& r = responses[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(r.ok) << "request " << i << ": " << r.error;
+    expect_matches_baseline(r, i);
+  }
+
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (f.server->stats().queue_depth != 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ServerStats stats = f.server->stats();
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(total));
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  // Scheduler accounting: every request pushed through the batcher came
+  // out in exactly one dispatch — a >=2 flush or a bypass, never both.
+  EXPECT_EQ(stats.batched_requests + stats.batch_bypass, scheduled.load());
+  if (stats.batch_flushes > 0) {
+    EXPECT_GE(stats.batch_size_p95, stats.batch_size_p50);
+    EXPECT_GE(stats.batch_size_p50, 1.0);
+  }
+  EXPECT_GT(fault.injected(FaultPoint::kWorkerStall), 0u);
+  // Only a handful of sweep-compute arrivals happen (one per unique
+  // problem), so whether the delay fires is seed luck — just require the
+  // injection point was reached.
+  EXPECT_GT(fault.arrivals(FaultPoint::kSweepCompute), 0u);
+}
+
+TEST(ServeChaosTest, BatchStormSeed1) { run_batch_storm_at_seed(1); }
+TEST(ServeChaosTest, BatchStormSeed7) { run_batch_storm_at_seed(7); }
+TEST(ServeChaosTest, BatchStormSeed42) { run_batch_storm_at_seed(42); }
+
+// Batching on every shard of a fleet while kShardKill / kShardRestart tear
+// shards down mid-traffic: failover may change WHICH shard's scheduler
+// coalesces a request, never the bytes of its answer.
+
+void run_fleet_batch_storm_at_seed(std::uint64_t seed) {
+  SCOPED_TRACE("fleet batch seed " + std::to_string(seed));
+  FaultOptions fopt;
+  fopt.seed = seed;
+  fopt.shard_kill = 0.05;
+  fopt.shard_restart = 0.10;
+  fopt.worker_stall = 0.2;
+  fopt.worker_stall_ms = 2.0;
+  FaultInjector fault(fopt);
+
+  FleetOptions opt;
+  opt.shards = 3;
+  opt.serve.threads = 2;
+  opt.serve.cache_capacity = 64;
+  opt.serve.batch.enabled = true;
+  opt.serve.batch.max_batch = 16;
+  opt.serve.batch.max_hold_us = 500;
+  opt.fault_injector = &fault;
+  const std::string dir =
+      scratch_dir("fleet_batch_seed_" + std::to_string(seed));
+  ModelRegistry registry(dir);
+  ml::save_gb(campaign_gb(), registry.artifact_path("aurora", "gb"));
+  ShardFleet fleet(registry, opt);
+
+  const int per_thread = per_thread_requests();
+  const int total = kClientThreads * per_thread;
+  std::vector<Response> responses(static_cast<std::size_t>(total));
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int j = 0; j < per_thread; ++j) {
+        const int i = t * per_thread + j;
+        Request req = make_request(i);
+        req.deadline_ms = 0;
+        std::promise<Response> promise;
+        auto future = promise.get_future();
+        fleet.submit_with(std::move(req), [&promise](Response r) {
+          promise.set_value(std::move(r));
+        });
+        responses[static_cast<std::size_t>(i)] = future.get();
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  std::uint64_t unavailable = 0;
+  for (int i = 0; i < total; ++i) {
+    const Response& r = responses[static_cast<std::size_t>(i)];
+    if (r.ok) {
+      expect_matches_baseline(r, i);
+    } else {
+      EXPECT_EQ(r.code, "unavailable") << "request " << i << ": " << r.error;
+      ++unavailable;
+    }
+  }
+
+  const FleetCounters during = fleet.counters();
+  EXPECT_GE(during.alive, 1u);
+  EXPECT_EQ(during.unrouteable, unavailable);
+
+  // The aggregated stats fold every surviving shard's scheduler counters;
+  // a killed shard takes its counts with it, so the sum is a lower bound
+  // that must stay consistent with itself and non-trivial.
+  const ServerStats agg = fleet.aggregated_stats();
+  EXPECT_GE(agg.batched_requests + agg.batch_bypass, 1u);
+  EXPECT_LE(agg.batched_requests + agg.batch_bypass, agg.requests);
+  if (agg.batch_flushes + agg.batch_bypass > 0) {
+    EXPECT_GE(agg.batch_size_p95, agg.batch_size_p50);
+  }
+}
+
+TEST(ServeChaosTest, FleetBatchStormSeed1) { run_fleet_batch_storm_at_seed(1); }
+TEST(ServeChaosTest, FleetBatchStormSeed7) { run_fleet_batch_storm_at_seed(7); }
+TEST(ServeChaosTest, FleetBatchStormSeed42) {
+  run_fleet_batch_storm_at_seed(42);
+}
+
 }  // namespace
 }  // namespace ccpred::serve

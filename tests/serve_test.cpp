@@ -28,8 +28,10 @@
 #include "ccpred/core/gradient_boosting.hpp"
 #include "ccpred/core/serialize.hpp"
 #include "ccpred/guidance/advisor.hpp"
+#include "ccpred/serve/event_loop.hpp"
 #include "ccpred/serve/model_registry.hpp"
 #include "ccpred/serve/server.hpp"
+#include "ccpred/serve/wire.hpp"
 #include "ccpred/sim/solver.hpp"
 #include "test_util.hpp"
 
@@ -929,6 +931,350 @@ TEST(ServerRobustnessTest, QueueDepthReturnsToZeroAfterMixedBurst) {
   EXPECT_EQ(stats.queue_depth, 0u);
   EXPECT_EQ(stats.requests + stats.shed, 30u);
   EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
+}
+
+// ------------------------------------------------- dynamic batching: lane
+
+TEST(BatchLaneTest, IdenticalColdKeysRunOneSweepSingleFlight) {
+  // The dedup regression: N identical cold requests inside one batch must
+  // run exactly ONE sweep compute and fan the answer out to every member.
+  ServerFixture f(32, 2, ServeOptions{}, "batch_dedup");
+  const std::vector<Request> batch(8, f.stq(85, 698));
+  const auto out = f.server->dispatch_batch(batch);
+  ASSERT_EQ(out.size(), batch.size());
+  for (const auto& r : out) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.nodes, out[0].nodes);
+    EXPECT_EQ(r.tile, out[0].tile);
+    EXPECT_EQ(r.time_s, out[0].time_s);
+    EXPECT_EQ(r.node_hours, out[0].node_hours);
+    EXPECT_EQ(r.sweep_size, out[0].sweep_size);
+  }
+  const auto stats = f.server->stats();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_EQ(stats.sweeps_computed, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);  // one probe per unique key, not 8
+  EXPECT_EQ(stats.coalesced, 7u);     // the other members rode the leader
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(BatchLaneTest, DispatchBatchMatchesSerialBitIdentical) {
+  // Mixed verbs, problems, errors and job estimates through the grouped
+  // batch lane must answer byte-for-byte like serial handle() calls.
+  ServerFixture serial_f(32, 1, ServeOptions{}, "batch_serial_ref");
+  ServerFixture batch_f(32, 2, ServeOptions{}, "batch_lane");
+  const std::vector<std::pair<int, int>> problems = {
+      {44, 260}, {85, 698}, {116, 575}, {134, 951}};
+
+  std::vector<Request> all;
+  for (int i = 0; i < 40; ++i) {
+    const auto& [o, v] = problems[i % problems.size()];
+    Request r;
+    r.o = o;
+    r.v = v;
+    switch (i % 5) {
+      case 0: r.op = Op::kStq; break;
+      case 1: r.op = Op::kBq; break;
+      case 2:
+        r.op = Op::kBudget;
+        r.max_node_hours = 100.0;
+        break;
+      case 3:
+        r.op = Op::kJob;
+        r.nodes = 64;
+        r.tile = 80;
+        break;
+      default:
+        r.op = Op::kStq;
+        r.o = -3;  // invalid: must error identically, not poison the group
+    }
+    all.push_back(std::move(r));
+  }
+
+  std::vector<Response> serial;
+  serial.reserve(all.size());
+  for (const auto& r : all) serial.push_back(serial_f.server->handle(r));
+  const auto batched = batch_f.server->dispatch_batch(all);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // cache_hit is observability metadata, not part of the answer: inside
+    // one batch a repeated key coalesces onto its leader (cache_hit=false)
+    // where a sequential replay would hit the just-warmed cache. Normalize
+    // it, then demand byte-identical rendering of everything else.
+    Response a = batched[i];
+    Response b = serial[i];
+    a.cache_hit = b.cache_hit = false;
+    EXPECT_EQ(format_response(a), format_response(b)) << "request " << i;
+  }
+
+  // Sweep work must not scale with batch size: one sweep per problem.
+  EXPECT_EQ(batch_f.server->stats().sweeps_computed, problems.size());
+}
+
+// -------------------------------------------- dynamic batching: scheduler
+
+TEST(BatchSchedulerTest, LoneRequestBypassesWithoutHold) {
+  ServeOptions base;
+  base.batch.enabled = true;
+  base.batch.max_batch = 16;
+  base.batch.max_hold_us = 50000;  // 50 ms: a held request would be visible
+  ServerFixture f(32, 2, base, "batch_bypass");
+  ASSERT_TRUE(f.server->handle(f.stq(44, 260)).ok);  // warm the sweep cache
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = f.server->submit(f.stq(44, 260)).get();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.cache_hit);
+  // Far below the hold window: the empty-queue bypass dispatched at once.
+  EXPECT_LT(ms, 25.0);
+  const auto stats = f.server->stats();
+  EXPECT_EQ(stats.batch_bypass, 1u);
+  EXPECT_EQ(stats.batched_requests, 0u);
+  EXPECT_EQ(stats.batch_flushes, 0u);
+}
+
+TEST(BatchSchedulerTest, BurstCoalescesAndStaysBitIdentical) {
+  // A burst through the scheduler must coalesce into multi-request flushes
+  // (max_inflight=1 keeps the slot busy so arrivals pile up) while every
+  // answer stays bit-identical to serial execution.
+  ServerFixture serial_f(32, 1, ServeOptions{}, "batch_burst_ref");
+  ServeOptions base;
+  base.batch.enabled = true;
+  base.batch.max_batch = 64;
+  base.batch.max_hold_us = 2000;
+  base.batch.max_inflight = 1;
+  ServerFixture f(32, 2, base, "batch_burst");
+
+  const std::vector<std::pair<int, int>> problems = {
+      {44, 260}, {85, 698}, {116, 575}, {134, 951}};
+  const auto make_request = [&](int step) {
+    const auto& [o, v] = problems[step % problems.size()];
+    Request r;
+    r.o = o;
+    r.v = v;
+    switch (step % 3) {
+      case 0: r.op = Op::kStq; break;
+      case 1: r.op = Op::kBq; break;
+      default:
+        r.op = Op::kBudget;
+        r.max_node_hours = 100.0;
+    }
+    return r;
+  };
+
+  constexpr int kRequests = 48;
+  std::vector<Response> serial(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    serial[i] = serial_f.server->handle(make_request(i));
+  }
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(f.server->submit(make_request(i)));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    const auto r = futures[i].get();
+    ASSERT_TRUE(r.ok) << "request " << i << ": " << r.error;
+    EXPECT_EQ(r.nodes, serial[i].nodes) << "request " << i;
+    EXPECT_EQ(r.tile, serial[i].tile) << "request " << i;
+    EXPECT_EQ(r.time_s, serial[i].time_s) << "request " << i;
+    EXPECT_EQ(r.node_hours, serial[i].node_hours) << "request " << i;
+  }
+
+  const auto stats = f.server->stats();
+  // Every dispatched request is either in a >=2 flush or a bypass.
+  EXPECT_EQ(stats.batched_requests + stats.batch_bypass,
+            static_cast<std::uint64_t>(kRequests));
+  EXPECT_GE(stats.batch_flushes, 1u);
+  EXPECT_GE(stats.batched_requests, 2u);
+  EXPECT_GE(stats.batch_size_p95, stats.batch_size_p50);
+  EXPECT_GE(stats.batch_size_p50, 1.0);
+  EXPECT_EQ(stats.sweeps_computed, problems.size());
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.requests, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(BatchSchedulerTest, DeadlineAwareFlushBeatsHold) {
+  // The EDF rule: a queued request carrying a deadline is force-flushed at
+  // deadline - hold even while every dispatch slot is busy — it must never
+  // burn its deadline waiting out the hold window behind a slow batch.
+  FaultOptions fopt;
+  fopt.seed = 7;
+  fopt.sweep_delay = 1.0;  // every sweep sleeps 150..450 ms
+  fopt.sweep_delay_ms = 300.0;
+  FaultInjector fault(fopt);
+  ServeOptions base;
+  base.fault_injector = &fault;
+  base.batch.enabled = true;
+  base.batch.max_batch = 8;
+  base.batch.max_hold_us = 200000;  // 200 ms: FIFO hold would burn B
+  base.batch.max_inflight = 1;      // A occupies the only dispatch slot
+  ServerFixture f(32, 4, base, "batch_edf");
+
+  // Warm (44,260) through the serial path (pays one stalled sweep).
+  ASSERT_TRUE(f.server->handle(f.stq(44, 260)).ok);
+
+  // A: cold key; bypasses into the single slot and stalls >= 150 ms.
+  auto slow = f.server->submit(f.stq(134, 951));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  // B: warm key, 100 ms deadline. Its EDF trigger (deadline - hold) is
+  // already in the past, so the flusher dispatches it immediately even
+  // though A holds the slot; the pool runs it on a free worker.
+  Request b = f.stq(44, 260);
+  b.deadline_ms = 100;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rb = f.server->submit(b).get();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  ASSERT_TRUE(rb.ok) << rb.error;
+  EXPECT_TRUE(rb.cache_hit);
+  EXPECT_LT(ms, 100.0);
+
+  const auto ra = slow.get();
+  ASSERT_TRUE(ra.ok) << ra.error;
+  EXPECT_EQ(f.server->stats().deadline_exceeded, 0u);
+}
+
+TEST(BatchSchedulerTest, ShedsBeyondMaxQueueDepthWhenSlotsBusy) {
+  FaultOptions fopt;
+  fopt.seed = 3;
+  fopt.sweep_delay = 1.0;  // park the slot on a slow sweep
+  fopt.sweep_delay_ms = 200.0;
+  FaultInjector fault(fopt);
+  ServeOptions base;
+  base.fault_injector = &fault;
+  base.max_queue_depth = 2;
+  base.batch.enabled = true;
+  base.batch.max_batch = 8;
+  base.batch.max_hold_us = 100000;  // long hold so the queue fills first
+  base.batch.max_inflight = 1;
+  ServerFixture f(32, 2, base, "batch_shed");
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(f.server->submit(f.stq(134, 951)));
+  }
+  int shed = 0;
+  int answered = 0;
+  for (auto& fut : futures) {
+    const auto r = fut.get();
+    if (r.ok) {
+      ++answered;
+    } else {
+      EXPECT_EQ(r.code, "overloaded");
+      ++shed;
+    }
+  }
+  EXPECT_EQ(shed + answered, 10);
+  EXPECT_GE(shed, 1);
+  EXPECT_EQ(f.server->stats().shed, static_cast<std::uint64_t>(shed));
+}
+
+// ---------------------------------------------- stats: tails + overflow
+
+TEST(ServerStatsTest, VerbTailLatencySurfacesInStatsAndJson) {
+  ServeOptions base;
+  base.batch.enabled = true;
+  ServerFixture f(32, 2, base, "stats_tail");
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(f.server->submit(f.stq(85, 698)).get().ok);
+  }
+  const auto stats = f.server->stats();
+  const auto& stq = stats.verb_latency[static_cast<int>(Op::kStq)];
+  EXPECT_EQ(stq.count, 6u);
+  // Interpolated quantiles may exceed the exact max, so assert ordering
+  // among quantiles and positivity of the exact max only.
+  EXPECT_GE(stq.p99_ms, stq.p95_ms);
+  EXPECT_GE(stq.p95_ms, stq.p50_ms);
+  EXPECT_GT(stq.max_ms, 0.0);
+  EXPECT_GE(stats.batch_bypass + stats.batch_flushes, 1u);
+
+  Request sr;
+  sr.op = Op::kStats;
+  const auto resp = f.server->handle(sr);
+  ASSERT_TRUE(resp.has_stats);
+  const std::string json = format_response(resp);
+  for (const char* field :
+       {"lat_stq_p99_ms", "lat_stq_max_ms", "batched_requests",
+        "batch_flushes", "batch_bypass", "batch_size_p50", "batch_size_p95",
+        "overflow_closed"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(ServerStatsTest, OverflowSourceFeedsStats) {
+  ServerFixture f(8, 1, ServeOptions{}, "overflow_src");
+  EXPECT_EQ(f.server->stats().overflow_closed, 0u);
+  f.server->set_overflow_source([] { return std::uint64_t{7}; });
+  EXPECT_EQ(f.server->stats().overflow_closed, 7u);
+}
+
+TEST(ServerStatsTest, BatchAndTailFieldsSurviveTheWire) {
+  Response r;
+  r.ok = true;
+  r.op = "stats";
+  r.has_stats = true;
+  r.stats.batched_requests = 123;
+  r.stats.batch_flushes = 17;
+  r.stats.batch_bypass = 9;
+  r.stats.batch_size_p50 = 3.5;
+  r.stats.batch_size_p95 = 12.25;
+  r.stats.overflow_closed = 4;
+  auto& verb = r.stats.verb_latency[static_cast<int>(Op::kStq)];
+  verb.count = 11;
+  verb.p50_ms = 0.5;
+  verb.p95_ms = 2.0;
+  verb.p99_ms = 3.75;
+  verb.max_ms = 8.125;
+
+  const std::string frame = wire::encode_response_frame({r});
+  wire::FrameHeader header;
+  std::string error;
+  ASSERT_EQ(wire::probe_frame(
+                reinterpret_cast<const unsigned char*>(frame.data()),
+                frame.size(), &header, &error),
+            wire::FrameStatus::kHeader)
+      << error;
+  const auto decoded = wire::decode_response_frame(
+      header,
+      reinterpret_cast<const unsigned char*>(frame.data()) + wire::kHeaderBytes);
+  ASSERT_EQ(decoded.size(), 1u);
+  const auto& d = decoded[0].stats;
+  EXPECT_EQ(d.batched_requests, 123u);
+  EXPECT_EQ(d.batch_flushes, 17u);
+  EXPECT_EQ(d.batch_bypass, 9u);
+  EXPECT_EQ(d.batch_size_p50, 3.5);
+  EXPECT_EQ(d.batch_size_p95, 12.25);
+  EXPECT_EQ(d.overflow_closed, 4u);
+  const auto& dv = decoded[0].stats.verb_latency[static_cast<int>(Op::kStq)];
+  EXPECT_EQ(dv.count, 11u);
+  EXPECT_EQ(dv.p99_ms, 3.75);
+  EXPECT_EQ(dv.max_ms, 8.125);
+}
+
+TEST(EventLoopOptionsTest, EffectiveInbufResolvesZeroToDerivedDefault) {
+  EventLoopOptions opt;
+  opt.max_line_bytes = 100;
+  EXPECT_EQ(opt.effective_inbuf_bytes(), 100 + wire::kMaxFramePayload * 2);
+  opt.max_inbuf_bytes = 4096;
+  EXPECT_EQ(opt.effective_inbuf_bytes(), 4096u);
+}
+
+TEST(LatencyHistogramTest, TracksExactMax) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.max(), 0.0);
+  h.record(0.002);
+  h.record(0.125);
+  h.record(0.0004);
+  EXPECT_EQ(h.max(), 0.125);
+  h.reset();
+  EXPECT_EQ(h.max(), 0.0);
 }
 
 }  // namespace

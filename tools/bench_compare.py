@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json results against committed baselines.
+
+Every gated bench already enforces its own absolute floor (exit code), but
+those floors are deliberately loose so they hold on any runner. This script
+catches the slower drift the floors would miss: it diffs the headline
+speedup metrics of freshly produced BENCH_*.json files against the
+baselines committed in tools/bench_baselines.json and fails when a metric
+regresses by more than the allowed tolerance (default 20%).
+
+Baseline values are the LOW edge of the range observed on the reference
+box, so runner-to-runner variance eats into the tolerance budget less than
+a mid-range baseline would. Metrics may override the default tolerance
+where run-to-run variance is known to be wider.
+
+Usage:
+  python3 tools/bench_compare.py                 # compare BENCH_*.json in cwd
+  python3 tools/bench_compare.py build/*.json    # explicit files
+  python3 tools/bench_compare.py --strict        # missing baselined file = error
+
+Exit status: 0 when every present metric is within tolerance, 1 otherwise.
+Stdlib only — no third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def lookup(doc: dict, dotted: str):
+    """Resolve a dotted path ('campaign.speedup') inside a parsed JSON doc."""
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) and not isinstance(node, bool) else None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="BENCH_*.json files (default: ./BENCH_*.json)")
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_baselines.json"),
+        help="baseline manifest (default: tools/bench_baselines.json)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail when a baselined bench file is absent (default: skip with a note)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baselines, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    default_tol = float(manifest.get("default_tolerance", 0.20))
+    benches = manifest.get("benches", {})
+
+    paths = args.files or sorted(glob.glob("BENCH_*.json"))
+    by_name = {os.path.basename(p): p for p in paths}
+
+    failures = 0
+    checked = 0
+    for bench_name, metrics in sorted(benches.items()):
+        path = by_name.get(bench_name)
+        if path is None:
+            note = "MISSING" if args.strict else "skipped (not produced this run)"
+            print(f"{bench_name}: {note}")
+            if args.strict:
+                failures += 1
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        for dotted, spec in sorted(metrics.items()):
+            baseline = float(spec["value"])
+            tol = float(spec.get("tolerance", default_tol))
+            floor = baseline * (1.0 - tol)
+            fresh = lookup(doc, dotted)
+            checked += 1
+            if fresh is None:
+                print(f"{bench_name} {dotted}: MISSING METRIC (baseline {baseline:g}) — schema drift?")
+                failures += 1
+                continue
+            if fresh < floor:
+                drop = 100.0 * (1.0 - fresh / baseline)
+                print(
+                    f"{bench_name} {dotted}: REGRESSION {fresh:g} < floor {floor:g} "
+                    f"(baseline {baseline:g}, -{drop:.0f}%, tolerance {tol:.0%})"
+                )
+                failures += 1
+            else:
+                verdict = "ok"
+                if fresh > baseline * 1.5:
+                    verdict = "ok (well above baseline — consider refreshing it)"
+                print(f"{bench_name} {dotted}: {fresh:g} vs baseline {baseline:g} — {verdict}")
+
+    if checked == 0 and failures == 0:
+        print("no baselined benches found among:", ", ".join(sorted(by_name)) or "(none)")
+    print(f"\n{checked} metrics checked, {failures} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

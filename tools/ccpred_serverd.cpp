@@ -217,6 +217,13 @@ serve::ServeOptions serve_options_from_flags(
   opt.default_machine = get_or(flags, "default-machine", "aurora");
   opt.default_model = get_or(flags, "default-model", "gb");
   opt.online = online_options_from_flags(flags);
+  // Dynamic micro-batching: on by default for the daemon (the whole point
+  // of a multi-client front end); --batch-max 0 disables it.
+  opt.batch.max_batch =
+      static_cast<std::size_t>(parse_int(get_or(flags, "batch-max", "64")));
+  opt.batch.enabled = opt.batch.max_batch > 0;
+  opt.batch.max_hold_us = static_cast<std::uint32_t>(
+      parse_int(get_or(flags, "batch-hold-us", "200")));
   return opt;
 }
 
@@ -225,6 +232,12 @@ serve::EventLoopOptions event_loop_options_from_flags(
   serve::EventLoopOptions opt;
   opt.port = port;
   opt.backlog = static_cast<int>(parse_int(get_or(flags, "backlog", "-1")));
+  opt.max_line_bytes = static_cast<std::size_t>(parse_int(
+      get_or(flags, "max-line", std::to_string(opt.max_line_bytes))));
+  opt.max_outbuf_bytes = static_cast<std::size_t>(parse_int(
+      get_or(flags, "max-outbuf", std::to_string(opt.max_outbuf_bytes))));
+  opt.max_inbuf_bytes = static_cast<std::size_t>(
+      parse_int(get_or(flags, "max-inbuf", "0")));
   return opt;
 }
 
@@ -300,6 +313,8 @@ int run_fleet_child(const std::map<std::string, std::string>& flags,
   serve::EventLoopServer listener(make_dispatch(server),
                                   make_batch_dispatch(server),
                                   event_loop_options_from_flags(flags, port));
+  server.set_overflow_source(
+      [&listener] { return listener.stats().overflow_closes; });
   std::fprintf(stderr, "ccpred_serverd shard %d listening on 127.0.0.1:%d\n",
                shard_index, port);
   char byte = 0;
@@ -542,6 +557,14 @@ class FleetRouter {
       total.latency_mean_ms +=
           s.latency_mean_ms * static_cast<double>(s.requests);
       latency_weight += s.requests;
+      total.batched_requests += s.batched_requests;
+      total.batch_flushes += s.batch_flushes;
+      total.batch_bypass += s.batch_bypass;
+      const auto dispatches =
+          static_cast<double>(s.batch_flushes + s.batch_bypass);
+      total.batch_size_p50 += s.batch_size_p50 * dispatches;
+      total.batch_size_p95 += s.batch_size_p95 * dispatches;
+      total.overflow_closed += s.overflow_closed;
       for (std::size_t v = 0; v < serve::kNumOps; ++v) {
         total.verb_latency[v].count += s.verb_latency[v].count;
         total.verb_latency[v].p50_ms +=
@@ -550,6 +573,11 @@ class FleetRouter {
         total.verb_latency[v].p95_ms +=
             s.verb_latency[v].p95_ms *
             static_cast<double>(s.verb_latency[v].count);
+        total.verb_latency[v].p99_ms +=
+            s.verb_latency[v].p99_ms *
+            static_cast<double>(s.verb_latency[v].count);
+        total.verb_latency[v].max_ms =
+            std::max(total.verb_latency[v].max_ms, s.verb_latency[v].max_ms);
         verb_weight[v] += s.verb_latency[v].count;
       }
       if (s.online_enabled) {
@@ -586,6 +614,13 @@ class FleetRouter {
       const double w = static_cast<double>(verb_weight[v]);
       total.verb_latency[v].p50_ms /= w;
       total.verb_latency[v].p95_ms /= w;
+      total.verb_latency[v].p99_ms /= w;
+    }
+    if (total.batch_flushes + total.batch_bypass > 0) {
+      const auto w =
+          static_cast<double>(total.batch_flushes + total.batch_bypass);
+      total.batch_size_p50 /= w;
+      total.batch_size_p95 /= w;
     }
     if (total.cache_hits + total.cache_misses > 0) {
       total.cache_hit_rate =
@@ -762,6 +797,8 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
                  "ccpred_serverd listening on 127.0.0.1:%d "
                  "(epoll, JSON + binary frames)\n",
                  listener->port());
+    server.set_overflow_source(
+        [&listener] { return listener->stats().overflow_closes; });
   }
 
   // stdin/stdout loop: submit each line to the pool and flush completed
@@ -814,6 +851,9 @@ int usage() {
                "[--default-model gb|rf] [--threads N] [--cache N] "
                "[--port P] [--backlog N] [--fleet N] [--serial 1] "
                "[--max-queue N]\n"
+               "        [--batch-max N (0 disables batching)] "
+               "[--batch-hold-us US] [--max-line BYTES] "
+               "[--max-inbuf BYTES (0 = derived)] [--max-outbuf BYTES]\n"
                "        [--fault-seed S] [--fault-artifact P] "
                "[--fault-sweep P] [--fault-sweep-ms MS] [--fault-stall P] "
                "[--fault-stall-ms MS] [--fault-cache P] "

@@ -1,9 +1,12 @@
 # CTest script: the serving daemon end to end. Pre-trains a small artifact,
-# replays a scripted session of 100+ mixed requests twice, and checks:
+# replays a scripted session of 100+ mixed requests, and checks:
 #  * every request gets an ok response (no retraining stalls, no errors),
 #  * answers are deterministic across runs (stats lines excluded — they
 #    carry latency measurements),
-#  * the sweep cache reports hits (the session repeats problem sizes).
+#  * the sweep cache reports hits (the session repeats problem sizes;
+#    checked with batching off, where repeats re-probe the cache),
+#  * the dynamic micro-batcher (daemon default) answers the same session
+#    byte-identically while sharing sweeps instead of recomputing them.
 
 set(dir "${WORKDIR}/serverd_smoke_artifacts")
 file(REMOVE_RECURSE "${dir}")
@@ -44,9 +47,12 @@ foreach(round RANGE 1 12)
 endforeach()
 file(WRITE "${session}" "${lines}")
 
+# Per-request dispatch (--batch-max 0): repeats of a problem size must hit
+# the sweep cache, and two replays must answer identically.
 foreach(run 1 2)
   execute_process(COMMAND "${SERVERD}" serve --artifacts "${dir}"
                           --threads 4 --rows 300 --estimators 60
+                          --batch-max 0
                   INPUT_FILE "${session}"
                   RESULT_VARIABLE rc
                   OUTPUT_VARIABLE out ERROR_VARIABLE err)
@@ -76,6 +82,32 @@ endforeach()
 
 if(NOT answers_1 STREQUAL answers_2)
   message(FATAL_ERROR "serving is not deterministic across runs")
+endif()
+
+# Dynamic batching (the daemon default) must not change a single answer
+# byte. The whole stdin burst coalesces into a few large flushes, so the
+# session's repeated problem sizes are answered from shared single-flight
+# sweeps — exactly 9 sweeps for 9 problem sizes — rather than via repeat
+# cache probes.
+execute_process(COMMAND "${SERVERD}" serve --artifacts "${dir}"
+                        --threads 4 --rows 300 --estimators 60
+                INPUT_FILE "${session}"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "batched serve failed: ${err}")
+endif()
+string(REGEX MATCHALL "\"ok\":true" oks "${out}")
+list(LENGTH oks n_ok)
+if(NOT n_ok EQUAL 120)
+  message(FATAL_ERROR "batched run: expected 120 ok responses, got ${n_ok}")
+endif()
+string(REGEX REPLACE "[^\n]*\"op\":\"stats\"[^\n]*\n" "" answers_b "${out}")
+string(REGEX REPLACE "\"cache_hit\":(true|false)" "" answers_b "${answers_b}")
+if(NOT answers_b STREQUAL answers_1)
+  message(FATAL_ERROR "batched answers differ from per-request answers")
+endif()
+if(NOT err MATCHES "\\(0 errors\\), 9 sweeps")
+  message(FATAL_ERROR "batched run did not share sweeps: ${err}")
 endif()
 
 # The artifact must have been loaded, never retrained, during serving.
